@@ -1,0 +1,470 @@
+package heapgossip
+
+// Benchmarks regenerating the paper's figures and tables at a reduced scale
+// (120 nodes, ~19 s of stream vs. the paper's 270 nodes and 180 s), so that
+// `go test -bench=.` exercises every experiment pipeline in minutes.
+// cmd/heapbench runs the same code at full scale; EXPERIMENTS.md records the
+// full-scale numbers next to the paper's.
+//
+// Each benchmark runs the complete simulated experiment once per iteration
+// and reports the figure's headline quantity via b.ReportMetric, so regress-
+// ions in either performance (ns/op) or protocol behaviour (domain metrics)
+// are visible.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+const (
+	benchNodes   = 120
+	benchWindows = 10
+	benchSeed    = 17
+)
+
+func benchConfig(proto Protocol, dist Distribution) Scenario {
+	return Scenario{
+		Nodes:       benchNodes,
+		Protocol:    proto,
+		Dist:        dist,
+		Windows:     benchWindows,
+		Seed:        benchSeed,
+		StreamStart: 5 * time.Second,
+		Drain:       30 * time.Second,
+	}
+}
+
+func mustRun(b *testing.B, cfg Scenario) *ScenarioResult {
+	b.Helper()
+	res, err := RunScenario(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// meanJitterFree is the average fraction of viewable windows at the lag.
+func meanJitterFree(res *ScenarioResult, lag time.Duration) float64 {
+	return metrics.Mean(res.Run.PerNode(func(n *NodeRecord) float64 {
+		return res.Run.JitterFreeShare(n, lag)
+	}))
+}
+
+// lagP is the p-th percentile over nodes of the min lag for 99% delivery.
+func lagP(res *ScenarioResult, p float64) float64 {
+	cdf := metrics.NewCDF(res.Run.PerNode(func(n *NodeRecord) float64 {
+		return Seconds(res.Run.LagForDeliveryRatio(n, 0.99))
+	}))
+	return cdf.ValueAtPercentile(p)
+}
+
+// BenchmarkFig01UnconstrainedGossip reproduces Figure 1: standard gossip
+// with fanout 7 and no upload caps delivers 99% of the stream with low lag.
+func BenchmarkFig01UnconstrainedGossip(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchConfig(StandardGossip, nil)
+		cfg.Unconstrained = true
+		res := mustRun(b, cfg)
+		b.ReportMetric(lagP(res, 50), "p50-lag-s")
+		b.ReportMetric(lagP(res, 90), "p90-lag-s")
+	}
+}
+
+// BenchmarkFig02FanoutSweep reproduces Figure 2: fixed-fanout standard
+// gossip on the skewed (dist1) and uniform (dist2) distributions.
+func BenchmarkFig02FanoutSweep(b *testing.B) {
+	cases := []struct {
+		name   string
+		dist   Distribution
+		fanout float64
+	}{
+		{"ms691-f7", MS691, 7},
+		{"ms691-f15", MS691, 15},
+		{"ms691-f20", MS691, 20},
+		{"ms691-f25", MS691, 25},
+		{"ms691-f30", MS691, 30},
+		{"uniform-f7", Uniform691, 7},
+		{"uniform-f15", Uniform691, 15},
+		{"uniform-f20", Uniform691, 20},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := benchConfig(StandardGossip, tc.dist)
+				cfg.Fanout = tc.fanout
+				res := mustRun(b, cfg)
+				b.ReportMetric(lagP(res, 50), "p50-lag-s")
+				b.ReportMetric(meanJitterFree(res, 10*time.Second), "jitterfree@10s")
+			}
+		})
+	}
+}
+
+// BenchmarkFig03HEAP reproduces Figure 3: HEAP on ms-691 with average
+// fanout 7.
+func BenchmarkFig03HEAP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := mustRun(b, benchConfig(HEAP, MS691))
+		b.ReportMetric(lagP(res, 50), "p50-lag-s")
+		b.ReportMetric(lagP(res, 90), "p90-lag-s")
+	}
+}
+
+// BenchmarkFig04BandwidthUsage reproduces Figure 4: per-class upload
+// utilization under both protocols.
+func BenchmarkFig04BandwidthUsage(b *testing.B) {
+	for _, proto := range []Protocol{StandardGossip, HEAP} {
+		for _, dist := range []Distribution{Ref691, MS691} {
+			b.Run(string(proto)+"-"+dist.Name(), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					res := mustRun(b, benchConfig(proto, dist))
+					richClass := res.Run.Classes()[len(res.Run.Classes())-1]
+					var sum float64
+					var n int
+					for j := 1; j < len(res.CapsKbps); j++ {
+						if dist.ClassOf(res.CapsKbps[j]) == richClass {
+							sum += res.Usage[j]
+							n++
+						}
+					}
+					b.ReportMetric(100*sum/float64(n), "rich-usage-%")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig05StreamQuality reproduces Figure 5: jitter-free share by
+// class on ref-691 at a 10 s playback lag.
+func BenchmarkFig05StreamQuality(b *testing.B) {
+	for _, proto := range []Protocol{StandardGossip, HEAP} {
+		b.Run(string(proto), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := mustRun(b, benchConfig(proto, Ref691))
+				b.ReportMetric(100*meanJitterFree(res, 10*time.Second), "jitterfree@10s-%")
+			}
+		})
+	}
+}
+
+// BenchmarkFig06StreamQuality reproduces Figure 6: ms-691 at 20 s lag and
+// ref-724 at 10 s lag.
+func BenchmarkFig06StreamQuality(b *testing.B) {
+	cases := []struct {
+		dist Distribution
+		lag  time.Duration
+	}{
+		{MS691, 20 * time.Second},
+		{Ref724, 10 * time.Second},
+	}
+	for _, tc := range cases {
+		for _, proto := range []Protocol{StandardGossip, HEAP} {
+			b.Run(tc.dist.Name()+"-"+string(proto), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					res := mustRun(b, benchConfig(proto, tc.dist))
+					b.ReportMetric(100*meanJitterFree(res, tc.lag), "jitterfree-%")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig07JitterCDF reproduces Figure 7: the share of nodes with at
+// most 10% jitter at a 10 s lag on ref-691.
+func BenchmarkFig07JitterCDF(b *testing.B) {
+	for _, proto := range []Protocol{StandardGossip, HEAP} {
+		b.Run(string(proto), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := mustRun(b, benchConfig(proto, Ref691))
+				cdf := metrics.NewCDF(res.Run.PerNode(func(n *NodeRecord) float64 {
+					return 100 * (1 - res.Run.JitterFreeShare(n, 10*time.Second))
+				}))
+				b.ReportMetric(100*cdf.FractionAtOrBelow(10), "nodes<=10%jitter-%")
+			}
+		})
+	}
+}
+
+// BenchmarkFig08StreamLag reproduces Figure 8: mean lag to a jitter-free
+// stream.
+func BenchmarkFig08StreamLag(b *testing.B) {
+	for _, dist := range []Distribution{Ref691, MS691} {
+		for _, proto := range []Protocol{StandardGossip, HEAP} {
+			b.Run(dist.Name()+"-"+string(proto), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					res := mustRun(b, benchConfig(proto, dist))
+					lags := res.Run.PerNode(func(n *NodeRecord) float64 {
+						return Seconds(res.Run.MinLagForJitterFree(n, 0))
+					})
+					b.ReportMetric(metrics.Mean(lags), "mean-lag-s")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig09StreamLagCDF reproduces Figure 9: the lag by which 80% of
+// nodes view a jitter-free stream.
+func BenchmarkFig09StreamLagCDF(b *testing.B) {
+	for _, proto := range []Protocol{StandardGossip, HEAP} {
+		b.Run(string(proto), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := mustRun(b, benchConfig(proto, Ref691))
+				cdf := metrics.NewCDF(res.Run.PerNode(func(n *NodeRecord) float64 {
+					return Seconds(res.Run.MinLagForJitterFree(n, 0))
+				}))
+				b.ReportMetric(cdf.ValueAtPercentile(80), "p80-lag-s")
+			}
+		})
+	}
+}
+
+// BenchmarkFig10Churn reproduces Figure 10: catastrophic failures of 20%
+// and 50% of the nodes; the metric is the post-failure coverage at the
+// paper's lags (HEAP@12s vs standard@20s).
+func BenchmarkFig10Churn(b *testing.B) {
+	for _, fraction := range []float64{0.2, 0.5} {
+		for _, tc := range []struct {
+			proto Protocol
+			lag   time.Duration
+		}{{HEAP, 12 * time.Second}, {StandardGossip, 20 * time.Second}} {
+			name := fmt.Sprintf("%s-crash%d", tc.proto, int(fraction*100))
+			b.Run(name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					cfg := benchConfig(tc.proto, Ref691)
+					cfg.Windows = 20 // failure mid-stream needs a longer run
+					cfg.Churn = &Catastrophic{
+						At:         cfg.StreamStart + 15*time.Second,
+						Fraction:   fraction,
+						NotifyMean: 10 * time.Second,
+					}
+					res := mustRun(b, cfg)
+					cov := res.Run.PerWindowCoverage(tc.lag)
+					b.ReportMetric(100*cov[len(cov)-1], "lastwindow-coverage-%")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTable2JitteredWindows reproduces Table 2: mean delivery ratio
+// inside jittered windows.
+func BenchmarkTable2JitteredWindows(b *testing.B) {
+	for _, proto := range []Protocol{StandardGossip, HEAP} {
+		b.Run(string(proto), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := mustRun(b, benchConfig(proto, Ref691))
+				var sum float64
+				var n int
+				for j := range res.Run.Nodes {
+					node := &res.Run.Nodes[j]
+					if node.Excluded {
+						continue
+					}
+					if ratio, any := res.Run.DeliveryRatioInJitteredWindows(node, 10*time.Second); any {
+						sum += ratio
+						n++
+					}
+				}
+				if n > 0 {
+					b.ReportMetric(100*sum/float64(n), "jittered-delivery-%")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable3JitterFree reproduces Table 3: the share of nodes with a
+// fully jitter-free stream.
+func BenchmarkTable3JitterFree(b *testing.B) {
+	for _, proto := range []Protocol{StandardGossip, HEAP} {
+		b.Run(string(proto), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := mustRun(b, benchConfig(proto, MS691))
+				var ok, n int
+				for j := range res.Run.Nodes {
+					node := &res.Run.Nodes[j]
+					if node.Excluded {
+						continue
+					}
+					n++
+					if res.Run.JitterFreeShare(node, 20*time.Second) >= 1 {
+						ok++
+					}
+				}
+				b.ReportMetric(100*float64(ok)/float64(n), "jitterfree-nodes-%")
+			}
+		})
+	}
+}
+
+// --- Ablations (design choices called out in DESIGN.md §6) ---
+
+// BenchmarkAblationRetransmission compares retransmission policies: off,
+// the paper-literal same-proposer policy, and alternate-proposer cycling.
+func BenchmarkAblationRetransmission(b *testing.B) {
+	cases := []struct {
+		name   string
+		mutate func(*Scenario)
+	}{
+		{"off", func(c *Scenario) { c.RetMaxAttempts = 1 }},
+		{"same-proposer", func(c *Scenario) { c.RetSameProposer = true }},
+		{"alternates", func(c *Scenario) {}},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := benchConfig(HEAP, MS691)
+				tc.mutate(&cfg)
+				res := mustRun(b, cfg)
+				b.ReportMetric(100*meanJitterFree(res, 10*time.Second), "jitterfree@10s-%")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSourceBias measures the §5 idea of biasing the source's
+// first hop toward rich nodes.
+func BenchmarkAblationSourceBias(b *testing.B) {
+	for _, bias := range []bool{false, true} {
+		name := "uniform"
+		if bias {
+			name = "rich-biased"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := benchConfig(HEAP, MS691)
+				cfg.SourceBias = bias
+				res := mustRun(b, cfg)
+				b.ReportMetric(lagP(res, 50), "p50-lag-s")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPeriodAdaptation compares HEAP's fanout knob against the
+// §5 period knob.
+func BenchmarkAblationPeriodAdaptation(b *testing.B) {
+	for _, period := range []bool{false, true} {
+		name := "fanout-knob"
+		if period {
+			name = "period-knob"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := benchConfig(HEAP, MS691)
+				cfg.AdaptPeriod = period
+				res := mustRun(b, cfg)
+				b.ReportMetric(100*meanJitterFree(res, 10*time.Second), "jitterfree@10s-%")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationAggregation varies the aggregation gossip parameters and
+// reports the accuracy of the resulting bbar estimates.
+func BenchmarkAblationAggregation(b *testing.B) {
+	cases := []struct {
+		name   string
+		mutate func(*Scenario)
+	}{
+		{"paper-200ms-k10", func(c *Scenario) {}},
+		{"slow-1s", func(c *Scenario) { c.AggPeriod = time.Second }},
+		{"k3", func(c *Scenario) { c.AggFreshestK = 3 }},
+		{"fanout3", func(c *Scenario) { c.AggFanout = 3 }},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := benchConfig(HEAP, MS691)
+				tc.mutate(&cfg)
+				res := mustRun(b, cfg)
+				truth := MS691.MeanKbps()
+				var errSum float64
+				var n int
+				for j := 1; j < len(res.EstimatesKbps); j++ {
+					if res.EstimatesKbps[j] > 0 {
+						errSum += abs(res.EstimatesKbps[j]-truth) / truth
+						n++
+					}
+				}
+				b.ReportMetric(100*errSum/float64(n), "bbar-err-%")
+				b.ReportMetric(100*meanJitterFree(res, 10*time.Second), "jitterfree@10s-%")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationFreeriders measures dissemination quality as more nodes
+// under-advertise their capability (§5 freeriding threat).
+func BenchmarkAblationFreeriders(b *testing.B) {
+	for _, frac := range []float64{0, 0.1, 0.3, 0.5} {
+		b.Run(fmt.Sprintf("%d%%", int(frac*100)), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := benchConfig(HEAP, MS691)
+				cfg.FreeriderFraction = frac
+				res := mustRun(b, cfg)
+				b.ReportMetric(100*meanJitterFree(res, 10*time.Second), "jitterfree@10s-%")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPSS compares full-membership sampling against the Cyclon
+// peer-sampling service.
+func BenchmarkAblationPSS(b *testing.B) {
+	for _, pss := range []bool{false, true} {
+		name := "full-view"
+		if pss {
+			name = "cyclon-pss"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := benchConfig(HEAP, Ref691)
+				cfg.UsePSS = pss
+				res := mustRun(b, cfg)
+				b.ReportMetric(100*meanJitterFree(res, 10*time.Second), "jitterfree@10s-%")
+			}
+		})
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// BenchmarkScenarioThroughput measures raw simulator speed on a constrained
+// HEAP run — the performance-critical path of the repository.
+func BenchmarkScenarioThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := mustRun(b, benchConfig(HEAP, Ref691))
+		b.ReportMetric(float64(res.NetStats.MsgsSent), "msgs/run")
+	}
+}
+
+// BenchmarkIntroStaticTree reproduces the introduction's observation: the
+// static-tree baseline trails gossip badly even among 30 nodes.
+func BenchmarkIntroStaticTree(b *testing.B) {
+	for _, proto := range []Protocol{StaticTree, StandardGossip} {
+		b.Run(string(proto), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := Scenario{
+					Nodes:    30,
+					Protocol: proto,
+					Dist:     MS691,
+					Windows:  benchWindows,
+					Seed:     benchSeed,
+					LossRate: 0.01,
+				}
+				res := mustRun(b, cfg)
+				b.ReportMetric(100*meanJitterFree(res, 10*time.Second), "jitterfree@10s-%")
+			}
+		})
+	}
+}

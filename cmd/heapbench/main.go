@@ -1,0 +1,75 @@
+// Command heapbench regenerates the paper's figures and tables by running
+// the corresponding experiments on the simulated network.
+//
+// Usage:
+//
+//	heapbench [-artifact all|fig1..fig10|table2|table3]
+//	          [-nodes 270] [-windows 93] [-seed 1] [-o report.txt]
+//
+// The default scale matches the paper (270 nodes, ~180 s of stream); the
+// full suite takes several minutes. Scale down with -nodes/-windows for a
+// quick look.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/report"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		artifact = flag.String("artifact", "all",
+			"artifact to generate: all, "+strings.Join(report.Artifacts(), ", "))
+		nodes   = flag.Int("nodes", 270, "system size incl. source")
+		windows = flag.Int("windows", 93, "stream length in FEC windows (~1.93s each)")
+		seed    = flag.Int64("seed", 1, "run seed")
+		outPath = flag.String("o", "", "write the report to this file (default stdout)")
+		quiet   = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "heapbench: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		out = f
+	}
+
+	suite := report.NewSuite(out, *nodes, *windows, *seed)
+	if !*quiet {
+		suite.Progress = func(name string, elapsed time.Duration) {
+			fmt.Fprintf(os.Stderr, "  ran %-28s in %6.1fs\n", name, elapsed.Seconds())
+		}
+	}
+
+	start := time.Now()
+	var err error
+	if *artifact == "all" {
+		err = suite.GenerateAll()
+	} else {
+		err = suite.Generate(*artifact)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "heapbench: %v\n", err)
+		return 1
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "done in %.1fs (%d scenario runs)\n",
+			time.Since(start).Seconds(), len(suite.CachedRuns()))
+	}
+	return 0
+}

@@ -1,0 +1,144 @@
+// Command heapnode runs one HEAP node on a real UDP socket — a peer in a
+// live dissemination session, optionally the stream source.
+//
+// A deployment is described by a peers file with one "id host:port" pair
+// per line. Start each node with its id, the shared peers file, and its
+// upload capability:
+//
+//	heapnode -id 0 -peers peers.txt -cap 10000 -source -windows 10
+//	heapnode -id 1 -peers peers.txt -cap 512
+//	heapnode -id 2 -peers peers.txt -cap 3000
+//
+// Every node prints live delivery statistics once per second.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	heapgossip "repro"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		id       = flag.Int("id", -1, "this node's id (must appear in the peers file)")
+		peersPth = flag.String("peers", "", "peers file: one 'id host:port' per line")
+		capKbps  = flag.Uint("cap", 1000, "advertised upload capability (kbps)")
+		adaptive = flag.Bool("heap", true, "enable HEAP fanout adaptation (false = standard gossip)")
+		fanout   = flag.Float64("fanout", 7, "average fanout fbar")
+		isSource = flag.Bool("source", false, "act as the stream source")
+		windows  = flag.Int("windows", 10, "stream length in FEC windows (source only)")
+		duration = flag.Duration("duration", 2*time.Minute, "how long to run before exiting")
+	)
+	flag.Parse()
+	if *id < 0 || *peersPth == "" {
+		fmt.Fprintln(os.Stderr, "heapnode: -id and -peers are required")
+		flag.Usage()
+		return 2
+	}
+	peers, err := loadPeers(*peersPth)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "heapnode: %v\n", err)
+		return 1
+	}
+	self := heapgossip.NodeID(*id)
+	listen, ok := peers[self]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "heapnode: id %d not in peers file\n", *id)
+		return 1
+	}
+
+	var delivered, bytes atomic.Int64
+	cfg := heapgossip.NodeConfig{
+		ID:         self,
+		Listen:     listen,
+		UploadKbps: uint32(*capKbps),
+		Adaptive:   *adaptive,
+		Fanout:     *fanout,
+		Peers:      peers,
+		OnDeliver: func(_ heapgossip.PacketID, payload []byte, lag time.Duration) {
+			delivered.Add(1)
+			bytes.Add(int64(len(payload)))
+		},
+	}
+	if *isSource {
+		cfg.Source = &heapgossip.SourceConfig{Windows: *windows}
+	}
+	node, err := heapgossip.StartNode(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "heapnode: %v\n", err)
+		return 1
+	}
+	defer node.Close()
+	fmt.Printf("node %d up on %s (cap %d kbps, heap=%v, source=%v, %d peers)\n",
+		self, node.Addr(), *capKbps, *adaptive, *isSource, len(peers)-1)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	ticker := time.NewTicker(time.Second)
+	defer ticker.Stop()
+	deadline := time.After(*duration)
+	for {
+		select {
+		case <-ticker.C:
+			st := node.Stats()
+			fmt.Printf("delivered=%d (%.1f MB) served=%d proposes=%d bbar=%.0f kbps\n",
+				delivered.Load(), float64(bytes.Load())/1e6,
+				st.EventsServed, st.ProposesSent, node.EstimateKbps())
+			if *isSource && node.SourceDone() {
+				fmt.Println("stream complete")
+			}
+		case <-sig:
+			fmt.Println("shutting down")
+			return 0
+		case <-deadline:
+			return 0
+		}
+	}
+}
+
+func loadPeers(path string) (map[heapgossip.NodeID]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	peers := make(map[heapgossip.NodeID]string)
+	scanner := bufio.NewScanner(f)
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("%s:%d: want 'id host:port', got %q", path, lineNo, line)
+		}
+		id, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: bad id %q", path, lineNo, fields[0])
+		}
+		peers[heapgossip.NodeID(id)] = fields[1]
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, err
+	}
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("%s: no peers", path)
+	}
+	return peers, nil
+}

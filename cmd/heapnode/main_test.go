@@ -1,0 +1,60 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTemp(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "peers.txt")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadPeers(t *testing.T) {
+	path := writeTemp(t, `
+# comment line
+0 127.0.0.1:7000
+1 127.0.0.1:7001
+
+2 10.0.0.5:9999
+`)
+	peers, err := loadPeers(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peers) != 3 {
+		t.Fatalf("loaded %d peers, want 3", len(peers))
+	}
+	if peers[1] != "127.0.0.1:7001" {
+		t.Fatalf("peer 1 = %q", peers[1])
+	}
+	if peers[2] != "10.0.0.5:9999" {
+		t.Fatalf("peer 2 = %q", peers[2])
+	}
+}
+
+func TestLoadPeersErrors(t *testing.T) {
+	cases := []struct {
+		name    string
+		content string
+	}{
+		{"malformed line", "0 host:1 extra"},
+		{"bad id", "abc host:1"},
+		{"empty", "\n# only comments\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := loadPeers(writeTemp(t, tc.content)); err == nil {
+				t.Fatal("expected error")
+			}
+		})
+	}
+	if _, err := loadPeers("/nonexistent/path/peers.txt"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,55 @@
+// Package heapgossip is a from-scratch Go implementation of HEAP, the
+// HEterogeneity-Aware gossip Protocol of Frey, Guerraoui, Kermarrec, Monod,
+// Koldehofe, Mogensen and Quéma (Middleware 2009), together with everything
+// needed to reproduce the paper's evaluation: the standard three-phase
+// gossip baseline, the gossip-based capability aggregation protocol, a
+// systematic Reed-Solomon FEC codec, a streaming workload, a deterministic
+// discrete-event network simulator standing in for the paper's PlanetLab
+// testbed, and a real-UDP runtime that runs the identical protocol code on
+// sockets.
+//
+// # The protocol in one paragraph
+//
+// Standard gossip dissemination pushes packet identifiers to f random peers
+// per period ([Propose]), peers pull what they miss ([Request]), and
+// payloads flow back ([Serve]); each node proposes each id exactly once
+// (infect-and-die). Reliability needs only the *average* fanout to reach
+// ln(n)+c, so HEAP lets every node scale its own fanout by its relative
+// upload capability, f_i = fbar·b_i/bbar, where bbar is continuously
+// estimated by gossiping the freshest capability values. Rich nodes then
+// propose more, get pulled more, and carry a share of the stream
+// proportional to their bandwidth, while the fanout average — and thus
+// epidemic reliability — is preserved.
+//
+// # Package layout
+//
+//   - Simulation API (this package): Scenario, RunScenario, the Table 1
+//     capability distributions, and the metric helpers used to regenerate
+//     every figure and table of the paper. See EXPERIMENTS.md.
+//   - Deployment API (this package): StartNode runs a HEAP node (optionally
+//     a stream source) on a real UDP socket.
+//   - internal/core: the dissemination engine (Algorithms 1 and 2).
+//   - internal/aggregation: capability aggregation and push-pull averaging.
+//   - internal/fec, internal/gf256: systematic Reed-Solomon erasure coding.
+//   - internal/simnet: the discrete-event network simulator.
+//   - internal/udpnet, internal/ratelimit: the real-UDP runtime with
+//     application-level upload throttling.
+//   - internal/membership: full-view sampling and a Cyclon-style PSS.
+//   - internal/stream, internal/metrics, internal/scenario, internal/churn:
+//     workload, measurement, experiment assembly, failure injection.
+//
+// # Quick start
+//
+// Run a scaled-down version of the paper's headline experiment:
+//
+//	res, err := heapgossip.RunScenario(heapgossip.Scenario{
+//	    Nodes:    180,
+//	    Protocol: heapgossip.HEAP,
+//	    Dist:     heapgossip.MS691,
+//	    Windows:  15,
+//	    Seed:     1,
+//	})
+//
+// and inspect res.Run with the metrics helpers (JitterFreeShare,
+// MinLagForJitterFree, ...). See examples/ for complete programs.
+package heapgossip

@@ -1,0 +1,62 @@
+package heapgossip_test
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	heapgossip "repro"
+)
+
+// ExampleRunScenario runs the paper's headline comparison at reduced scale:
+// HEAP vs standard gossip on ms-691, where 85% of the nodes have less
+// upload capacity than the stream rate.
+func ExampleRunScenario() {
+	for _, protocol := range []heapgossip.Protocol{heapgossip.StandardGossip, heapgossip.HEAP} {
+		res, err := heapgossip.RunScenario(heapgossip.Scenario{
+			Nodes:    120,
+			Protocol: protocol,
+			Dist:     heapgossip.MS691,
+			Windows:  10,
+			Seed:     1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Fraction of FEC windows viewable at a 10-second playback lag,
+		// averaged over nodes.
+		var share float64
+		n := 0
+		for i := range res.Run.Nodes {
+			node := &res.Run.Nodes[i]
+			if node.Excluded {
+				continue
+			}
+			share += res.Run.JitterFreeShare(node, 10*time.Second)
+			n++
+		}
+		fmt.Printf("%s: %.0f%% jitter-free\n", protocol, 100*share/float64(n))
+	}
+}
+
+// ExampleRun_playback inspects the viewer experience of a single node: how
+// long must the player buffer before pressing play to avoid rebuffering?
+func ExampleRun_playback() {
+	res, err := heapgossip.RunScenario(heapgossip.Scenario{
+		Nodes:    80,
+		Protocol: heapgossip.HEAP,
+		Dist:     heapgossip.Ref724,
+		Windows:  6,
+		Seed:     2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	node := &res.Run.Nodes[1]
+	for _, startup := range []time.Duration{time.Second, 10 * time.Second} {
+		rep := res.Run.Playback(node, startup)
+		fmt.Printf("startup %v: %d stalls\n", startup, rep.Stalls)
+	}
+	min := res.Run.MinStartupForSmoothPlayback(node)
+	fmt.Printf("smooth playback needs %v of buffering\n", min.Round(time.Second))
+}

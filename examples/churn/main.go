@@ -1,0 +1,71 @@
+// Churn: the paper's catastrophic-failure experiment (Figure 10) — half the
+// nodes crash one minute into the stream, survivors learn of each failure
+// after ~10 s on average, and HEAP keeps delivering while standard gossip
+// struggles.
+//
+// Run with: go run ./examples/churn [-fraction 0.5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	heapgossip "repro"
+	"repro/internal/metrics"
+)
+
+func main() {
+	fraction := flag.Float64("fraction", 0.5, "fraction of nodes to crash")
+	nodes := flag.Int("nodes", 150, "system size")
+	windows := flag.Int("windows", 60, "stream length in ~1.93s FEC windows")
+	flag.Parse()
+
+	plot := metrics.Plot{
+		Title: fmt.Sprintf("Failure of %.0f%% of the nodes at t=60s (ref-691)",
+			*fraction*100),
+		XLabel: "stream time (s)", YLabel: "% of nodes decoding each window",
+		YMax: 100,
+	}
+
+	type curve struct {
+		protocol heapgossip.Protocol
+		lag      time.Duration
+	}
+	for _, c := range []curve{
+		{heapgossip.HEAP, 12 * time.Second},
+		{heapgossip.StandardGossip, 20 * time.Second},
+	} {
+		fmt.Printf("running %s...\n", c.protocol)
+		res, err := heapgossip.RunScenario(heapgossip.Scenario{
+			Nodes:    *nodes,
+			Protocol: c.protocol,
+			Dist:     heapgossip.Ref691,
+			Windows:  *windows,
+			Churn: &heapgossip.Catastrophic{
+				At:         65 * time.Second, // stream starts at t=5s
+				Fraction:   *fraction,
+				NotifyMean: 10 * time.Second,
+			},
+			Seed: 3,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		coverage := res.Run.PerWindowCoverage(c.lag)
+		windowSecs := res.Config.Geometry.WindowDuration().Seconds()
+		points := make([]metrics.Point, len(coverage))
+		for w, v := range coverage {
+			points[w] = metrics.Point{X: float64(w) * windowSecs, Y: 100 * v}
+		}
+		plot.Add(fmt.Sprintf("%s @%ds lag", c.protocol, int(c.lag.Seconds())), points)
+		fmt.Printf("  %d nodes crashed; last-window coverage at %v lag: %.0f%%\n",
+			len(res.Victims), c.lag, 100*coverage[len(coverage)-1])
+	}
+	fmt.Println()
+	fmt.Println(plot.Render())
+	fmt.Println("The dip at t=60s is packets that crashed nodes had received but not")
+	fmt.Println("yet forwarded; coverage recovers to the survivor fraction within a")
+	fmt.Println("couple of windows because gossip needs no repair protocol.")
+}

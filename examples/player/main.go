@@ -1,0 +1,64 @@
+// Player: connect stream lag to what a viewer actually experiences. For a
+// range of player startup delays, report how often playback stalls
+// (rebuffers) under standard gossip vs HEAP on a constrained network.
+//
+// Run with: go run ./examples/player
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	heapgossip "repro"
+	"repro/internal/metrics"
+)
+
+func main() {
+	startups := []time.Duration{2 * time.Second, 5 * time.Second, 10 * time.Second, 20 * time.Second}
+
+	for _, protocol := range []heapgossip.Protocol{heapgossip.StandardGossip, heapgossip.HEAP} {
+		fmt.Printf("running %s on ms-691...\n", protocol)
+		res, err := heapgossip.RunScenario(heapgossip.Scenario{
+			Nodes:    180,
+			Protocol: protocol,
+			Dist:     heapgossip.MS691,
+			Windows:  15,
+			Seed:     9,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		tbl := &metrics.Table{Headers: []string{"startup delay",
+			"smooth viewers", "mean stalls", "mean rebuffer time", "mean final lag"}}
+		for _, startup := range startups {
+			var smooth, stalls int
+			var stallTime, finalLag time.Duration
+			var viewers int
+			for i := range res.Run.Nodes {
+				n := &res.Run.Nodes[i]
+				if n.Excluded {
+					continue
+				}
+				rep := res.Run.Playback(n, startup)
+				viewers++
+				if rep.Stalls == 0 && rep.SkippedWindows == 0 {
+					smooth++
+				}
+				stalls += rep.Stalls
+				stallTime += rep.StallTime
+				finalLag += rep.FinalLag
+			}
+			tbl.AddRow(
+				startup.String(),
+				fmt.Sprintf("%.0f%%", 100*float64(smooth)/float64(viewers)),
+				fmt.Sprintf("%.1f", float64(stalls)/float64(viewers)),
+				(stallTime / time.Duration(viewers)).Round(10*time.Millisecond).String(),
+				(finalLag / time.Duration(viewers)).Round(10*time.Millisecond).String(),
+			)
+		}
+		fmt.Println(tbl.Render())
+	}
+	fmt.Println("A viewer who waits long enough before pressing play never rebuffers;")
+	fmt.Println("HEAP shrinks that wait from tens of seconds to a few.")
+}

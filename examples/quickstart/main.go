@@ -1,0 +1,54 @@
+// Quickstart: compare HEAP against standard gossip on the paper's most
+// skewed bandwidth distribution (ms-691) in a scaled-down simulated run,
+// and print the stream quality both protocols achieve.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	heapgossip "repro"
+)
+
+func main() {
+	lag := 10 * time.Second
+	fmt.Println("Streaming 600 kbps to 180 nodes where 85% have only 512 kbps upload...")
+	fmt.Println()
+
+	for _, protocol := range []heapgossip.Protocol{heapgossip.StandardGossip, heapgossip.HEAP} {
+		res, err := heapgossip.RunScenario(heapgossip.Scenario{
+			Nodes:    180,
+			Protocol: protocol,
+			Dist:     heapgossip.MS691, // 5% @3Mbps, 10% @1Mbps, 85% @512kbps
+			Windows:  15,               // ~29 s of stream
+			Seed:     1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Average fraction of FEC windows viewable at a 10 s playback lag.
+		var jitterFree float64
+		nodes := 0
+		for i := range res.Run.Nodes {
+			n := &res.Run.Nodes[i]
+			if n.Excluded {
+				continue
+			}
+			jitterFree += res.Run.JitterFreeShare(n, lag)
+			nodes++
+		}
+		jitterFree /= float64(nodes)
+
+		fmt.Printf("%-16s jitter-free windows @%v lag: %5.1f%%\n",
+			protocol, lag, 100*jitterFree)
+	}
+
+	fmt.Println()
+	fmt.Println("HEAP lets the few high-capacity nodes carry a proportional share of")
+	fmt.Println("the dissemination (fanout ∝ capability), so the 512 kbps majority is")
+	fmt.Println("never pushed past its upload capacity.")
+}

@@ -1,0 +1,98 @@
+// Streaming: the paper's headline experiment (Figures 3-9 in miniature) —
+// stream video over gossip to a bandwidth-constrained, heterogeneous
+// network and compare HEAP with standard gossip on stream lag, quality and
+// per-class bandwidth usage.
+//
+// Run with: go run ./examples/streaming [-nodes 180] [-windows 20]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	heapgossip "repro"
+	"repro/internal/metrics"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 180, "system size")
+	windows := flag.Int("windows", 20, "stream length in ~1.93s FEC windows")
+	seed := flag.Int64("seed", 7, "run seed")
+	flag.Parse()
+
+	results := map[heapgossip.Protocol]*heapgossip.ScenarioResult{}
+	for _, protocol := range []heapgossip.Protocol{heapgossip.StandardGossip, heapgossip.HEAP} {
+		fmt.Printf("running %s on ms-691 (%d nodes, %d windows)...\n", protocol, *nodes, *windows)
+		res, err := heapgossip.RunScenario(heapgossip.Scenario{
+			Nodes:    *nodes,
+			Protocol: protocol,
+			Dist:     heapgossip.MS691,
+			Windows:  *windows,
+			Seed:     *seed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		results[protocol] = res
+	}
+	fmt.Println()
+
+	// Per-class bandwidth usage (the Figure 4 view).
+	usage := &metrics.Table{Headers: []string{"class", "standard usage", "HEAP usage"}}
+	std, heap := results[heapgossip.StandardGossip], results[heapgossip.HEAP]
+	for _, class := range std.Run.Classes() {
+		usage.AddRow(class,
+			fmt.Sprintf("%.1f%%", 100*meanUsageByClass(std, class)),
+			fmt.Sprintf("%.1f%%", 100*meanUsageByClass(heap, class)))
+	}
+	fmt.Println("Average upload utilization by capability class:")
+	fmt.Println(usage.Render())
+
+	// Stream lag CDF (the Figures 3/9 view).
+	plot := metrics.Plot{
+		Title:  "Stream lag to receive 99% of the stream (CDF over nodes)",
+		XLabel: "lag (s)", YLabel: "% of nodes",
+		XMax: 40, YMax: 100,
+	}
+	for proto, res := range results {
+		lags := res.Run.PerNode(func(n *heapgossip.NodeRecord) float64 {
+			return heapgossip.Seconds(res.Run.LagForDeliveryRatio(n, 0.99))
+		})
+		plot.Add(string(proto), metrics.CDFSeries(lags))
+	}
+	fmt.Println(plot.Render())
+
+	// Quality at a 10s playback lag (the Figures 5-6 view).
+	lag := 10 * time.Second
+	quality := &metrics.Table{Headers: []string{"class", "standard jitter-free", "HEAP jitter-free"}}
+	stdJF := std.Run.ClassMeans(func(n *heapgossip.NodeRecord) float64 {
+		return std.Run.JitterFreeShare(n, lag)
+	})
+	heapJF := heap.Run.ClassMeans(func(n *heapgossip.NodeRecord) float64 {
+		return heap.Run.JitterFreeShare(n, lag)
+	})
+	for _, class := range std.Run.Classes() {
+		quality.AddRow(class,
+			fmt.Sprintf("%.1f%%", 100*stdJF[class]),
+			fmt.Sprintf("%.1f%%", 100*heapJF[class]))
+	}
+	fmt.Printf("Jitter-free windows at %v playback lag:\n", lag)
+	fmt.Println(quality.Render())
+}
+
+func meanUsageByClass(res *heapgossip.ScenarioResult, class string) float64 {
+	var sum float64
+	var n int
+	for i := 1; i < len(res.CapsKbps); i++ {
+		if res.Config.Dist.ClassOf(res.CapsKbps[i]) == class {
+			sum += res.Usage[i]
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

@@ -1,0 +1,88 @@
+package heapgossip
+
+import (
+	"time"
+
+	"repro/internal/churn"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/scenario"
+	"repro/internal/stream"
+	"repro/internal/wire"
+)
+
+// Identifiers shared across the public API.
+type (
+	// NodeID identifies a node.
+	NodeID = wire.NodeID
+	// PacketID identifies one stream packet in publish order.
+	PacketID = wire.PacketID
+)
+
+// Protocol selects the dissemination protocol.
+type Protocol = scenario.Protocol
+
+// The protocols under evaluation.
+const (
+	// StandardGossip is Algorithm 1 with a fixed per-node fanout.
+	StandardGossip = scenario.StandardGossip
+	// HEAP adapts each node's fanout to its relative upload capability.
+	HEAP = scenario.HEAP
+	// StaticTree is the introduction's baseline: a k-ary push tree with no
+	// repair protocol.
+	StaticTree = scenario.StaticTree
+)
+
+// Scenario describes a simulated experiment; see scenario.Config for every
+// knob. The zero value of most fields selects the paper's §3.1 parameters.
+type Scenario = scenario.Config
+
+// ScenarioResult carries the measurements of a simulated run.
+type ScenarioResult = scenario.Result
+
+// RunScenario executes a simulated experiment and returns its measurements.
+func RunScenario(cfg Scenario) (*ScenarioResult, error) {
+	return scenario.Run(cfg)
+}
+
+// Distribution assigns upload capabilities to nodes.
+type Distribution = scenario.Distribution
+
+// The paper's capability distributions (Table 1) plus the uniform dist2 of
+// Figure 2.
+var (
+	Ref691     = scenario.Ref691
+	Ref724     = scenario.Ref724
+	MS691      = scenario.MS691
+	Uniform691 = scenario.Uniform691
+)
+
+// Catastrophic describes the simultaneous mass-failure scenario of §3.6.
+type Catastrophic = churn.Catastrophic
+
+// Geometry describes stream packetization and FEC window structure.
+type Geometry = stream.Geometry
+
+// PaperGeometry returns the stream parameters of §3.1 (551 kbps, 1316-byte
+// packets, 101+9 FEC windows).
+func PaperGeometry() Geometry { return stream.PaperGeometry() }
+
+// Run is the raw measurement record of a run; its methods compute every
+// metric in the paper's evaluation.
+type Run = metrics.Run
+
+// NodeRecord is one node's delivery record inside a Run.
+type NodeRecord = metrics.NodeRecord
+
+// Never marks "not received" / "never decodable" in metric results.
+const Never = metrics.Never
+
+// PlaybackReport describes the viewer experience (stalls, skips, final lag)
+// of one node for a chosen startup delay; see Run.Playback.
+type PlaybackReport = metrics.PlaybackReport
+
+// EngineStats counts one node's protocol activity.
+type EngineStats = core.Stats
+
+// Seconds converts a metric lag to float seconds (Never maps to +Inf).
+func Seconds(d time.Duration) float64 { return metrics.Seconds(d) }

@@ -1,0 +1,184 @@
+package heapgossip
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRunScenarioThroughPublicAPI(t *testing.T) {
+	geom := PaperGeometry()
+	geom.DataPerWindow = 20
+	geom.ParityPerWindow = 2
+	res, err := RunScenario(Scenario{
+		Nodes:         40,
+		Protocol:      HEAP,
+		Dist:          Ref691,
+		Windows:       5,
+		Geometry:      geom,
+		Seed:          1,
+		StreamStart:   2 * time.Second,
+		Drain:         20 * time.Second,
+		Unconstrained: false,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	share := res.Run.JitterFreeShare(&res.Run.Nodes[1], Never)
+	if share <= 0 {
+		t.Fatalf("node 1 decoded no windows (share=%v)", share)
+	}
+	if len(res.CapsKbps) != 40 {
+		t.Fatalf("caps length %d", len(res.CapsKbps))
+	}
+}
+
+func TestStartNodeValidation(t *testing.T) {
+	if _, err := StartNode(NodeConfig{ID: 1}); err == nil {
+		t.Fatal("missing UploadKbps accepted")
+	}
+	if _, err := StartNode(NodeConfig{ID: 1, UploadKbps: 1000,
+		Peers: map[NodeID]string{2: "not-an-address"}}); err == nil {
+		t.Fatal("bad peer address accepted")
+	}
+}
+
+func TestUDPNodesStreamThroughPublicAPI(t *testing.T) {
+	const nodes = 8
+	geom := Geometry{RateBps: 500_000, PacketBytes: 200, DataPerWindow: 8, ParityPerWindow: 2}
+	const windows = 3
+
+	// Start nodes on ephemeral ports first, then distribute the directory.
+	started := make([]*Node, 0, nodes)
+	defer func() {
+		for _, n := range started {
+			n.Close()
+		}
+	}()
+
+	var mu sync.Mutex
+	received := make(map[NodeID]int, nodes)
+
+	addrs := make(map[NodeID]string, nodes)
+	for i := 0; i < nodes; i++ {
+		id := NodeID(i)
+		cfg := NodeConfig{
+			ID:           id,
+			UploadKbps:   5000,
+			Adaptive:     true,
+			Fanout:       4,
+			GossipPeriod: 30 * time.Millisecond,
+			OnDeliver: func(PacketID, []byte, time.Duration) {
+				mu.Lock()
+				received[id]++
+				mu.Unlock()
+			},
+		}
+		if i == 0 {
+			cfg.Source = &SourceConfig{
+				Geometry:   geom,
+				Windows:    windows,
+				StartDelay: 500 * time.Millisecond,
+			}
+		}
+		n, err := StartNode(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		started = append(started, n)
+		addrs[id] = n.Addr().String()
+	}
+	// Late directory distribution: AddPeer after startup.
+	for i, n := range started {
+		for id, addr := range addrs {
+			if id == NodeID(i) {
+				continue
+			}
+			udpAddr := started[id].Addr()
+			n.AddPeer(id, udpAddr)
+			_ = addr
+		}
+	}
+
+	total := geom.TotalPackets(windows) // 30 packets
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		sum := 0
+		for id, c := range received {
+			if id != 0 {
+				sum += c
+			}
+		}
+		mu.Unlock()
+		if sum >= (nodes-1)*total*90/100 {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	sum := 0
+	for id, c := range received {
+		if id != 0 {
+			sum += c
+		}
+	}
+	if sum < (nodes-1)*total*90/100 {
+		t.Fatalf("system delivered %d of %d", sum, (nodes-1)*total)
+	}
+	if !started[0].SourceDone() {
+		t.Fatal("source did not finish")
+	}
+	if est := started[1].EstimateKbps(); est <= 0 {
+		t.Fatalf("HEAP node has no capability estimate: %v", est)
+	}
+}
+
+func TestStandardUDPNodeBasics(t *testing.T) {
+	// A standard (non-adaptive) node: no estimator, EstimateKbps reports 0.
+	a, err := StartNode(NodeConfig{ID: 0, UploadKbps: 5000, Adaptive: false,
+		GossipPeriod: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := StartNode(NodeConfig{ID: 1, UploadKbps: 5000, Adaptive: false,
+		GossipPeriod: 50 * time.Millisecond,
+		Peers:        map[NodeID]string{0: a.Addr().String()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	a.AddPeer(1, b.Addr())
+	if est := a.EstimateKbps(); est != 0 {
+		t.Fatalf("standard node estimate = %v, want 0", est)
+	}
+	if a.SourceDone() {
+		t.Fatal("node without source reports SourceDone")
+	}
+	a.RemovePeer(1)
+	a.AddPeer(1, b.Addr())
+	st := a.Stats()
+	if st.EventsDelivered != 0 {
+		t.Fatalf("unexpected deliveries: %+v", st)
+	}
+}
+
+func TestPublicAPISurface(t *testing.T) {
+	// The facade re-exports the Table 1 distributions and geometry.
+	if Ref691.Name() != "ref-691" || MS691.Name() != "ms-691" ||
+		Ref724.Name() != "ref-724" || Uniform691.Name() != "uniform-691" {
+		t.Fatal("distribution re-exports broken")
+	}
+	g := PaperGeometry()
+	if g.DataPerWindow != 101 || g.ParityPerWindow != 9 {
+		t.Fatalf("paper geometry = %+v", g)
+	}
+	if Seconds(Never) < 1e18 {
+		t.Fatal("Seconds(Never) should be +Inf-ish")
+	}
+	if Seconds(2*time.Second) != 2 {
+		t.Fatal("Seconds conversion broken")
+	}
+}

@@ -1,0 +1,255 @@
+// Package aggregation implements the gossip-based aggregation protocol of
+// HEAP (Algorithm 2 of the paper): every node periodically gossips the
+// freshest upload-capability values it knows, merges what it receives by
+// freshness, and maintains a running estimate of the system-wide average
+// capability. The ratio between a node's own capability and that estimate
+// drives HEAP's fanout adaptation:
+//
+//	f_i = fbar · b_i / bbar
+//
+// The paper reports the protocol gossips the 10 freshest capabilities every
+// 200 ms at a cost of about 1 KB/s (§3.1), which corresponds to one
+// aggregation partner per round; the fanout of the aggregation gossip is
+// configurable here (AggFanout).
+//
+// The package also provides Averager, a Jelasity-style push-pull averaging
+// protocol usable for continuous system-size estimation — the paper invokes
+// this possibility ([13], §2.2) but assumes n is known; we implement it as
+// an extension.
+package aggregation
+
+import (
+	"time"
+
+	"repro/internal/env"
+	"repro/internal/membership"
+	"repro/internal/wire"
+)
+
+// Config parameterizes the capability estimator.
+type Config struct {
+	// SelfCapKbps is this node's advertised upload capability. The paper
+	// assumes it is either user-provided or measured at join time (§2.2).
+	SelfCapKbps uint32
+	// Period is the aggregation gossip period. Default 200 ms (§3.1).
+	Period time.Duration
+	// Fanout is how many peers receive each aggregation message. Default 1,
+	// which matches the paper's ~1 KB/s budget.
+	Fanout int
+	// FreshestK is how many entries each message carries. Default 10 (§3.1).
+	FreshestK int
+	// EntryTTL ages out capability entries so that crashed nodes stop
+	// biasing the average. Default 15 s.
+	EntryTTL time.Duration
+	// Sampler provides the random peers to gossip with.
+	Sampler membership.Sampler
+}
+
+func (c *Config) applyDefaults() {
+	if c.Period == 0 {
+		c.Period = 200 * time.Millisecond
+	}
+	if c.Fanout == 0 {
+		c.Fanout = 1
+	}
+	if c.FreshestK == 0 {
+		c.FreshestK = 10
+	}
+	if c.EntryTTL == 0 {
+		c.EntryTTL = 15 * time.Second
+	}
+}
+
+type capEntry struct {
+	capKbps uint32
+	asOf    time.Duration // local-clock time the value was measured at its owner
+}
+
+// Estimator is the per-node capability aggregation service. It implements
+// env.Handler for wire.Aggregate messages. Not safe for concurrent use; all
+// access happens on the node's execution context.
+type Estimator struct {
+	cfg     Config
+	rt      env.Runtime
+	entries map[wire.NodeID]capEntry
+	ticker  *env.Ticker
+
+	// cached estimate, refreshed on every mutation
+	estimateKbps float64
+
+	// MessagesSent counts aggregation messages (for overhead accounting).
+	MessagesSent int
+}
+
+var _ env.Handler = (*Estimator)(nil)
+
+// NewEstimator builds an Estimator. The sampler must not be nil.
+func NewEstimator(cfg Config) *Estimator {
+	cfg.applyDefaults()
+	if cfg.Sampler == nil {
+		panic("aggregation: nil sampler")
+	}
+	if cfg.SelfCapKbps == 0 {
+		panic("aggregation: zero self capability")
+	}
+	return &Estimator{
+		cfg:          cfg,
+		entries:      make(map[wire.NodeID]capEntry),
+		estimateKbps: float64(cfg.SelfCapKbps),
+	}
+}
+
+// Start implements env.Handler.
+func (e *Estimator) Start(rt env.Runtime) {
+	e.rt = rt
+	e.entries[rt.ID()] = capEntry{capKbps: e.cfg.SelfCapKbps, asOf: rt.Now()}
+	e.recompute()
+	phase := time.Duration(rt.Rand().Int63n(int64(e.cfg.Period)))
+	e.ticker = env.NewTicker(rt, phase, e.cfg.Period, e.tick)
+}
+
+// Stop implements env.Handler.
+func (e *Estimator) Stop() {
+	if e.ticker != nil {
+		e.ticker.Stop()
+	}
+}
+
+func (e *Estimator) tick() {
+	now := e.rt.Now()
+	// Refresh own entry: it is always the freshest thing we know.
+	e.entries[e.rt.ID()] = capEntry{capKbps: e.cfg.SelfCapKbps, asOf: now}
+	e.prune(now)
+	e.recompute()
+
+	fresh := e.freshest(e.cfg.FreshestK, now)
+	if len(fresh) == 0 {
+		return
+	}
+	peers := e.cfg.Sampler.SelectPeers(e.rt.Rand(), e.cfg.Fanout)
+	for _, p := range peers {
+		// Each recipient gets its own message value, but entry slices are
+		// shared; receivers must not mutate (env contract).
+		e.rt.Send(p, &wire.Aggregate{Entries: fresh})
+		e.MessagesSent++
+	}
+}
+
+// Receive implements env.Handler, merging entries by freshness.
+func (e *Estimator) Receive(_ wire.NodeID, m wire.Message) {
+	agg, ok := m.(*wire.Aggregate)
+	if !ok {
+		return
+	}
+	now := e.rt.Now()
+	for _, entry := range agg.Entries {
+		if entry.Node == e.rt.ID() {
+			continue // we always know our own value best
+		}
+		asOf := now - time.Duration(entry.AgeMs)*time.Millisecond
+		if cur, ok := e.entries[entry.Node]; ok && cur.asOf >= asOf {
+			continue // ours is fresher
+		}
+		e.entries[entry.Node] = capEntry{capKbps: entry.CapKbps, asOf: asOf}
+	}
+	e.prune(now)
+	e.recompute()
+}
+
+// EstimateKbps returns the current estimate of the system-wide average
+// upload capability (bbar), in kbps. Before any exchange it equals the
+// node's own capability.
+func (e *Estimator) EstimateKbps() float64 { return e.estimateKbps }
+
+// RelativeCapability returns b_i / bbar, the fanout multiplier of HEAP.
+func (e *Estimator) RelativeCapability() float64 {
+	if e.estimateKbps <= 0 {
+		return 1
+	}
+	return float64(e.cfg.SelfCapKbps) / e.estimateKbps
+}
+
+// KnownNodes returns how many nodes currently contribute to the estimate.
+func (e *Estimator) KnownNodes() int { return len(e.entries) }
+
+func (e *Estimator) prune(now time.Duration) {
+	for id, entry := range e.entries {
+		if id == e.rt.ID() {
+			continue
+		}
+		if now-entry.asOf > e.cfg.EntryTTL {
+			delete(e.entries, id)
+		}
+	}
+}
+
+func (e *Estimator) recompute() {
+	if len(e.entries) == 0 {
+		e.estimateKbps = float64(e.cfg.SelfCapKbps)
+		return
+	}
+	// Integer summation keeps the result independent of map iteration
+	// order, which keeps whole-system runs bit-reproducible.
+	var sum uint64
+	for _, entry := range e.entries {
+		sum += uint64(entry.capKbps)
+	}
+	e.estimateKbps = float64(sum) / float64(len(e.entries))
+}
+
+// freshest returns up to k entries with the most recent asOf, encoded with
+// their current age. O(n·k) selection is fine for k=10.
+func (e *Estimator) freshest(k int, now time.Duration) []wire.CapEntry {
+	if k > len(e.entries) {
+		k = len(e.entries)
+	}
+	if k <= 0 {
+		return nil
+	}
+	type kv struct {
+		id wire.NodeID
+		ce capEntry
+	}
+	// Freshness order with an id tie-break keeps the selection independent
+	// of map iteration order (determinism).
+	fresher := func(a, b kv) bool {
+		if a.ce.asOf != b.ce.asOf {
+			return a.ce.asOf > b.ce.asOf
+		}
+		return a.id < b.id
+	}
+	best := make([]kv, 0, k)
+	for id, ce := range e.entries {
+		cand := kv{id, ce}
+		pos := -1
+		for i := range best {
+			if fresher(cand, best[i]) {
+				pos = i
+				break
+			}
+		}
+		switch {
+		case pos >= 0:
+			if len(best) < k {
+				best = append(best, kv{})
+			}
+			copy(best[pos+1:], best[pos:])
+			best[pos] = cand
+		case len(best) < k:
+			best = append(best, cand)
+		}
+	}
+	out := make([]wire.CapEntry, len(best))
+	for i, b := range best {
+		age := now - b.ce.asOf
+		if age < 0 {
+			age = 0
+		}
+		out[i] = wire.CapEntry{
+			Node:    b.id,
+			CapKbps: b.ce.capKbps,
+			AgeMs:   uint32(age / time.Millisecond),
+		}
+	}
+	return out
+}

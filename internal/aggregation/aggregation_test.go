@@ -1,0 +1,247 @@
+package aggregation
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/membership"
+	"repro/internal/simnet"
+	"repro/internal/wire"
+)
+
+// buildEstimators wires n nodes with the given capabilities (kbps) into a
+// simulated network running only the aggregation protocol.
+func buildEstimators(t *testing.T, caps []uint32, cfgTmpl Config, seed int64) (*simnet.Network, []*Estimator) {
+	t.Helper()
+	net := simnet.New(simnet.Config{
+		Seed:    seed,
+		Latency: simnet.ConstantLatency(20 * time.Millisecond),
+	})
+	dir := membership.NewDirectory(len(caps))
+	estimators := make([]*Estimator, len(caps))
+	for i, c := range caps {
+		cfg := cfgTmpl
+		cfg.SelfCapKbps = c
+		cfg.Sampler = dir.ViewFor(wire.NodeID(i))
+		estimators[i] = NewEstimator(cfg)
+		net.AddNode(estimators[i], simnet.NodeConfig{})
+	}
+	return net, estimators
+}
+
+func paperMS691Caps(n int) []uint32 {
+	// ms-691: 5% at 3 Mbps, 10% at 1 Mbps, 85% at 512 kbps (Table 1).
+	caps := make([]uint32, n)
+	for i := range caps {
+		switch {
+		case i < n*5/100:
+			caps[i] = 3000
+		case i < n*15/100:
+			caps[i] = 1000
+		default:
+			caps[i] = 512
+		}
+	}
+	return caps
+}
+
+func trueMean(caps []uint32) float64 {
+	var sum uint64
+	for _, c := range caps {
+		sum += uint64(c)
+	}
+	return float64(sum) / float64(len(caps))
+}
+
+func TestEstimatorConvergesToTrueMean(t *testing.T) {
+	caps := paperMS691Caps(100)
+	net, estimators := buildEstimators(t, caps, Config{}, 1)
+	net.Run(20 * time.Second)
+	want := trueMean(caps)
+	for i, e := range estimators {
+		got := e.EstimateKbps()
+		if math.Abs(got-want)/want > 0.10 {
+			t.Fatalf("node %d estimate %.1f, true mean %.1f (>10%% off)", i, got, want)
+		}
+	}
+}
+
+func TestEstimatorInitialEstimateIsOwnCapability(t *testing.T) {
+	dir := membership.NewDirectory(2)
+	e := NewEstimator(Config{SelfCapKbps: 768, Sampler: dir.ViewFor(0)})
+	if got := e.EstimateKbps(); got != 768 {
+		t.Fatalf("initial estimate %.1f, want own capability 768", got)
+	}
+	if got := e.RelativeCapability(); got != 1 {
+		t.Fatalf("initial relative capability %.2f, want 1", got)
+	}
+}
+
+func TestRelativeCapabilityOrdering(t *testing.T) {
+	caps := paperMS691Caps(100)
+	net, estimators := buildEstimators(t, caps, Config{}, 2)
+	net.Run(20 * time.Second)
+	// Rich nodes must end with relative capability > 1, poor nodes < 1.
+	for i, e := range estimators {
+		rel := e.RelativeCapability()
+		switch caps[i] {
+		case 3000:
+			if rel < 2 {
+				t.Fatalf("3 Mbps node %d has relative capability %.2f, want > 2", i, rel)
+			}
+		case 512:
+			if rel > 1 {
+				t.Fatalf("512 kbps node %d has relative capability %.2f, want < 1", i, rel)
+			}
+		}
+	}
+}
+
+func TestEstimatorMessageBudget(t *testing.T) {
+	// With default parameters (fanout 1, 10 entries, 200 ms) the paper
+	// reports ~1 KB/s. Check the per-node send rate over a simulated minute.
+	caps := paperMS691Caps(50)
+	net, _ := buildEstimators(t, caps, Config{}, 3)
+	net.Run(60 * time.Second)
+	st := net.NodeStats(0)
+	bytesPerSec := float64(st.SentBytes) / 60
+	if bytesPerSec > 1100 {
+		t.Fatalf("aggregation costs %.0f B/s, paper budget ~1 KB/s", bytesPerSec)
+	}
+	if bytesPerSec < 100 {
+		t.Fatalf("aggregation suspiciously cheap (%.0f B/s); protocol not running?", bytesPerSec)
+	}
+}
+
+func TestEstimatorPrunesDeadNodes(t *testing.T) {
+	// Crash the single 3 Mbps-class rich minority; estimates must drift
+	// down to the new mean once their entries age out.
+	caps := []uint32{3000, 3000, 512, 512, 512, 512, 512, 512, 512, 512}
+	net, estimators := buildEstimators(t, caps, Config{EntryTTL: 5 * time.Second}, 4)
+	net.Run(10 * time.Second)
+	net.Crash(0)
+	net.Crash(1)
+	net.Run(net.Now() + 30*time.Second)
+	want := 512.0
+	for i := 2; i < len(estimators); i++ {
+		got := estimators[i].EstimateKbps()
+		if math.Abs(got-want)/want > 0.05 {
+			t.Fatalf("node %d estimate %.1f after crashes, want ~%.0f", i, got, want)
+		}
+	}
+}
+
+func TestEstimatorIgnoresStaleEntriesForSelf(t *testing.T) {
+	dir := membership.NewDirectory(3)
+	e := NewEstimator(Config{SelfCapKbps: 1000, Sampler: dir.ViewFor(0)})
+	net := simnet.New(simnet.Config{Seed: 5})
+	net.AddNode(e, simnet.NodeConfig{})
+	net.Run(time.Millisecond)
+	// A malicious/stale entry about ourselves must not override local truth.
+	e.Receive(1, &wire.Aggregate{Entries: []wire.CapEntry{{Node: 0, CapKbps: 1, AgeMs: 0}}})
+	if e.EstimateKbps() != 1000 {
+		t.Fatalf("self entry was overridden: estimate %.1f", e.EstimateKbps())
+	}
+}
+
+func TestEstimatorMergesByFreshness(t *testing.T) {
+	dir := membership.NewDirectory(3)
+	e := NewEstimator(Config{SelfCapKbps: 1000, Sampler: dir.ViewFor(0)})
+	net := simnet.New(simnet.Config{Seed: 6})
+	net.AddNode(e, simnet.NodeConfig{})
+	net.Run(time.Second)
+	// Entry about node 1, 100ms old.
+	e.Receive(1, &wire.Aggregate{Entries: []wire.CapEntry{{Node: 1, CapKbps: 500, AgeMs: 100}}})
+	// Staler entry (5s old) about the same node must not win.
+	e.Receive(2, &wire.Aggregate{Entries: []wire.CapEntry{{Node: 1, CapKbps: 9999, AgeMs: 5000}}})
+	if got := e.EstimateKbps(); got != (1000+500)/2 {
+		t.Fatalf("estimate %.1f, want 750 (stale entry must lose)", got)
+	}
+	// Fresher entry must win.
+	e.Receive(2, &wire.Aggregate{Entries: []wire.CapEntry{{Node: 1, CapKbps: 700, AgeMs: 0}}})
+	if got := e.EstimateKbps(); got != (1000+700)/2 {
+		t.Fatalf("estimate %.1f, want 850 (fresh entry must win)", got)
+	}
+}
+
+func TestEstimatorKnownNodesGrows(t *testing.T) {
+	caps := paperMS691Caps(40)
+	net, estimators := buildEstimators(t, caps, Config{}, 7)
+	net.Run(15 * time.Second)
+	// With 10 entries/msg spreading epidemically, nodes should know a large
+	// fraction of the system within seconds.
+	for i, e := range estimators {
+		if e.KnownNodes() < 20 {
+			t.Fatalf("node %d knows only %d nodes after 15s", i, e.KnownNodes())
+		}
+	}
+}
+
+func TestAveragerConvergesToMeanAndSize(t *testing.T) {
+	const n = 64
+	net := simnet.New(simnet.Config{Seed: 8, Latency: simnet.ConstantLatency(10 * time.Millisecond)})
+	dir := membership.NewDirectory(n)
+	avgs := make([]*Averager, n)
+	for i := 0; i < n; i++ {
+		v := 0.0
+		if i == 0 {
+			v = 1.0 // size estimation: one node holds 1, the rest 0
+		}
+		avgs[i] = NewAverager(AveragerConfig{InitialValue: v, Sampler: dir.ViewFor(wire.NodeID(i))})
+		net.AddNode(avgs[i], simnet.NodeConfig{})
+	}
+	net.Run(30 * time.Second)
+	for i, a := range avgs {
+		size := a.SizeEstimate()
+		if size < n*7/10 || size > n*13/10 {
+			t.Fatalf("node %d size estimate %.1f, want ~%d (+-30%%)", i, size, n)
+		}
+	}
+}
+
+func TestAveragerMassConservation(t *testing.T) {
+	// With no message loss, the sum of values is invariant under completed
+	// push-pull exchanges (each moves value symmetrically). Allow a tiny
+	// slack for exchanges in flight at the instant we sample.
+	const n = 32
+	net := simnet.New(simnet.Config{Seed: 9, Latency: simnet.ConstantLatency(5 * time.Millisecond)})
+	dir := membership.NewDirectory(n)
+	avgs := make([]*Averager, n)
+	for i := 0; i < n; i++ {
+		avgs[i] = NewAverager(AveragerConfig{InitialValue: float64(i), Sampler: dir.ViewFor(wire.NodeID(i))})
+		net.AddNode(avgs[i], simnet.NodeConfig{})
+	}
+	net.Run(20 * time.Second)
+	var sum float64
+	for _, a := range avgs {
+		sum += a.Value()
+	}
+	want := float64(n*(n-1)) / 2
+	if math.Abs(sum-want)/want > 0.10 {
+		t.Fatalf("mass drifted: sum %.1f, want ~%.1f", sum, want)
+	}
+	// And values must have converged toward the mean.
+	mean := want / n
+	for i, a := range avgs {
+		if math.Abs(a.Value()-mean)/mean > 0.25 {
+			t.Fatalf("node %d value %.2f far from mean %.2f", i, a.Value(), mean)
+		}
+	}
+}
+
+func TestNewEstimatorValidation(t *testing.T) {
+	dir := membership.NewDirectory(2)
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("nil sampler", func() { NewEstimator(Config{SelfCapKbps: 1}) })
+	mustPanic("zero capability", func() { NewEstimator(Config{Sampler: dir.ViewFor(0)}) })
+	mustPanic("nil averager sampler", func() { NewAverager(AveragerConfig{}) })
+}

@@ -1,0 +1,536 @@
+// Package core implements the paper's dissemination protocols: the standard
+// three-phase gossip protocol (Algorithm 1) and HEAP, its
+// heterogeneity-aware extension (Algorithm 2).
+//
+// # Three-phase gossip (Algorithm 1)
+//
+// Content spreads in a push-request-push pattern. Every gossip period a node
+// sends the identifiers of the events it received during the last period
+// ([Propose]) to f random peers, then forgets them (infect-and-die: each id
+// is proposed exactly once per node). A peer receiving a proposal requests
+// the ids it has not yet requested ([Request]); the proposer answers with
+// the payloads ([Serve]). Requesting each id at most once keeps the average
+// per-node upload at or below the stream rate.
+//
+// # HEAP (Algorithm 2)
+//
+// HEAP keeps the protocol identical but makes the fanout a per-node,
+// per-round quantity:
+//
+//	f_i = fbar · b_i / bbar
+//
+// where bbar comes from the capability aggregation protocol
+// (internal/aggregation). Since every proposal has roughly the same
+// acceptance probability, a node's serve load is proportional to its fanout,
+// so contribution tracks capability while the system-wide average fanout
+// stays at the reliability threshold fbar = ln(n) + c.
+//
+// Retransmission (Algorithm 2, lines 6-10) re-requests ids whose [Serve] did
+// not arrive within a timeout, falling back to alternate proposers. Per the
+// paper's evaluation methodology (§3.1), retransmission is part of both
+// protocols, so it lives here in the shared engine.
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/env"
+	"repro/internal/membership"
+	"repro/internal/wire"
+)
+
+// CapabilityEstimator supplies HEAP's relative capability b_i/bbar. The
+// aggregation package's Estimator implements it.
+type CapabilityEstimator interface {
+	RelativeCapability() float64
+}
+
+// DeliverFunc is the application upcall for newly delivered events. Events
+// are delivered exactly once, in arrival (not publish) order.
+type DeliverFunc func(ev wire.Event, at time.Duration)
+
+// Config parameterizes a gossip engine.
+type Config struct {
+	// Fanout is fbar, the system-wide average fanout (ln(n)+c). In
+	// standard mode every round uses exactly this value (stochastically
+	// rounded if fractional); in adaptive mode it is scaled by the node's
+	// relative capability.
+	Fanout float64
+	// FanoutFn, when non-nil, supplies fbar dynamically — e.g. ln(n̂)+c
+	// from a continuous system-size estimator, removing the paper's
+	// "n known in advance" simplification (§2.2). Non-positive returns
+	// fall back to Fanout.
+	FanoutFn func() float64
+	// Adaptive enables HEAP's capability adaptation. Requires Capabilities.
+	Adaptive bool
+	// AdaptPeriod switches the adaptation knob from the fanout to the
+	// gossip period (a §5 alternative): the fanout stays at Fanout while
+	// the round period becomes GossipPeriod/(b_i/bbar), clamped to
+	// [GossipPeriod/8, GossipPeriod*8]. Requires Adaptive.
+	AdaptPeriod bool
+	// Capabilities provides b_i/bbar for adaptive mode. Ignored otherwise.
+	Capabilities CapabilityEstimator
+	// MaxFanout clamps the adapted fanout. Default 64.
+	MaxFanout int
+	// GossipPeriod is the propose batching period. Default 200 ms (§3.1).
+	GossipPeriod time.Duration
+	// RetPeriod is the retransmission timeout: how long to wait for a
+	// [Serve] before re-requesting. It must sit outside the tail of normal
+	// congestion transients, not just outside the mean serve time: when the
+	// timer fires on ordinary queueing delay, the duplicate serves it
+	// triggers add load exactly where the system is already tight, a
+	// positive feedback that collapses runs at CSR ~1.15 (measured: a 2 s
+	// timeout turned a perfectly stable uniform-691 run into 48% duplicate
+	// traffic and full collapse). Default 5 s.
+	RetPeriod time.Duration
+	// RetMaxAttempts bounds request attempts per id (first request
+	// included). 0 disables retransmission; 1 means a single request and
+	// no retries. Default 2 (one retry): retransmission exists to recover
+	// rare datagram loss, and every additional attempt raises the
+	// worst-case duplicate-traffic ceiling under congestion.
+	RetMaxAttempts int
+	// RetSameProposer re-requests timed-out ids from the original proposer
+	// only (a literal reading of Algorithm 2, which re-injects the original
+	// proposal on timeout). That policy lands every retransmission on
+	// exactly the node that is already too congested to serve, amplifying
+	// its load ~RetMaxAttempts-fold and collapsing both protocols under
+	// tight capability supply; the default (false) therefore cycles retries
+	// through alternate proposers of the same id — under HEAP those are
+	// capability-weighted, since proposers appear in proportion to their
+	// fanout. The same-proposer mode is kept as an ablation.
+	RetSameProposer bool
+	// ServeBuffer is how long delivered events stay available for serving
+	// late requests. Default 120 s.
+	ServeBuffer time.Duration
+	// Sampler provides uniform random peers (Algorithm 1, selectNodes).
+	Sampler membership.Sampler
+	// OnDeliver, if non-nil, receives every newly delivered event.
+	OnDeliver DeliverFunc
+}
+
+func (c *Config) applyDefaults() error {
+	if c.Fanout <= 0 {
+		return fmt.Errorf("core: fanout %v must be positive", c.Fanout)
+	}
+	if c.Sampler == nil {
+		return fmt.Errorf("core: sampler is required")
+	}
+	if c.Adaptive && c.Capabilities == nil {
+		return fmt.Errorf("core: adaptive mode requires a capability estimator")
+	}
+	if c.AdaptPeriod && !c.Adaptive {
+		return fmt.Errorf("core: AdaptPeriod requires Adaptive")
+	}
+	if c.MaxFanout == 0 {
+		c.MaxFanout = 64
+	}
+	if c.GossipPeriod == 0 {
+		c.GossipPeriod = 200 * time.Millisecond
+	}
+	if c.RetPeriod == 0 {
+		c.RetPeriod = 5 * time.Second
+	}
+	if c.RetMaxAttempts == 0 {
+		c.RetMaxAttempts = 2
+	}
+	if c.ServeBuffer == 0 {
+		c.ServeBuffer = 120 * time.Second
+	}
+	return nil
+}
+
+// Stats counts protocol activity at one node.
+type Stats struct {
+	ProposesSent     int64
+	ProposesReceived int64
+	RequestsSent     int64
+	RequestsReceived int64
+	ServesSent       int64
+	EventsServed     int64
+	EventsDelivered  int64
+	DuplicateEvents  int64
+	Retransmissions  int64 // re-sent requests (attempts beyond the first)
+	GiveUps          int64 // ids abandoned after RetMaxAttempts
+	UnservableIDs    int64 // requested ids we no longer buffer
+}
+
+// maxProposersTracked bounds the alternate-proposer list per outstanding id.
+const maxProposersTracked = 4
+
+// pendingRequest tracks one outstanding id: who proposed it and how often we
+// asked.
+type pendingRequest struct {
+	proposers []wire.NodeID
+	attempts  int
+}
+
+// bufferedEvent is a delivered event kept for serving, with its receive time
+// for age-based pruning.
+type bufferedEvent struct {
+	ev     wire.Event
+	recvAt time.Duration
+}
+
+// Engine is one node's dissemination protocol instance. It implements
+// env.Handler for Propose/Request/Serve messages. Not safe for concurrent
+// use; all access happens on the node's execution context.
+type Engine struct {
+	cfg Config
+	rt  env.Runtime
+
+	delivered bitset                            // ids delivered (exactly-once upcall)
+	requested bitset                            // ids with an outstanding request
+	pending   map[wire.PacketID]*pendingRequest // outstanding request state
+	buffer    map[wire.PacketID]bufferedEvent   // deliverable payloads
+	toPropose []wire.PacketID                   // infect-and-die batch
+
+	gossipTicker *env.Ticker
+	roundTimer   env.Timer // period-adaptation mode
+	pruneTicker  *env.Ticker
+	stopped      bool
+
+	stats Stats
+}
+
+var _ env.Handler = (*Engine)(nil)
+
+// New builds an Engine. It returns an error for invalid configurations.
+func New(cfg Config) (*Engine, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+	return &Engine{
+		cfg:     cfg,
+		pending: make(map[wire.PacketID]*pendingRequest),
+		buffer:  make(map[wire.PacketID]bufferedEvent),
+	}, nil
+}
+
+// MustNew is New for static configurations known to be valid.
+func MustNew(cfg Config) *Engine {
+	e, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Stats returns a copy of the node's protocol counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// Start implements env.Handler.
+func (e *Engine) Start(rt env.Runtime) {
+	e.rt = rt
+	phase := time.Duration(rt.Rand().Int63n(int64(e.cfg.GossipPeriod)))
+	if e.cfg.AdaptPeriod {
+		e.roundTimer = rt.After(phase, e.adaptiveRound)
+	} else {
+		e.gossipTicker = env.NewTicker(rt, phase, e.cfg.GossipPeriod, e.gossipRound)
+	}
+	e.pruneTicker = env.NewTicker(rt, e.cfg.ServeBuffer, e.cfg.ServeBuffer/4+1, e.pruneBuffer)
+}
+
+// Stop implements env.Handler.
+func (e *Engine) Stop() {
+	e.stopped = true
+	if e.gossipTicker != nil {
+		e.gossipTicker.Stop()
+	}
+	if e.roundTimer != nil {
+		e.roundTimer.Stop()
+	}
+	if e.pruneTicker != nil {
+		e.pruneTicker.Stop()
+	}
+}
+
+// adaptiveRound runs one gossip round and reschedules itself with a period
+// scaled inversely to the node's relative capability (period adaptation).
+func (e *Engine) adaptiveRound() {
+	if e.stopped {
+		return
+	}
+	e.gossipRound()
+	period := e.cfg.GossipPeriod
+	if rel := e.cfg.Capabilities.RelativeCapability(); rel > 0 {
+		scaled := time.Duration(float64(period) / rel)
+		switch {
+		case scaled < period/8:
+			scaled = period / 8
+		case scaled > period*8:
+			scaled = period * 8
+		}
+		period = scaled
+	}
+	e.roundTimer = e.rt.After(period, e.adaptiveRound)
+}
+
+// Publish injects a locally produced event (the broadcaster path of
+// Algorithm 1: deliver locally, then gossip the id immediately, without
+// waiting for the next period).
+func (e *Engine) Publish(ev wire.Event) {
+	if e.delivered.contains(uint64(ev.ID)) {
+		return
+	}
+	e.deliverLocal(ev, false)
+	e.gossip([]wire.PacketID{ev.ID})
+}
+
+// Receive implements env.Handler.
+func (e *Engine) Receive(from wire.NodeID, m wire.Message) {
+	switch msg := m.(type) {
+	case *wire.Propose:
+		e.onPropose(from, msg)
+	case *wire.Request:
+		e.onRequest(from, msg)
+	case *wire.Serve:
+		e.onServe(msg)
+	}
+}
+
+// gossipRound flushes the infect-and-die batch (Algorithm 1, lines 6-7).
+func (e *Engine) gossipRound() {
+	if len(e.toPropose) == 0 {
+		return
+	}
+	ids := e.toPropose
+	e.toPropose = nil
+	e.gossip(ids)
+}
+
+// gossip sends a [Propose] for ids to getFanout() random peers.
+func (e *Engine) gossip(ids []wire.PacketID) {
+	f := e.fanout()
+	if f <= 0 {
+		return
+	}
+	peers := e.cfg.Sampler.SelectPeers(e.rt.Rand(), f)
+	if len(peers) == 0 {
+		return
+	}
+	msg := &wire.Propose{IDs: ids}
+	for _, p := range peers {
+		e.rt.Send(p, msg)
+		e.stats.ProposesSent++
+	}
+}
+
+// fanout implements getFanout() of Algorithms 1 and 2: the configured fbar,
+// scaled by relative capability in adaptive mode, stochastically rounded so
+// the expected value is preserved, clamped to [0 or 1, MaxFanout].
+func (e *Engine) fanout() int {
+	f := e.cfg.Fanout
+	if e.cfg.FanoutFn != nil {
+		if v := e.cfg.FanoutFn(); v > 0 {
+			f = v
+		}
+	}
+	if e.cfg.Adaptive && !e.cfg.AdaptPeriod {
+		f *= e.cfg.Capabilities.RelativeCapability()
+	}
+	if f > float64(e.cfg.MaxFanout) {
+		f = float64(e.cfg.MaxFanout)
+	}
+	floor := math.Floor(f)
+	n := int(floor)
+	if e.rt.Rand().Float64() < f-floor {
+		n++
+	}
+	// Every node must keep gossiping to stay part of the dissemination
+	// graph: clamp adapted fanouts below 1 up to 1 (the paper requires the
+	// source to have fanout >= 1; we apply the same floor everywhere —
+	// stochastic rounding already yields >=1 most rounds for any f >= 0.5).
+	if n < 1 && f > 0 {
+		n = 1
+	}
+	return n
+}
+
+// onPropose handles phase 2 (Algorithm 1, lines 8-13) plus retransmission
+// bookkeeping: ids already outstanding gain an alternate proposer.
+func (e *Engine) onPropose(from wire.NodeID, msg *wire.Propose) {
+	e.stats.ProposesReceived++
+	var wanted []wire.PacketID
+	for _, id := range msg.IDs {
+		if e.delivered.contains(uint64(id)) {
+			continue
+		}
+		if e.requested.contains(uint64(id)) {
+			if p := e.pending[id]; p != nil && len(p.proposers) < maxProposersTracked {
+				seen := false
+				for _, q := range p.proposers {
+					if q == from {
+						seen = true
+						break
+					}
+				}
+				if !seen {
+					p.proposers = append(p.proposers, from)
+				}
+			}
+			continue
+		}
+		wanted = append(wanted, id)
+		e.requested.add(uint64(id))
+		e.pending[id] = &pendingRequest{proposers: []wire.NodeID{from}, attempts: 1}
+	}
+	if len(wanted) == 0 {
+		return
+	}
+	e.sendRequest(from, wanted)
+	e.armRetransmit(wanted)
+}
+
+func (e *Engine) sendRequest(to wire.NodeID, ids []wire.PacketID) {
+	e.rt.Send(to, &wire.Request{IDs: ids})
+	e.stats.RequestsSent++
+}
+
+// armRetransmit schedules a timeout for a batch of just-requested ids. On
+// expiry, ids still undelivered are re-requested from alternate proposers
+// (Algorithm 2 re-injects the proposal on RetTimer expiry).
+func (e *Engine) armRetransmit(ids []wire.PacketID) {
+	if e.cfg.RetMaxAttempts <= 1 {
+		return
+	}
+	// The batch slice is owned by the wire.Request we just sent; receivers
+	// must not mutate it, and neither may we — iterate read-only.
+	e.rt.After(e.cfg.RetPeriod, func() { e.retransmit(ids) })
+}
+
+func (e *Engine) retransmit(ids []wire.PacketID) {
+	// Group still-missing ids by the proposer to ask next. Grouping is
+	// insertion-ordered (not a bare map) so runs stay deterministic.
+	var targets []wire.NodeID
+	batches := make(map[wire.NodeID][]wire.PacketID)
+	for _, id := range ids {
+		p, ok := e.pending[id]
+		if !ok {
+			continue // delivered (or already abandoned) meanwhile
+		}
+		if p.attempts >= e.cfg.RetMaxAttempts {
+			// Abandon: clear the outstanding flag so a future propose can
+			// trigger a fresh request (FEC may also mask the loss).
+			delete(e.pending, id)
+			e.requested.remove(uint64(id))
+			e.stats.GiveUps++
+			continue
+		}
+		target := p.proposers[0]
+		if !e.cfg.RetSameProposer {
+			target = p.proposers[p.attempts%len(p.proposers)]
+		}
+		p.attempts++
+		if _, ok := batches[target]; !ok {
+			targets = append(targets, target)
+		}
+		batches[target] = append(batches[target], id)
+	}
+	for _, target := range targets {
+		batch := batches[target]
+		e.sendRequest(target, batch)
+		e.stats.Retransmissions++
+		e.armRetransmit(batch)
+	}
+}
+
+// onRequest handles phase 3, server side (Algorithm 1, lines 14-17).
+func (e *Engine) onRequest(from wire.NodeID, msg *wire.Request) {
+	e.stats.RequestsReceived++
+	events := make([]wire.Event, 0, len(msg.IDs))
+	for _, id := range msg.IDs {
+		if be, ok := e.buffer[id]; ok {
+			events = append(events, be.ev)
+		} else {
+			e.stats.UnservableIDs++
+		}
+	}
+	if len(events) == 0 {
+		return
+	}
+	e.rt.Send(from, &wire.Serve{Events: events})
+	e.stats.ServesSent++
+	e.stats.EventsServed += int64(len(events))
+}
+
+// onServe handles phase 3, client side (Algorithm 1, lines 18-22).
+func (e *Engine) onServe(msg *wire.Serve) {
+	for _, ev := range msg.Events {
+		if e.delivered.contains(uint64(ev.ID)) {
+			e.stats.DuplicateEvents++
+			continue
+		}
+		e.deliverLocal(ev, true)
+	}
+}
+
+// deliverLocal marks ev delivered, buffers it for serving, and fires the
+// application upcall. With propose set, the id joins the next infect-and-die
+// batch (Publish gossips immediately instead).
+func (e *Engine) deliverLocal(ev wire.Event, propose bool) {
+	id := uint64(ev.ID)
+	e.delivered.add(id)
+	if _, ok := e.pending[ev.ID]; ok {
+		delete(e.pending, ev.ID)
+		e.requested.remove(id)
+	}
+	now := e.rt.Now()
+	e.buffer[ev.ID] = bufferedEvent{ev: ev, recvAt: now}
+	if propose {
+		e.toPropose = append(e.toPropose, ev.ID)
+	}
+	e.stats.EventsDelivered++
+	if e.cfg.OnDeliver != nil {
+		e.cfg.OnDeliver(ev, now)
+	}
+}
+
+// pruneBuffer drops served payloads older than ServeBuffer (bounds memory;
+// late requests for pruned ids count as UnservableIDs).
+func (e *Engine) pruneBuffer() {
+	cutoff := e.rt.Now() - e.cfg.ServeBuffer
+	for id, be := range e.buffer {
+		if be.recvAt < cutoff {
+			delete(e.buffer, id)
+		}
+	}
+}
+
+// Delivered reports whether the engine has delivered the given id.
+func (e *Engine) Delivered(id wire.PacketID) bool {
+	return e.delivered.contains(uint64(id))
+}
+
+// PendingRequests returns the number of outstanding requested ids.
+func (e *Engine) PendingRequests() int { return len(e.pending) }
+
+// BufferedEvents returns the number of payloads currently buffered.
+func (e *Engine) BufferedEvents() int { return len(e.buffer) }
+
+// bitset is a growable bitmap over dense uint64 keys (packet ids are
+// assigned densely in publish order, so this is compact and O(1)).
+type bitset struct {
+	words []uint64
+}
+
+func (b *bitset) add(i uint64) {
+	w := i >> 6
+	for uint64(len(b.words)) <= w {
+		b.words = append(b.words, 0)
+	}
+	b.words[w] |= 1 << (i & 63)
+}
+
+func (b *bitset) remove(i uint64) {
+	w := i >> 6
+	if w < uint64(len(b.words)) {
+		b.words[w] &^= 1 << (i & 63)
+	}
+}
+
+func (b *bitset) contains(i uint64) bool {
+	w := i >> 6
+	return w < uint64(len(b.words)) && b.words[w]&(1<<(i&63)) != 0
+}

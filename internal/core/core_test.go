@@ -1,0 +1,481 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/env"
+	"repro/internal/membership"
+	"repro/internal/simnet"
+	"repro/internal/wire"
+)
+
+func TestNewValidation(t *testing.T) {
+	dir := membership.NewDirectory(4)
+	cases := []struct {
+		name    string
+		cfg     Config
+		wantErr bool
+	}{
+		{"valid standard", Config{Fanout: 7, Sampler: dir.ViewFor(0)}, false},
+		{"zero fanout", Config{Sampler: dir.ViewFor(0)}, true},
+		{"negative fanout", Config{Fanout: -1, Sampler: dir.ViewFor(0)}, true},
+		{"nil sampler", Config{Fanout: 7}, true},
+		{"adaptive without estimator", Config{Fanout: 7, Adaptive: true, Sampler: dir.ViewFor(0)}, true},
+		{"adaptive with estimator", Config{Fanout: 7, Adaptive: true,
+			Capabilities: fixedRel(2), Sampler: dir.ViewFor(0)}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := New(tc.cfg)
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("err = %v, wantErr = %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// fixedRel is a CapabilityEstimator returning a constant ratio.
+type fixedRel float64
+
+func (f fixedRel) RelativeCapability() float64 { return float64(f) }
+
+func TestBitset(t *testing.T) {
+	var b bitset
+	if b.contains(0) || b.contains(1000) {
+		t.Fatal("empty bitset contains elements")
+	}
+	b.add(0)
+	b.add(63)
+	b.add(64)
+	b.add(1000)
+	for _, i := range []uint64{0, 63, 64, 1000} {
+		if !b.contains(i) {
+			t.Fatalf("missing %d", i)
+		}
+	}
+	if b.contains(1) || b.contains(999) {
+		t.Fatal("false positive")
+	}
+	b.remove(64)
+	if b.contains(64) {
+		t.Fatal("remove failed")
+	}
+	b.remove(100000) // out of range: no-op
+	b.add(64)
+	if !b.contains(64) {
+		t.Fatal("re-add failed")
+	}
+}
+
+// testCluster wires n engines over a simulated network. Node 0 is the
+// source. Returns per-node delivery logs.
+type testCluster struct {
+	net     *simnet.Network
+	engines []*Engine
+	deliver [][]wire.PacketID
+}
+
+type clusterOpts struct {
+	n         int
+	fanout    float64
+	adaptive  bool
+	rel       []float64 // per-node relative capability (adaptive only)
+	loss      float64
+	uploadBps []int64
+	retMax    int
+	seed      int64
+}
+
+func newTestCluster(t *testing.T, o clusterOpts) *testCluster {
+	t.Helper()
+	if o.fanout == 0 {
+		o.fanout = 6
+	}
+	net := simnet.New(simnet.Config{
+		Seed:     o.seed,
+		Latency:  simnet.ConstantLatency(10 * time.Millisecond),
+		LossRate: o.loss,
+	})
+	dir := membership.NewDirectory(o.n)
+	c := &testCluster{
+		net:     net,
+		engines: make([]*Engine, o.n),
+		deliver: make([][]wire.PacketID, o.n),
+	}
+	for i := 0; i < o.n; i++ {
+		i := i
+		cfg := Config{
+			Fanout:         o.fanout,
+			GossipPeriod:   200 * time.Millisecond,
+			RetMaxAttempts: o.retMax,
+			Sampler:        dir.ViewFor(wire.NodeID(i)),
+			OnDeliver: func(ev wire.Event, _ time.Duration) {
+				c.deliver[i] = append(c.deliver[i], ev.ID)
+			},
+		}
+		if o.adaptive {
+			cfg.Adaptive = true
+			rel := 1.0
+			if o.rel != nil {
+				rel = o.rel[i]
+			}
+			cfg.Capabilities = fixedRel(rel)
+		}
+		c.engines[i] = MustNew(cfg)
+		var nc simnet.NodeConfig
+		if o.uploadBps != nil {
+			nc.UploadBps = o.uploadBps[i]
+		}
+		net.AddNode(c.engines[i], nc)
+	}
+	return c
+}
+
+func (c *testCluster) publish(at time.Duration, ev wire.Event) {
+	c.net.Schedule(at, func() { c.engines[0].Publish(ev) })
+}
+
+func payload(n int) []byte { return make([]byte, n) }
+
+func TestSingleEventReachesAllNodes(t *testing.T) {
+	c := newTestCluster(t, clusterOpts{n: 50, seed: 1})
+	c.publish(0, wire.Event{ID: 1, Stamp: 0, Payload: payload(100)})
+	c.net.Run(time.Minute)
+	for i, got := range c.deliver {
+		if len(got) != 1 || got[0] != 1 {
+			t.Fatalf("node %d delivered %v, want [1]", i, got)
+		}
+	}
+}
+
+func TestDeliveryIsExactlyOnce(t *testing.T) {
+	c := newTestCluster(t, clusterOpts{n: 40, seed: 2, loss: 0.05, retMax: 4})
+	for i := 0; i < 20; i++ {
+		c.publish(time.Duration(i)*50*time.Millisecond,
+			wire.Event{ID: wire.PacketID(i), Payload: payload(200)})
+	}
+	c.net.Run(2 * time.Minute)
+	for node, got := range c.deliver {
+		seen := map[wire.PacketID]bool{}
+		for _, id := range got {
+			if seen[id] {
+				t.Fatalf("node %d delivered %d twice via upcall", node, id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestStreamOfEventsNearFullDelivery(t *testing.T) {
+	// Gossip with fanout f misses a (node, event) pair with probability
+	// ~e^-f (that residual is what the paper's FEC masks), so assert
+	// near-full rather than perfect delivery.
+	const n, events = 60, 100
+	c := newTestCluster(t, clusterOpts{n: n, fanout: 8, seed: 3})
+	for i := 0; i < events; i++ {
+		c.publish(time.Duration(i)*20*time.Millisecond,
+			wire.Event{ID: wire.PacketID(i), Payload: payload(500)})
+	}
+	c.net.Run(3 * time.Minute)
+	total := 0
+	for node, got := range c.deliver {
+		if len(got) < events*97/100 {
+			t.Fatalf("node %d delivered %d of %d events", node, len(got), events)
+		}
+		total += len(got)
+	}
+	if total < n*events*99/100 {
+		t.Fatalf("system-wide delivery %d of %d below 99%%", total, n*events)
+	}
+}
+
+func TestInfectAndDieEachIDProposedOncePerNode(t *testing.T) {
+	// With infect-and-die, each node proposes each id in exactly one round
+	// (to f peers). Total proposes per id across the system is therefore
+	// <= n*f. Verify the aggregate bound.
+	const n = 30
+	fanout := 5.0
+	c := newTestCluster(t, clusterOpts{n: n, fanout: fanout, seed: 4})
+	c.publish(0, wire.Event{ID: 1, Payload: payload(100)})
+	c.net.Run(time.Minute)
+	var proposes int64
+	for _, e := range c.engines {
+		proposes += e.Stats().ProposesSent
+	}
+	if proposes > int64(n*int(fanout)) {
+		t.Fatalf("%d proposes for one id exceeds n*f = %d (infect-and-die violated)", proposes, n*int(fanout))
+	}
+	if proposes < int64(n) {
+		t.Fatalf("implausibly few proposes: %d", proposes)
+	}
+}
+
+func TestRequestDedupOnlyOneRequestPerID(t *testing.T) {
+	// Without loss and without retransmission, each node must request each
+	// id at most once, no matter how many proposals it receives.
+	const n, events = 30, 10
+	c := newTestCluster(t, clusterOpts{n: n, seed: 5, retMax: 1})
+	for i := 0; i < events; i++ {
+		c.publish(time.Duration(i)*20*time.Millisecond,
+			wire.Event{ID: wire.PacketID(i), Payload: payload(100)})
+	}
+	c.net.Run(time.Minute)
+	var served, delivered int64
+	for _, e := range c.engines {
+		st := e.Stats()
+		served += st.EventsServed
+		delivered += st.EventsDelivered
+	}
+	// Exactly-once invariant: every remote delivery corresponds to exactly
+	// one serve (the source's own `events` deliveries are local publishes).
+	if served != delivered-events {
+		t.Fatalf("served %d events for %d remote deliveries; duplicates or losses without retransmission", served, delivered-events)
+	}
+	if delivered < int64(n*events*97/100) {
+		t.Fatalf("delivered %d, want >= 97%% of %d", delivered, n*events)
+	}
+	var dups int64
+	for _, e := range c.engines {
+		dups += e.Stats().DuplicateEvents
+	}
+	if dups != 0 {
+		t.Fatalf("duplicate events %d, want 0 without loss/retransmission", dups)
+	}
+}
+
+func TestRetransmissionRecoversFromLoss(t *testing.T) {
+	const n, events = 40, 50
+	// 15% datagram loss, no FEC at this layer: only retransmission can
+	// recover. With 4 attempts across alternates, delivery should be ~full.
+	with := newTestCluster(t, clusterOpts{n: n, seed: 6, loss: 0.15, retMax: 4})
+	without := newTestCluster(t, clusterOpts{n: n, seed: 6, loss: 0.15, retMax: 1})
+	for _, c := range []*testCluster{with, without} {
+		for i := 0; i < events; i++ {
+			c.publish(time.Duration(i)*20*time.Millisecond,
+				wire.Event{ID: wire.PacketID(i), Payload: payload(300)})
+		}
+		c.net.Run(3 * time.Minute)
+	}
+	count := func(c *testCluster) (total int) {
+		for _, got := range c.deliver {
+			total += len(got)
+		}
+		return total
+	}
+	withCount, withoutCount := count(with), count(without)
+	if withCount <= withoutCount {
+		t.Fatalf("retransmission did not help: with=%d without=%d", withCount, withoutCount)
+	}
+	// Lost proposes shrink the effective fanout (~e^-(0.85·f) residual miss
+	// rate); retransmission recovers lost requests/serves only.
+	if float64(withCount) < 0.975*float64(n*events) {
+		t.Fatalf("with retransmission delivered %d of %d", withCount, n*events)
+	}
+	var retx int64
+	for _, e := range with.engines {
+		retx += e.Stats().Retransmissions
+	}
+	if retx == 0 {
+		t.Fatal("no retransmissions despite loss")
+	}
+}
+
+func TestAdaptiveFanoutShiftsLoadToRichNodes(t *testing.T) {
+	// 10 rich nodes (rel 4.0) and 30 poor ones (rel 0.25·30/30... chosen so
+	// the mean is 1): rich nodes should send ~16x the proposes of poor ones
+	// and consequently serve much more.
+	const n = 40
+	rel := make([]float64, n)
+	for i := range rel {
+		if i < 10 {
+			rel[i] = 2.8
+		} else {
+			rel[i] = 0.4
+		}
+	}
+	c := newTestCluster(t, clusterOpts{n: n, seed: 7, adaptive: true, rel: rel})
+	for i := 0; i < 60; i++ {
+		c.publish(time.Duration(i)*20*time.Millisecond,
+			wire.Event{ID: wire.PacketID(i), Payload: payload(400)})
+	}
+	c.net.Run(2 * time.Minute)
+	var richProposes, poorProposes, richServed, poorServed int64
+	for i, e := range c.engines {
+		if i == 0 {
+			continue // source's immediate publishes skew its propose count
+		}
+		st := e.Stats()
+		if i < 10 {
+			richProposes += st.ProposesSent
+			richServed += st.EventsServed
+		} else {
+			poorProposes += st.ProposesSent
+			poorServed += st.EventsServed
+		}
+	}
+	// Per-node averages (9 rich after skipping the source, 30 poor).
+	richP, poorP := float64(richProposes)/9, float64(poorProposes)/30
+	if richP < 4*poorP {
+		t.Fatalf("rich nodes propose %.1f vs poor %.1f; want >= 4x", richP, poorP)
+	}
+	richS, poorS := float64(richServed)/9, float64(poorServed)/30
+	if richS < 2*poorS {
+		t.Fatalf("rich nodes served %.1f vs poor %.1f; want >= 2x", richS, poorS)
+	}
+}
+
+func TestFanoutStochasticRoundingPreservesMean(t *testing.T) {
+	dir := membership.NewDirectory(100)
+	e := MustNew(Config{Fanout: 6.99, Sampler: dir.ViewFor(0)})
+	net := simnet.New(simnet.Config{Seed: 8})
+	net.AddNode(e, simnet.NodeConfig{})
+	net.Run(time.Millisecond)
+	var sum int
+	const rounds = 20000
+	for i := 0; i < rounds; i++ {
+		sum += e.fanout()
+	}
+	mean := float64(sum) / rounds
+	if mean < 6.9 || mean > 7.08 {
+		t.Fatalf("mean fanout %.3f, want ~6.99", mean)
+	}
+}
+
+func TestFanoutClampedToMax(t *testing.T) {
+	dir := membership.NewDirectory(100)
+	e := MustNew(Config{Fanout: 7, Adaptive: true, Capabilities: fixedRel(1000),
+		MaxFanout: 16, Sampler: dir.ViewFor(0)})
+	net := simnet.New(simnet.Config{Seed: 9})
+	net.AddNode(e, simnet.NodeConfig{})
+	net.Run(time.Millisecond)
+	for i := 0; i < 100; i++ {
+		if f := e.fanout(); f > 16 {
+			t.Fatalf("fanout %d exceeds MaxFanout 16", f)
+		}
+	}
+}
+
+func TestFanoutFloorOne(t *testing.T) {
+	dir := membership.NewDirectory(100)
+	e := MustNew(Config{Fanout: 7, Adaptive: true, Capabilities: fixedRel(0.001),
+		Sampler: dir.ViewFor(0)})
+	net := simnet.New(simnet.Config{Seed: 10})
+	net.AddNode(e, simnet.NodeConfig{})
+	net.Run(time.Millisecond)
+	for i := 0; i < 100; i++ {
+		if f := e.fanout(); f < 1 {
+			t.Fatalf("fanout %d below floor 1", f)
+		}
+	}
+}
+
+func TestServeBufferPruning(t *testing.T) {
+	c := newTestCluster(t, clusterOpts{n: 10, seed: 11})
+	// Short buffer for the test.
+	for _, e := range c.engines {
+		e.cfg.ServeBuffer = 2 * time.Second
+	}
+	c.publish(0, wire.Event{ID: 1, Payload: payload(100)})
+	c.net.Run(30 * time.Second)
+	for i, e := range c.engines {
+		if e.BufferedEvents() != 0 {
+			t.Fatalf("node %d still buffers %d events after prune horizon", i, e.BufferedEvents())
+		}
+		if !e.Delivered(1) {
+			t.Fatalf("node %d lost delivery record", i)
+		}
+	}
+}
+
+func TestPublishDuplicateIgnored(t *testing.T) {
+	c := newTestCluster(t, clusterOpts{n: 5, seed: 12})
+	c.publish(0, wire.Event{ID: 1, Payload: payload(10)})
+	c.publish(time.Millisecond, wire.Event{ID: 1, Payload: payload(10)})
+	c.net.Run(10 * time.Second)
+	src := c.deliver[0]
+	if len(src) != 1 {
+		t.Fatalf("source delivered %v, want exactly one", src)
+	}
+}
+
+func TestGiveUpAfterMaxAttempts(t *testing.T) {
+	// One proposer that never serves: a node should give up after
+	// RetMaxAttempts and count it.
+	dir := membership.NewDirectory(2)
+	net := simnet.New(simnet.Config{Seed: 13})
+	e := MustNew(Config{Fanout: 1, RetMaxAttempts: 3, RetPeriod: 100 * time.Millisecond,
+		Sampler: dir.ViewFor(0)})
+	net.AddNode(e, simnet.NodeConfig{})
+	// Node 1 proposes but drops requests (HandlerFunc ignoring everything).
+	net.AddNode(silentHandler{}, simnet.NodeConfig{})
+	net.Schedule(0, func() {
+		e.Receive(1, &wire.Propose{IDs: []wire.PacketID{42}})
+	})
+	net.Run(5 * time.Second)
+	st := e.Stats()
+	if st.GiveUps != 1 {
+		t.Fatalf("give-ups = %d, want 1", st.GiveUps)
+	}
+	if e.PendingRequests() != 0 {
+		t.Fatalf("pending requests = %d after give-up", e.PendingRequests())
+	}
+	if st.Retransmissions != 2 {
+		t.Fatalf("retransmissions = %d, want 2 (attempts 2 and 3)", st.Retransmissions)
+	}
+	// A fresh propose must be able to re-trigger a request.
+	net.Schedule(net.Now(), func() {
+		e.Receive(1, &wire.Propose{IDs: []wire.PacketID{42}})
+	})
+	net.Run(net.Now() + 50*time.Millisecond)
+	if e.PendingRequests() != 1 {
+		t.Fatal("fresh propose after give-up did not re-request")
+	}
+}
+
+type silentHandler struct{}
+
+func (silentHandler) Start(env.Runtime)                 {}
+func (silentHandler) Receive(wire.NodeID, wire.Message) {}
+func (silentHandler) Stop()                             {}
+
+func TestCrashMidStreamOthersStillDeliver(t *testing.T) {
+	const n, events = 40, 80
+	c := newTestCluster(t, clusterOpts{n: n, seed: 14, retMax: 4})
+	for i := 0; i < events; i++ {
+		c.publish(time.Duration(i)*20*time.Millisecond,
+			wire.Event{ID: wire.PacketID(i), Payload: payload(300)})
+	}
+	// Crash a third of the nodes (not the source) at t=500ms and remove
+	// them from views 200ms later (failure notification delay).
+	dir := membership.NewDirectory(n)
+	_ = dir
+	for i := 1; i <= n/3; i++ {
+		id := wire.NodeID(i)
+		c.net.Schedule(500*time.Millisecond, func() { c.net.Crash(id) })
+	}
+	c.net.Run(3 * time.Minute)
+	// Proposals to dead nodes are wasted (views are not updated in this
+	// test), shrinking the effective fanout by a third; some packets held
+	// only by crashed nodes are also gone. Expect degraded but substantial
+	// delivery.
+	for i := n/3 + 1; i < n; i++ {
+		if len(c.deliver[i]) < events*85/100 {
+			t.Fatalf("survivor %d delivered only %d of %d", i, len(c.deliver[i]), events)
+		}
+	}
+}
+
+func TestUnservableRequestsCounted(t *testing.T) {
+	dir := membership.NewDirectory(2)
+	net := simnet.New(simnet.Config{Seed: 15})
+	e := MustNew(Config{Fanout: 1, Sampler: dir.ViewFor(0)})
+	net.AddNode(e, simnet.NodeConfig{})
+	net.Schedule(0, func() {
+		e.Receive(1, &wire.Request{IDs: []wire.PacketID{7}})
+	})
+	net.Run(time.Second)
+	if e.Stats().UnservableIDs != 1 {
+		t.Fatalf("unservable = %d, want 1", e.Stats().UnservableIDs)
+	}
+}

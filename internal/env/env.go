@@ -1,0 +1,194 @@
+// Package env defines the execution environment abstraction that separates
+// protocol logic from the substrate it runs on.
+//
+// Protocols (internal/core, internal/aggregation, internal/membership) are
+// written as single-threaded reactive state machines implementing Handler.
+// A Runtime drives them: the discrete-event simulator (internal/simnet) runs
+// every node inside one deterministic event loop with virtual time, while
+// the real-UDP runtime (internal/udpnet) drives the same code from socket
+// readers and wall-clock timers under a per-node mutex.
+//
+// The contract that makes this work:
+//
+//   - A Handler is never invoked concurrently with itself.
+//   - All handler callbacks (Start, Receive, timer functions) run in the
+//     node's execution context; they may freely mutate node state.
+//   - Handlers must not block, sleep, or spawn goroutines; all asynchrony is
+//     expressed through Runtime.After.
+//   - Messages received through Receive are immutable; handlers must not
+//     modify them (the simulator shares one object among all recipients).
+package env
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Timer is a cancelable pending callback created by Runtime.After.
+type Timer interface {
+	// Stop cancels the timer. It reports whether the call prevented the
+	// callback from firing. Stopping an already-fired or already-stopped
+	// timer is a harmless no-op returning false.
+	Stop() bool
+}
+
+// Runtime is the node-side interface to the substrate.
+type Runtime interface {
+	// ID returns this node's identity.
+	ID() wire.NodeID
+
+	// Now returns the elapsed time since the run epoch. In the simulator
+	// this is virtual time; over UDP it is wall-clock time since start.
+	Now() time.Duration
+
+	// Send transmits m to the destination node, asynchronously and
+	// unreliably (datagram semantics: messages may be lost, delayed, or
+	// reordered, but are never corrupted or duplicated). Sending to an
+	// unknown or dead node silently drops the message, like UDP.
+	Send(to wire.NodeID, m wire.Message)
+
+	// After schedules fn to run in this node's execution context after
+	// delay d. It returns a Timer that can cancel the callback.
+	After(d time.Duration, fn func()) Timer
+
+	// Rand returns this node's private deterministic random stream. The
+	// returned value is only valid for use inside handler callbacks.
+	Rand() *rand.Rand
+}
+
+// Handler is one protocol instance living on one node.
+type Handler interface {
+	// Start is invoked exactly once, before any other callback, when the
+	// node boots. The runtime is valid until Stop returns.
+	Start(rt Runtime)
+
+	// Receive is invoked for every message delivered to this node.
+	Receive(from wire.NodeID, m wire.Message)
+
+	// Stop is invoked when the node shuts down (cleanly or by simulated
+	// crash). After Stop, no further callbacks occur. Pending timers are
+	// discarded by the runtime; Stop does not need to cancel them.
+	Stop()
+}
+
+// HandlerFunc adapts a plain receive function to the Handler interface, for
+// tests and small tools.
+type HandlerFunc func(from wire.NodeID, m wire.Message)
+
+// Start implements Handler as a no-op.
+func (HandlerFunc) Start(Runtime) {}
+
+// Receive implements Handler by calling the function.
+func (f HandlerFunc) Receive(from wire.NodeID, m wire.Message) { f(from, m) }
+
+// Stop implements Handler as a no-op.
+func (HandlerFunc) Stop() {}
+
+var _ Handler = (HandlerFunc)(nil)
+
+// Ticker repeatedly invokes a callback with a fixed period using
+// Runtime.After, the only asynchrony primitive available to handlers. The
+// first tick fires after an initial phase offset (commonly randomized so
+// node periods do not synchronize system-wide).
+type Ticker struct {
+	rt     Runtime
+	period time.Duration
+	fn     func()
+	timer  Timer
+	done   bool
+}
+
+// NewTicker starts a ticker that first fires after phase and then every
+// period. The callback runs in the node's execution context.
+func NewTicker(rt Runtime, phase, period time.Duration, fn func()) *Ticker {
+	if period <= 0 {
+		panic("env: ticker period must be positive")
+	}
+	t := &Ticker{rt: rt, period: period, fn: fn}
+	t.timer = rt.After(phase, t.tick)
+	return t
+}
+
+func (t *Ticker) tick() {
+	if t.done {
+		return
+	}
+	t.timer = t.rt.After(t.period, t.tick)
+	t.fn()
+}
+
+// Stop permanently cancels the ticker.
+func (t *Ticker) Stop() {
+	t.done = true
+	if t.timer != nil {
+		t.timer.Stop()
+	}
+}
+
+// Mux fans incoming messages out to multiple handlers by message kind, so a
+// node can stack independent protocols (dissemination, aggregation, peer
+// sampling) behind one Runtime.
+type Mux struct {
+	routes   map[wire.Kind]Handler
+	handlers []Handler // registration order, for Start/Stop
+	fallback Handler
+}
+
+// NewMux returns an empty Mux.
+func NewMux() *Mux {
+	return &Mux{routes: make(map[wire.Kind]Handler)}
+}
+
+// Register attaches h to the given message kinds. Registering the same kind
+// twice panics: that is a wiring bug, not a runtime condition. Each Register
+// call adds one entry to the Start/Stop order, so a handler serving several
+// kinds must be registered with a single call listing all of them.
+func (m *Mux) Register(h Handler, kinds ...wire.Kind) {
+	for _, k := range kinds {
+		if _, dup := m.routes[k]; dup {
+			panic("env: duplicate mux registration for kind " + k.String())
+		}
+		m.routes[k] = h
+	}
+	m.handlers = append(m.handlers, h)
+}
+
+// SetFallback installs a handler for kinds with no registration. Without a
+// fallback, unroutable messages are silently dropped (datagram semantics).
+func (m *Mux) SetFallback(h Handler) { m.fallback = h }
+
+// Start implements Handler, starting sub-handlers in registration order.
+func (m *Mux) Start(rt Runtime) {
+	for _, h := range m.handlers {
+		h.Start(rt)
+	}
+	if m.fallback != nil {
+		m.fallback.Start(rt)
+	}
+}
+
+// Receive implements Handler.
+func (m *Mux) Receive(from wire.NodeID, msg wire.Message) {
+	if h, ok := m.routes[msg.Kind()]; ok {
+		h.Receive(from, msg)
+		return
+	}
+	if m.fallback != nil {
+		m.fallback.Receive(from, msg)
+	}
+}
+
+// Stop implements Handler, stopping sub-handlers in reverse registration
+// order.
+func (m *Mux) Stop() {
+	if m.fallback != nil {
+		m.fallback.Stop()
+	}
+	for i := len(m.handlers) - 1; i >= 0; i-- {
+		m.handlers[i].Stop()
+	}
+}
+
+var _ Handler = (*Mux)(nil)

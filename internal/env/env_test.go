@@ -1,0 +1,205 @@
+package env
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// fakeRuntime drives handlers without a network.
+type fakeRuntime struct {
+	now    time.Duration
+	timers []*fakeTimer
+	sent   []wire.NodeID
+}
+
+type fakeTimer struct {
+	at      time.Duration
+	fn      func()
+	stopped bool
+	fired   bool
+}
+
+func (t *fakeTimer) Stop() bool {
+	if t.stopped || t.fired {
+		return false
+	}
+	t.stopped = true
+	return true
+}
+
+var _ Runtime = (*fakeRuntime)(nil)
+
+func (f *fakeRuntime) ID() wire.NodeID    { return 3 }
+func (f *fakeRuntime) Now() time.Duration { return f.now }
+func (f *fakeRuntime) Rand() *rand.Rand   { return rand.New(rand.NewSource(1)) }
+func (f *fakeRuntime) Send(to wire.NodeID, _ wire.Message) {
+	f.sent = append(f.sent, to)
+}
+func (f *fakeRuntime) After(d time.Duration, fn func()) Timer {
+	t := &fakeTimer{at: f.now + d, fn: fn}
+	f.timers = append(f.timers, t)
+	return t
+}
+
+func (f *fakeRuntime) fire() bool {
+	var best *fakeTimer
+	for _, t := range f.timers {
+		if t.stopped || t.fired {
+			continue
+		}
+		if best == nil || t.at < best.at {
+			best = t
+		}
+	}
+	if best == nil {
+		return false
+	}
+	best.fired = true
+	if best.at > f.now {
+		f.now = best.at
+	}
+	best.fn()
+	return true
+}
+
+func TestTickerPhaseAndPeriod(t *testing.T) {
+	rt := &fakeRuntime{}
+	var fires []time.Duration
+	NewTicker(rt, 3*time.Millisecond, 10*time.Millisecond, func() {
+		fires = append(fires, rt.Now())
+	})
+	for i := 0; i < 4; i++ {
+		if !rt.fire() {
+			t.Fatal("no timer pending")
+		}
+	}
+	want := []time.Duration{3 * time.Millisecond, 13 * time.Millisecond, 23 * time.Millisecond, 33 * time.Millisecond}
+	for i, w := range want {
+		if fires[i] != w {
+			t.Fatalf("fire %d at %v, want %v", i, fires[i], w)
+		}
+	}
+}
+
+func TestTickerStopPreventsFutureFires(t *testing.T) {
+	rt := &fakeRuntime{}
+	count := 0
+	tk := NewTicker(rt, 0, time.Millisecond, func() { count++ })
+	rt.fire()
+	rt.fire()
+	tk.Stop()
+	for rt.fire() {
+	}
+	if count != 2 {
+		t.Fatalf("ticker fired %d times after Stop, want 2", count)
+	}
+}
+
+func TestTickerStopFromWithinCallback(t *testing.T) {
+	rt := &fakeRuntime{}
+	count := 0
+	var tk *Ticker
+	tk = NewTicker(rt, 0, time.Millisecond, func() {
+		count++
+		if count == 3 {
+			tk.Stop()
+		}
+	})
+	for rt.fire() {
+	}
+	if count != 3 {
+		t.Fatalf("ticker fired %d times, want exactly 3", count)
+	}
+}
+
+func TestTickerPanicsOnBadPeriod(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero period accepted")
+		}
+	}()
+	NewTicker(&fakeRuntime{}, 0, 0, func() {})
+}
+
+func TestHandlerFunc(t *testing.T) {
+	var got wire.NodeID
+	h := HandlerFunc(func(from wire.NodeID, _ wire.Message) { got = from })
+	h.Start(&fakeRuntime{}) // no-op
+	h.Receive(42, &wire.Propose{})
+	h.Stop() // no-op
+	if got != 42 {
+		t.Fatalf("handler func got %d", got)
+	}
+}
+
+type lifecycleHandler struct {
+	starts, stops, receives int
+}
+
+func (h *lifecycleHandler) Start(Runtime)                     { h.starts++ }
+func (h *lifecycleHandler) Receive(wire.NodeID, wire.Message) { h.receives++ }
+func (h *lifecycleHandler) Stop()                             { h.stops++ }
+
+func TestMuxLifecycleAndRouting(t *testing.T) {
+	mux := NewMux()
+	a := &lifecycleHandler{}
+	b := &lifecycleHandler{}
+	fb := &lifecycleHandler{}
+	mux.Register(a, wire.KindPropose, wire.KindRequest)
+	mux.Register(b, wire.KindServe)
+	mux.SetFallback(fb)
+
+	mux.Start(&fakeRuntime{})
+	if a.starts != 1 || b.starts != 1 || fb.starts != 1 {
+		t.Fatal("not all handlers started")
+	}
+	mux.Receive(1, &wire.Propose{})
+	mux.Receive(1, &wire.Request{})
+	mux.Receive(1, &wire.Serve{})
+	mux.Receive(1, &wire.Aggregate{}) // unrouted -> fallback
+	if a.receives != 2 || b.receives != 1 || fb.receives != 1 {
+		t.Fatalf("routing wrong: a=%d b=%d fb=%d", a.receives, b.receives, fb.receives)
+	}
+	mux.Stop()
+	if a.stops != 1 || b.stops != 1 || fb.stops != 1 {
+		t.Fatal("not all handlers stopped")
+	}
+}
+
+func TestMuxWithoutFallbackDropsUnrouted(t *testing.T) {
+	mux := NewMux()
+	a := &lifecycleHandler{}
+	mux.Register(a, wire.KindPropose)
+	mux.Start(&fakeRuntime{})
+	mux.Receive(1, &wire.Aggregate{}) // silently dropped
+	if a.receives != 0 {
+		t.Fatal("unrouted message reached a handler")
+	}
+}
+
+func TestMuxDuplicateRegistrationPanics(t *testing.T) {
+	mux := NewMux()
+	mux.Register(&lifecycleHandler{}, wire.KindPropose)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate kind registration accepted")
+		}
+	}()
+	mux.Register(&lifecycleHandler{}, wire.KindPropose)
+}
+
+func TestMuxLifecycleOnlyRegistration(t *testing.T) {
+	// Registering with no kinds attaches lifecycle (Start/Stop) without
+	// routing — used for the stream source.
+	mux := NewMux()
+	a := &lifecycleHandler{}
+	mux.Register(a)
+	mux.Start(&fakeRuntime{})
+	mux.Stop()
+	if a.starts != 1 || a.stops != 1 {
+		t.Fatal("lifecycle-only handler not started/stopped")
+	}
+}

@@ -1,0 +1,227 @@
+// Package fec implements the systematic forward-error-correction code used
+// by the streaming application evaluated in the HEAP paper (Middleware 2009,
+// §3.1): every window of k = 101 stream packets is extended with r = 9
+// parity packets, and the window can be fully decoded from any k of the
+// k+r = 110 packets.
+//
+// The code is a systematic Reed–Solomon erasure code over GF(2^8) built on a
+// Vandermonde generator matrix: the first k rows of the (k+r) x k generator
+// are turned into the identity (so source packets are transmitted verbatim —
+// "systematic coding" in the paper's terms, which is what makes partial
+// delivery ratios inside jittered windows meaningful), and the remaining r
+// rows produce parity packets. Any k rows of the generator form an
+// invertible matrix, giving the MDS property: any k received packets
+// reconstruct the window.
+package fec
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/gf256"
+)
+
+// Paper parameters (§3.1): windows of 101 source packets plus 9 FEC packets,
+// each packet 1316 bytes, raising a 551 kbps stream to 600 kbps effective.
+const (
+	PaperDataShards   = 101
+	PaperParityShards = 9
+	PaperShardSize    = 1316
+)
+
+// Common error conditions.
+var (
+	ErrTooFewShards   = errors.New("fec: not enough shards to reconstruct")
+	ErrShardSize      = errors.New("fec: inconsistent shard sizes")
+	ErrInvalidCounts  = errors.New("fec: invalid shard counts")
+	ErrShardIndex     = errors.New("fec: shard index out of range")
+	ErrTooManyShards  = errors.New("fec: data+parity shards exceed field order")
+	ErrNothingToDo    = errors.New("fec: no missing data shards")
+	ErrWrongShardSets = errors.New("fec: shards slice has wrong length")
+)
+
+// Code is a systematic Reed–Solomon erasure code with a fixed geometry of
+// DataShards source shards and ParityShards parity shards. A Code is
+// immutable after construction and safe for concurrent use.
+type Code struct {
+	dataShards   int
+	parityShards int
+	field        *gf256.Field
+	// gen is the (dataShards+parityShards) x dataShards generator matrix
+	// whose top dataShards x dataShards block is the identity.
+	gen *gf256.Matrix
+}
+
+// New constructs a Code with the given geometry. dataShards and parityShards
+// must be positive and their sum must not exceed 256 (the field order).
+func New(dataShards, parityShards int) (*Code, error) {
+	if dataShards <= 0 || parityShards <= 0 {
+		return nil, fmt.Errorf("%w: data=%d parity=%d", ErrInvalidCounts, dataShards, parityShards)
+	}
+	if dataShards+parityShards > gf256.Order {
+		return nil, fmt.Errorf("%w: data=%d parity=%d", ErrTooManyShards, dataShards, parityShards)
+	}
+	f := gf256.NewField()
+	n := dataShards + parityShards
+	// Build a systematic generator: start from an n x k Vandermonde matrix
+	// (any k rows independent), then right-multiply by the inverse of its
+	// top k x k block so the top block becomes the identity. The result
+	// retains the any-k-rows-invertible property.
+	v := gf256.Vandermonde(f, n, dataShards)
+	topRows := make([]int, dataShards)
+	for i := range topRows {
+		topRows[i] = i
+	}
+	top := v.SubMatrix(topRows)
+	topInv, err := f.Invert(top)
+	if err != nil {
+		// Cannot happen: a square Vandermonde block with distinct row
+		// indices is always invertible.
+		return nil, fmt.Errorf("fec: internal generator construction failed: %w", err)
+	}
+	gen := f.MatMul(v, topInv)
+	return &Code{
+		dataShards:   dataShards,
+		parityShards: parityShards,
+		field:        f,
+		gen:          gen,
+	}, nil
+}
+
+// NewPaper returns the 101+9 code used throughout the paper's evaluation.
+func NewPaper() (*Code, error) { return New(PaperDataShards, PaperParityShards) }
+
+// DataShards returns the number of source shards per window.
+func (c *Code) DataShards() int { return c.dataShards }
+
+// ParityShards returns the number of parity shards per window.
+func (c *Code) ParityShards() int { return c.parityShards }
+
+// TotalShards returns DataShards + ParityShards.
+func (c *Code) TotalShards() int { return c.dataShards + c.parityShards }
+
+// Encode computes the parity shards for the given data shards. data must
+// contain exactly DataShards equally sized slices. The returned slice holds
+// ParityShards newly allocated parity shards of the same size.
+func (c *Code) Encode(data [][]byte) ([][]byte, error) {
+	if len(data) != c.dataShards {
+		return nil, fmt.Errorf("%w: got %d data shards, want %d", ErrWrongShardSets, len(data), c.dataShards)
+	}
+	size, err := shardSize(data)
+	if err != nil {
+		return nil, err
+	}
+	parity := make([][]byte, c.parityShards)
+	for p := 0; p < c.parityShards; p++ {
+		out := make([]byte, size)
+		row := c.gen.Row(c.dataShards + p)
+		for d, coef := range row {
+			c.field.MulAddSlice(coef, out, data[d])
+		}
+		parity[p] = out
+	}
+	return parity, nil
+}
+
+// Reconstruct fills in the missing shards of a window in place. shards must
+// have length TotalShards; present shards are non-nil and equally sized,
+// missing shards are nil. On success every entry of shards is non-nil and
+// the data shards contain the original content. It fails with
+// ErrTooFewShards when fewer than DataShards shards are present.
+//
+// Only data shards are reconstructed (parity entries are left nil if they
+// were missing): receivers in the streaming application only need the source
+// packets back.
+func (c *Code) Reconstruct(shards [][]byte) error {
+	if len(shards) != c.TotalShards() {
+		return fmt.Errorf("%w: got %d, want %d", ErrWrongShardSets, len(shards), c.TotalShards())
+	}
+	present := make([]int, 0, c.TotalShards())
+	var size int
+	for i, s := range shards {
+		if s == nil {
+			continue
+		}
+		if size == 0 {
+			size = len(s)
+		} else if len(s) != size {
+			return fmt.Errorf("%w: shard %d has %d bytes, others %d", ErrShardSize, i, len(s), size)
+		}
+		present = append(present, i)
+	}
+	missingData := make([]int, 0, c.dataShards)
+	for i := 0; i < c.dataShards; i++ {
+		if shards[i] == nil {
+			missingData = append(missingData, i)
+		}
+	}
+	if len(missingData) == 0 {
+		return nil
+	}
+	if len(present) < c.dataShards {
+		return fmt.Errorf("%w: have %d, need %d", ErrTooFewShards, len(present), c.dataShards)
+	}
+	// Use the first dataShards present shards as the decoding basis.
+	basis := present[:c.dataShards]
+	sub := c.gen.SubMatrix(basis)
+	inv, err := c.field.Invert(sub)
+	if err != nil {
+		// Cannot happen for a correctly constructed MDS generator.
+		return fmt.Errorf("fec: decode matrix singular: %w", err)
+	}
+	// dataRow(d) = sum over basis b of inv[d][b] * shards[basis[b]].
+	for _, d := range missingData {
+		out := make([]byte, size)
+		row := inv.Row(d)
+		for b, coef := range row {
+			c.field.MulAddSlice(coef, out, shards[basis[b]])
+		}
+		shards[d] = out
+	}
+	return nil
+}
+
+// Decodable reports whether a window with the given number of present shards
+// can be fully reconstructed.
+func (c *Code) Decodable(presentShards int) bool {
+	return presentShards >= c.dataShards
+}
+
+// Verify re-encodes the data shards and reports whether the provided parity
+// shards match. All shards must be present and equally sized.
+func (c *Code) Verify(data, parity [][]byte) (bool, error) {
+	if len(data) != c.dataShards || len(parity) != c.parityShards {
+		return false, ErrWrongShardSets
+	}
+	want, err := c.Encode(data)
+	if err != nil {
+		return false, err
+	}
+	for i := range want {
+		if len(parity[i]) != len(want[i]) {
+			return false, ErrShardSize
+		}
+		for j := range want[i] {
+			if parity[i][j] != want[i][j] {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+func shardSize(shards [][]byte) (int, error) {
+	if len(shards) == 0 {
+		return 0, ErrInvalidCounts
+	}
+	size := len(shards[0])
+	if size == 0 {
+		return 0, fmt.Errorf("%w: empty shard", ErrShardSize)
+	}
+	for i, s := range shards {
+		if len(s) != size {
+			return 0, fmt.Errorf("%w: shard %d has %d bytes, shard 0 has %d", ErrShardSize, i, len(s), size)
+		}
+	}
+	return size, nil
+}

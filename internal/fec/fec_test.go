@@ -1,0 +1,370 @@
+package fec
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func makeWindow(t testing.TB, rng *rand.Rand, k, size int) [][]byte {
+	t.Helper()
+	data := make([][]byte, k)
+	for i := range data {
+		data[i] = make([]byte, size)
+		rng.Read(data[i])
+	}
+	return data
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		k, r    int
+		wantErr bool
+	}{
+		{"paper geometry", 101, 9, false},
+		{"tiny", 1, 1, false},
+		{"max field", 200, 56, false},
+		{"zero data", 0, 3, true},
+		{"zero parity", 3, 0, true},
+		{"negative", -1, 2, true},
+		{"exceeds field", 250, 7, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := New(tc.k, tc.r)
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("New(%d,%d) err = %v, wantErr = %v", tc.k, tc.r, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestSystematicProperty(t *testing.T) {
+	// The code must be systematic: encoding must not alter data shards, and
+	// parity must be a pure function of the data.
+	c, err := New(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	data := makeWindow(t, rng, 5, 64)
+	orig := make([][]byte, len(data))
+	for i := range data {
+		orig[i] = append([]byte(nil), data[i]...)
+	}
+	p1, err := c.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if !bytes.Equal(data[i], orig[i]) {
+			t.Fatalf("Encode mutated data shard %d", i)
+		}
+	}
+	p2, err := c.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p1 {
+		if !bytes.Equal(p1[i], p2[i]) {
+			t.Fatalf("Encode is not deterministic (parity %d differs)", i)
+		}
+	}
+}
+
+func TestReconstructAllErasurePatterns(t *testing.T) {
+	// For a small geometry, exhaustively test every erasure pattern that
+	// leaves at least k shards: all must reconstruct the data exactly.
+	const k, r, size = 4, 3, 32
+	c, err := New(k, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	data := makeWindow(t, rng, k, size)
+	parity, err := c.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := make([][]byte, k+r)
+	copy(full, data)
+	copy(full[k:], parity)
+
+	n := k + r
+	for mask := 0; mask < 1<<n; mask++ {
+		presentCount := 0
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				presentCount++
+			}
+		}
+		shards := make([][]byte, n)
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				shards[i] = append([]byte(nil), full[i]...)
+			}
+		}
+		err := c.Reconstruct(shards)
+		if presentCount < k {
+			// Only an error is acceptable, unless no data shard is missing
+			// (impossible here when presentCount < k... it IS possible:
+			// e.g. all k data shards present is presentCount >= k).
+			if err == nil {
+				// Acceptable only if no data shards were missing.
+				missing := false
+				for i := 0; i < k; i++ {
+					if mask&(1<<i) == 0 {
+						missing = true
+					}
+				}
+				if missing {
+					t.Fatalf("mask %b: reconstruct succeeded with %d < %d shards", mask, presentCount, k)
+				}
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("mask %b: reconstruct failed with %d shards: %v", mask, presentCount, err)
+		}
+		for i := 0; i < k; i++ {
+			if !bytes.Equal(shards[i], full[i]) {
+				t.Fatalf("mask %b: data shard %d mismatch", mask, i)
+			}
+		}
+	}
+}
+
+func TestReconstructPaperGeometry(t *testing.T) {
+	c, err := NewPaper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.DataShards() != 101 || c.ParityShards() != 9 || c.TotalShards() != 110 {
+		t.Fatalf("paper geometry wrong: %d+%d", c.DataShards(), c.ParityShards())
+	}
+	rng := rand.New(rand.NewSource(3))
+	data := makeWindow(t, rng, 101, PaperShardSize)
+	parity, err := c.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := make([][]byte, 110)
+	copy(full, data)
+	copy(full[101:], parity)
+
+	for trial := 0; trial < 25; trial++ {
+		// Erase exactly 9 random shards: still decodable.
+		shards := make([][]byte, 110)
+		for i := range full {
+			shards[i] = append([]byte(nil), full[i]...)
+		}
+		perm := rng.Perm(110)
+		for _, i := range perm[:9] {
+			shards[i] = nil
+		}
+		if err := c.Reconstruct(shards); err != nil {
+			t.Fatalf("trial %d: reconstruct with 9 erasures failed: %v", trial, err)
+		}
+		for i := 0; i < 101; i++ {
+			if !bytes.Equal(shards[i], full[i]) {
+				t.Fatalf("trial %d: data shard %d mismatch after reconstruct", trial, i)
+			}
+		}
+	}
+
+	// 10 erasures: must fail when a data shard is among them.
+	shards := make([][]byte, 110)
+	for i := range full {
+		shards[i] = append([]byte(nil), full[i]...)
+	}
+	for i := 0; i < 10; i++ {
+		shards[i] = nil
+	}
+	if err := c.Reconstruct(shards); err == nil {
+		t.Fatal("reconstruct with 10 erasures should fail")
+	}
+}
+
+func TestReconstructNoMissingData(t *testing.T) {
+	c, err := New(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	data := makeWindow(t, rng, 3, 16)
+	shards := make([][]byte, 5)
+	copy(shards, data)
+	// Parity entirely missing but all data present: no-op success.
+	if err := c.Reconstruct(shards); err != nil {
+		t.Fatalf("reconstruct with full data failed: %v", err)
+	}
+}
+
+func TestReconstructErrors(t *testing.T) {
+	c, err := New(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Reconstruct(make([][]byte, 4)); err == nil {
+		t.Error("wrong shard count should fail")
+	}
+	shards := make([][]byte, 5)
+	shards[0] = make([]byte, 8)
+	shards[1] = make([]byte, 9) // inconsistent size
+	shards[2] = make([]byte, 8)
+	shards[3] = make([]byte, 8)
+	if err := c.Reconstruct(shards); err == nil {
+		t.Error("inconsistent shard sizes should fail")
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	c, err := New(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Encode(make([][]byte, 2)); err == nil {
+		t.Error("wrong data shard count should fail")
+	}
+	bad := [][]byte{make([]byte, 4), make([]byte, 5), make([]byte, 4)}
+	if _, err := c.Encode(bad); err == nil {
+		t.Error("inconsistent data shard sizes should fail")
+	}
+	empty := [][]byte{{}, {}, {}}
+	if _, err := c.Encode(empty); err == nil {
+		t.Error("empty shards should fail")
+	}
+}
+
+func TestVerify(t *testing.T) {
+	c, err := New(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	data := makeWindow(t, rng, 4, 24)
+	parity, err := c.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := c.Verify(data, parity)
+	if err != nil || !ok {
+		t.Fatalf("Verify of valid window: ok=%v err=%v", ok, err)
+	}
+	parity[1][3] ^= 0xff
+	ok, err = c.Verify(data, parity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("Verify accepted corrupted parity")
+	}
+}
+
+func TestDecodable(t *testing.T) {
+	c, err := New(101, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Decodable(100) {
+		t.Error("100 shards should not be decodable")
+	}
+	if !c.Decodable(101) || !c.Decodable(110) {
+		t.Error("101 and 110 shards should be decodable")
+	}
+}
+
+// TestRandomErasureProperty is a randomized property test across geometries:
+// erase up to r random shards, reconstruct, compare.
+func TestRandomErasureProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	geoms := []struct{ k, r int }{{2, 2}, {5, 3}, {10, 4}, {20, 10}, {50, 6}}
+	for _, g := range geoms {
+		c, err := New(g.k, g.r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 30; trial++ {
+			size := 1 + rng.Intn(200)
+			data := makeWindow(t, rng, g.k, size)
+			parity, err := c.Encode(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			full := make([][]byte, g.k+g.r)
+			copy(full, data)
+			copy(full[g.k:], parity)
+			shards := make([][]byte, len(full))
+			for i := range full {
+				shards[i] = append([]byte(nil), full[i]...)
+			}
+			erase := rng.Intn(g.r + 1)
+			perm := rng.Perm(len(shards))
+			for _, i := range perm[:erase] {
+				shards[i] = nil
+			}
+			if err := c.Reconstruct(shards); err != nil {
+				t.Fatalf("k=%d r=%d erase=%d: %v", g.k, g.r, erase, err)
+			}
+			for i := 0; i < g.k; i++ {
+				if !bytes.Equal(shards[i], full[i]) {
+					t.Fatalf("k=%d r=%d: data shard %d mismatch", g.k, g.r, i)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkEncodePaperWindow(b *testing.B) {
+	c, err := NewPaper()
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	data := make([][]byte, c.DataShards())
+	for i := range data {
+		data[i] = make([]byte, PaperShardSize)
+		rng.Read(data[i])
+	}
+	b.SetBytes(int64(c.DataShards() * PaperShardSize))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Encode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReconstructPaperWindow(b *testing.B) {
+	c, err := NewPaper()
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	data := make([][]byte, c.DataShards())
+	for i := range data {
+		data[i] = make([]byte, PaperShardSize)
+		rng.Read(data[i])
+	}
+	parity, err := c.Encode(data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	full := make([][]byte, c.TotalShards())
+	copy(full, data)
+	copy(full[c.DataShards():], parity)
+	b.SetBytes(int64(c.DataShards() * PaperShardSize))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		shards := make([][]byte, len(full))
+		copy(shards, full)
+		// Erase 9 data shards; reconstruction does real matrix work.
+		for j := 0; j < 9; j++ {
+			shards[(i+j*11)%101] = nil
+		}
+		if err := c.Reconstruct(shards); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,275 @@
+package membership
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/env"
+	"repro/internal/wire"
+)
+
+// CyclonConfig parameterizes the gossip-based peer-sampling service.
+type CyclonConfig struct {
+	// ViewSize is the partial view capacity. Must exceed the largest
+	// fanout the dissemination layer will request. Default 20.
+	ViewSize int
+	// ShuffleLen is the number of descriptors exchanged per shuffle.
+	// Default 8.
+	ShuffleLen int
+	// Period is the shuffle interval. Default 1s.
+	Period time.Duration
+	// ReplyTimeout evicts the shuffle target if it does not answer in
+	// time — Cyclon's failure-detection mechanism. Default 2s.
+	ReplyTimeout time.Duration
+}
+
+func (c *CyclonConfig) applyDefaults() {
+	if c.ViewSize == 0 {
+		c.ViewSize = 20
+	}
+	if c.ShuffleLen == 0 {
+		c.ShuffleLen = 8
+	}
+	if c.Period == 0 {
+		c.Period = time.Second
+	}
+	if c.ReplyTimeout == 0 {
+		c.ReplyTimeout = 2 * time.Second
+	}
+}
+
+// Cyclon is a peer-sampling service in the style of Voulgaris, Gavidia and
+// van Steen (JNSM 2005): nodes periodically swap slices of their partial
+// views, replacing their oldest descriptor. The emergent communication graph
+// is close to a random regular graph, so sampling the view approximates the
+// uniform selection HEAP's analysis assumes — without global membership.
+//
+// Cyclon implements env.Handler for ShuffleReq/ShuffleReply messages and
+// Sampler for the dissemination layer.
+type Cyclon struct {
+	cfg  CyclonConfig
+	rt   env.Runtime
+	view []wire.PeerDescriptor
+
+	ticker *env.Ticker
+	// pending is the in-flight shuffle target awaiting a reply, plus the
+	// descriptors we sent it (to use as replacement candidates).
+	pendingTarget wire.NodeID
+	pendingSent   []wire.PeerDescriptor
+	pendingTimer  env.Timer
+
+	// Shuffles counts initiated shuffles (for tests/metrics).
+	Shuffles int
+	// Evictions counts peers dropped for not answering (failure detection).
+	Evictions int
+}
+
+var (
+	_ env.Handler = (*Cyclon)(nil)
+	_ Sampler     = (*Cyclon)(nil)
+)
+
+// NewCyclon creates a peer-sampling service seeded with the given bootstrap
+// peers (typically a handful of contact nodes).
+func NewCyclon(cfg CyclonConfig, bootstrap []wire.NodeID) *Cyclon {
+	cfg.applyDefaults()
+	c := &Cyclon{cfg: cfg, pendingTarget: wire.NodeNone}
+	for _, p := range bootstrap {
+		if len(c.view) >= cfg.ViewSize {
+			break
+		}
+		c.addDescriptor(wire.PeerDescriptor{Node: p, Age: 0})
+	}
+	return c
+}
+
+// Start implements env.Handler.
+func (c *Cyclon) Start(rt env.Runtime) {
+	c.rt = rt
+	phase := time.Duration(rt.Rand().Int63n(int64(c.cfg.Period)))
+	c.ticker = env.NewTicker(rt, phase, c.cfg.Period, c.shuffle)
+}
+
+// Stop implements env.Handler.
+func (c *Cyclon) Stop() {
+	if c.ticker != nil {
+		c.ticker.Stop()
+	}
+	if c.pendingTimer != nil {
+		c.pendingTimer.Stop()
+	}
+}
+
+// PeerCount implements Sampler.
+func (c *Cyclon) PeerCount() int { return len(c.view) }
+
+// SelectPeers implements Sampler by sampling the partial view without
+// replacement.
+func (c *Cyclon) SelectPeers(rng *rand.Rand, k int) []wire.NodeID {
+	n := len(c.view)
+	if k > n {
+		k = n
+	}
+	if k <= 0 {
+		return nil
+	}
+	for i := 0; i < k; i++ {
+		j := i + rng.Intn(n-i)
+		c.view[i], c.view[j] = c.view[j], c.view[i]
+	}
+	out := make([]wire.NodeID, k)
+	for i := 0; i < k; i++ {
+		out[i] = c.view[i].Node
+	}
+	return out
+}
+
+// ViewDescriptors returns a copy of the current view (for tests).
+func (c *Cyclon) ViewDescriptors() []wire.PeerDescriptor {
+	out := make([]wire.PeerDescriptor, len(c.view))
+	copy(out, c.view)
+	return out
+}
+
+// shuffle runs one Cyclon round: age the view, pick the oldest peer as the
+// target, and swap ShuffleLen descriptors with it.
+func (c *Cyclon) shuffle() {
+	if len(c.view) == 0 {
+		return
+	}
+	if c.pendingTarget != wire.NodeNone {
+		// Previous shuffle still outstanding; its timeout handles eviction.
+		return
+	}
+	oldest := 0
+	for i := range c.view {
+		c.view[i].Age++
+		if c.view[i].Age > c.view[oldest].Age {
+			oldest = i
+		}
+	}
+	target := c.view[oldest].Node
+	// Remove the target from the view; it is replaced by the exchange.
+	c.view[oldest] = c.view[len(c.view)-1]
+	c.view = c.view[:len(c.view)-1]
+
+	sent := c.sampleDescriptors(c.cfg.ShuffleLen - 1)
+	// Self descriptor with age 0 lets the target learn about us.
+	sent = append(sent, wire.PeerDescriptor{Node: c.rt.ID(), Age: 0})
+
+	c.pendingTarget = target
+	c.pendingSent = sent
+	c.pendingTimer = c.rt.After(c.cfg.ReplyTimeout, func() {
+		// No reply: consider the target failed (standard Cyclon eviction).
+		if c.pendingTarget == target {
+			c.pendingTarget = wire.NodeNone
+			c.pendingSent = nil
+			c.Evictions++
+		}
+	})
+	c.Shuffles++
+	c.rt.Send(target, &wire.ShuffleReq{Descriptors: sent})
+}
+
+// Receive implements env.Handler.
+func (c *Cyclon) Receive(from wire.NodeID, m wire.Message) {
+	switch msg := m.(type) {
+	case *wire.ShuffleReq:
+		reply := c.sampleDescriptors(c.cfg.ShuffleLen)
+		c.rt.Send(from, &wire.ShuffleReply{Descriptors: reply})
+		c.merge(msg.Descriptors, reply, from)
+	case *wire.ShuffleReply:
+		if from != c.pendingTarget {
+			return // late or stray reply
+		}
+		sent := c.pendingSent
+		c.pendingTarget = wire.NodeNone
+		c.pendingSent = nil
+		if c.pendingTimer != nil {
+			c.pendingTimer.Stop()
+			c.pendingTimer = nil
+		}
+		c.merge(msg.Descriptors, sent, from)
+	}
+}
+
+// sampleDescriptors returns up to k random descriptors from the view
+// (copies, not aliases).
+func (c *Cyclon) sampleDescriptors(k int) []wire.PeerDescriptor {
+	n := len(c.view)
+	if k > n {
+		k = n
+	}
+	if k <= 0 {
+		return nil
+	}
+	rng := c.rt.Rand()
+	for i := 0; i < k; i++ {
+		j := i + rng.Intn(n-i)
+		c.view[i], c.view[j] = c.view[j], c.view[i]
+	}
+	out := make([]wire.PeerDescriptor, k)
+	copy(out, c.view[:k])
+	return out
+}
+
+// merge folds received descriptors into the view: skip self and duplicates
+// (keeping the fresher copy), fill free slots, then replace entries that
+// were shipped to the peer (Cyclon's swap semantics), and finally replace
+// the oldest entries.
+func (c *Cyclon) merge(received, shipped []wire.PeerDescriptor, from wire.NodeID) {
+	// The exchange itself is evidence the peer is alive: (re)admit it fresh.
+	received = append(received, wire.PeerDescriptor{Node: from, Age: 0})
+	shippedSet := make(map[wire.NodeID]bool, len(shipped))
+	for _, d := range shipped {
+		shippedSet[d.Node] = true
+	}
+	for _, d := range received {
+		if d.Node == c.rt.ID() {
+			continue
+		}
+		if i := c.find(d.Node); i >= 0 {
+			if d.Age < c.view[i].Age {
+				c.view[i].Age = d.Age
+			}
+			continue
+		}
+		if len(c.view) < c.cfg.ViewSize {
+			c.view = append(c.view, d)
+			continue
+		}
+		// Prefer evicting a descriptor we just shipped; else the oldest.
+		victim := -1
+		for i := range c.view {
+			if shippedSet[c.view[i].Node] {
+				victim = i
+				break
+			}
+		}
+		if victim < 0 {
+			victim = 0
+			for i := range c.view {
+				if c.view[i].Age > c.view[victim].Age {
+					victim = i
+				}
+			}
+		}
+		c.view[victim] = d
+	}
+}
+
+func (c *Cyclon) find(id wire.NodeID) int {
+	for i := range c.view {
+		if c.view[i].Node == id {
+			return i
+		}
+	}
+	return -1
+}
+
+func (c *Cyclon) addDescriptor(d wire.PeerDescriptor) {
+	if c.find(d.Node) >= 0 {
+		return
+	}
+	c.view = append(c.view, d)
+}

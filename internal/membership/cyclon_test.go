@@ -1,0 +1,187 @@
+package membership
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/simnet"
+	"repro/internal/wire"
+)
+
+// buildCyclonNetwork wires n Cyclon nodes into a simulated network with a
+// ring bootstrap (each node initially knows its few successors).
+func buildCyclonNetwork(t *testing.T, n int, cfg CyclonConfig, seed int64) (*simnet.Network, []*Cyclon) {
+	t.Helper()
+	net := simnet.New(simnet.Config{
+		Seed:    seed,
+		Latency: simnet.ConstantLatency(10 * time.Millisecond),
+	})
+	services := make([]*Cyclon, n)
+	for i := 0; i < n; i++ {
+		bootstrap := []wire.NodeID{
+			wire.NodeID((i + 1) % n),
+			wire.NodeID((i + 2) % n),
+			wire.NodeID((i + 3) % n),
+		}
+		services[i] = NewCyclon(cfg, bootstrap)
+		id := net.AddNode(services[i], simnet.NodeConfig{})
+		if int(id) != i {
+			t.Fatalf("node id %d, want %d", id, i)
+		}
+	}
+	return net, services
+}
+
+func TestCyclonConvergesToWellMixedViews(t *testing.T) {
+	const n = 60
+	cfg := CyclonConfig{ViewSize: 12, ShuffleLen: 6, Period: 500 * time.Millisecond}
+	net, services := buildCyclonNetwork(t, n, cfg, 1)
+	net.Run(60 * time.Second)
+
+	// Every view should be full and contain no self or duplicate entries.
+	indegree := make([]int, n)
+	for i, c := range services {
+		view := c.ViewDescriptors()
+		// A node with an in-flight shuffle has momentarily removed its
+		// target, so the view may be one short of capacity.
+		if len(view) < cfg.ViewSize-1 || len(view) > cfg.ViewSize {
+			t.Fatalf("node %d view size %d, want %d or %d", i, len(view), cfg.ViewSize-1, cfg.ViewSize)
+		}
+		seen := map[wire.NodeID]bool{}
+		for _, d := range view {
+			if d.Node == wire.NodeID(i) {
+				t.Fatalf("node %d has itself in its view", i)
+			}
+			if seen[d.Node] {
+				t.Fatalf("node %d has duplicate descriptor for %d", i, d.Node)
+			}
+			seen[d.Node] = true
+			indegree[d.Node]++
+		}
+	}
+	// In-degree should be roughly balanced (random-graph-like), far from the
+	// initial ring (where successors of low-index nodes dominate).
+	lo, hi := indegree[0], indegree[0]
+	for _, d := range indegree {
+		if d < lo {
+			lo = d
+		}
+		if d > hi {
+			hi = d
+		}
+	}
+	if lo == 0 {
+		t.Fatal("some node vanished from all views")
+	}
+	if hi > 5*cfg.ViewSize {
+		t.Fatalf("in-degree too skewed: max %d for mean %d", hi, cfg.ViewSize)
+	}
+	if services[0].Shuffles == 0 {
+		t.Fatal("no shuffles happened")
+	}
+}
+
+func TestCyclonGraphConnectivity(t *testing.T) {
+	const n = 60
+	cfg := CyclonConfig{ViewSize: 10, ShuffleLen: 5, Period: 500 * time.Millisecond}
+	net, services := buildCyclonNetwork(t, n, cfg, 2)
+	net.Run(30 * time.Second)
+
+	// BFS over the union of directed view edges from node 0.
+	adj := make([][]wire.NodeID, n)
+	for i, c := range services {
+		for _, d := range c.ViewDescriptors() {
+			adj[i] = append(adj[i], d.Node)
+		}
+	}
+	visited := make([]bool, n)
+	queue := []wire.NodeID{0}
+	visited[0] = true
+	count := 1
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, next := range adj[cur] {
+			if !visited[next] {
+				visited[next] = true
+				count++
+				queue = append(queue, next)
+			}
+		}
+	}
+	if count != n {
+		t.Fatalf("view graph not connected: reached %d of %d", count, n)
+	}
+}
+
+func TestCyclonEvictsDeadPeers(t *testing.T) {
+	const n = 30
+	cfg := CyclonConfig{ViewSize: 8, ShuffleLen: 4,
+		Period: 500 * time.Millisecond, ReplyTimeout: time.Second}
+	net, services := buildCyclonNetwork(t, n, cfg, 3)
+	net.Run(20 * time.Second)
+
+	// Kill a third of the nodes.
+	for i := 0; i < n/3; i++ {
+		net.Crash(wire.NodeID(i))
+	}
+	net.Run(net.Now() + 2*time.Minute)
+
+	// Dead nodes should have (mostly) disappeared from live views: they can
+	// no longer inject fresh descriptors, so aging + eviction removes them.
+	deadRefs, totalRefs := 0, 0
+	for i := n / 3; i < n; i++ {
+		for _, d := range services[i].ViewDescriptors() {
+			totalRefs++
+			if int(d.Node) < n/3 {
+				deadRefs++
+			}
+		}
+	}
+	if totalRefs == 0 {
+		t.Fatal("live views are empty")
+	}
+	if frac := float64(deadRefs) / float64(totalRefs); frac > 0.10 {
+		t.Fatalf("dead nodes still occupy %.0f%% of live view slots", frac*100)
+	}
+	evictions := 0
+	for i := n / 3; i < n; i++ {
+		evictions += services[i].Evictions
+	}
+	if evictions == 0 {
+		t.Fatal("no shuffle-timeout evictions recorded")
+	}
+}
+
+func TestCyclonSelectPeers(t *testing.T) {
+	cfg := CyclonConfig{}
+	c := NewCyclon(cfg, []wire.NodeID{1, 2, 3, 4, 5})
+	rng := rand.New(rand.NewSource(4))
+	sel := c.SelectPeers(rng, 3)
+	if len(sel) != 3 {
+		t.Fatalf("selected %d, want 3", len(sel))
+	}
+	seen := map[wire.NodeID]bool{}
+	for _, id := range sel {
+		if seen[id] {
+			t.Fatal("duplicate peer")
+		}
+		seen[id] = true
+	}
+	if got := c.SelectPeers(rng, 100); len(got) != 5 {
+		t.Fatalf("oversized k returned %d, want 5", len(got))
+	}
+	if got := c.SelectPeers(rng, 0); got != nil {
+		t.Fatalf("k=0 returned %v", got)
+	}
+}
+
+func TestCyclonBootstrapRespectsViewSize(t *testing.T) {
+	cfg := CyclonConfig{ViewSize: 3}
+	boot := []wire.NodeID{1, 2, 3, 4, 5, 6}
+	c := NewCyclon(cfg, boot)
+	if c.PeerCount() != 3 {
+		t.Fatalf("bootstrap overfilled view: %d", c.PeerCount())
+	}
+}

@@ -1,0 +1,159 @@
+// Package membership provides the peer views from which gossip protocols
+// draw their uniformly random communication partners.
+//
+// The paper (like its experimental system) assumes every node can select f
+// uniformly random nodes (Algorithm 1, selectNodes). View implements that
+// directly over a full membership list, with O(k) sampling without
+// replacement and support for removals so that churn scenarios can model
+// delayed failure notification (§3.6: survivors learn about a failure an
+// average of 10 s after it happened).
+//
+// As an extension beyond the paper's simplification, Cyclon implements a
+// gossip-based peer-sampling service (shuffling partial views) that provides
+// the same Sampler interface without any global membership knowledge.
+package membership
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/wire"
+)
+
+// Sampler yields (approximately) uniformly random peers. Implementations
+// must never return the node's own id or duplicates within one call.
+type Sampler interface {
+	// SelectPeers returns up to k distinct peers chosen uniformly at
+	// random. Fewer than k are returned when the view is smaller than k.
+	SelectPeers(rng *rand.Rand, k int) []wire.NodeID
+	// PeerCount returns the number of peers currently in the view.
+	PeerCount() int
+}
+
+// View is a mutable full-membership view for one node. It is not safe for
+// concurrent use; in the simulator all accesses happen on the event loop.
+type View struct {
+	self  wire.NodeID
+	peers []wire.NodeID
+	index map[wire.NodeID]int // peer -> position in peers
+}
+
+var _ Sampler = (*View)(nil)
+
+// NewView builds a view for self containing every node in peers except self
+// itself. Duplicate entries are ignored.
+func NewView(self wire.NodeID, peers []wire.NodeID) *View {
+	v := &View{
+		self:  self,
+		peers: make([]wire.NodeID, 0, len(peers)),
+		index: make(map[wire.NodeID]int, len(peers)),
+	}
+	for _, p := range peers {
+		v.Add(p)
+	}
+	return v
+}
+
+// Self returns the owning node's id.
+func (v *View) Self() wire.NodeID { return v.self }
+
+// PeerCount implements Sampler.
+func (v *View) PeerCount() int { return len(v.peers) }
+
+// Contains reports whether id is currently in the view.
+func (v *View) Contains(id wire.NodeID) bool {
+	_, ok := v.index[id]
+	return ok
+}
+
+// Add inserts a peer. Adding self or an existing peer is a no-op.
+func (v *View) Add(id wire.NodeID) {
+	if id == v.self {
+		return
+	}
+	if _, ok := v.index[id]; ok {
+		return
+	}
+	v.index[id] = len(v.peers)
+	v.peers = append(v.peers, id)
+}
+
+// Remove deletes a peer (e.g., on failure notification). Removing an absent
+// peer is a no-op.
+func (v *View) Remove(id wire.NodeID) {
+	pos, ok := v.index[id]
+	if !ok {
+		return
+	}
+	last := len(v.peers) - 1
+	moved := v.peers[last]
+	v.peers[pos] = moved
+	v.index[moved] = pos
+	v.peers = v.peers[:last]
+	delete(v.index, id)
+}
+
+// SelectPeers implements Sampler with a partial Fisher–Yates shuffle: O(k)
+// time, uniform without replacement.
+func (v *View) SelectPeers(rng *rand.Rand, k int) []wire.NodeID {
+	n := len(v.peers)
+	if k >= n {
+		out := make([]wire.NodeID, n)
+		copy(out, v.peers)
+		return out
+	}
+	if k <= 0 {
+		return nil
+	}
+	for i := 0; i < k; i++ {
+		j := i + rng.Intn(n-i)
+		if i != j {
+			v.peers[i], v.peers[j] = v.peers[j], v.peers[i]
+			v.index[v.peers[i]] = i
+			v.index[v.peers[j]] = j
+		}
+	}
+	out := make([]wire.NodeID, k)
+	copy(out, v.peers[:k])
+	return out
+}
+
+// Peers returns a copy of the current peer set (order unspecified).
+func (v *View) Peers() []wire.NodeID {
+	out := make([]wire.NodeID, len(v.peers))
+	copy(out, v.peers)
+	return out
+}
+
+// Directory is the bootstrap membership of a run: the id set from which
+// per-node Views are built.
+type Directory struct {
+	ids []wire.NodeID
+}
+
+// NewDirectory creates a directory over n densely numbered nodes [0, n).
+func NewDirectory(n int) *Directory {
+	if n <= 0 {
+		panic(fmt.Sprintf("membership: directory size %d", n))
+	}
+	d := &Directory{ids: make([]wire.NodeID, n)}
+	for i := range d.ids {
+		d.ids[i] = wire.NodeID(i)
+	}
+	return d
+}
+
+// Size returns the number of nodes in the directory.
+func (d *Directory) Size() int { return len(d.ids) }
+
+// IDs returns a copy of all node ids.
+func (d *Directory) IDs() []wire.NodeID {
+	out := make([]wire.NodeID, len(d.ids))
+	copy(out, d.ids)
+	return out
+}
+
+// ViewFor builds a full view for the given node.
+func (d *Directory) ViewFor(self wire.NodeID) *View {
+	return NewView(self, d.ids)
+}

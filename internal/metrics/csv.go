@@ -1,0 +1,154 @@
+package metrics
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// WriteSeriesCSV writes named (x, y) series in long format:
+// series,x,y — one row per point. Suitable for gnuplot/pandas replotting of
+// any figure.
+func WriteSeriesCSV(w io.Writer, series []Series) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"series", "x", "y"}); err != nil {
+		return err
+	}
+	for _, s := range series {
+		for _, p := range s.Points {
+			rec := []string{
+				s.Name,
+				strconv.FormatFloat(p.X, 'g', -1, 64),
+				strconv.FormatFloat(p.Y, 'g', -1, 64),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteNodeMetricsCSV writes one row per included node with arbitrary named
+// metric columns computed by the supplied functions.
+func WriteNodeMetricsCSV(w io.Writer, run *Run, columns map[string]func(*NodeRecord) float64) error {
+	cw := csv.NewWriter(w)
+	names := make([]string, 0, len(columns))
+	for name := range columns {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	header := append([]string{"node", "class", "cap_kbps"}, names...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i := range run.Nodes {
+		n := &run.Nodes[i]
+		if n.Excluded {
+			continue
+		}
+		rec := make([]string, 0, len(header))
+		rec = append(rec,
+			strconv.Itoa(int(n.Node)),
+			n.Class,
+			strconv.FormatUint(uint64(n.CapKbps), 10))
+		for _, name := range names {
+			rec = append(rec, strconv.FormatFloat(columns[name](n), 'g', -1, 64))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteDeliveryCSV dumps the raw delivery matrix (one row per node-packet
+// pair that arrived): node,packet,publish_s,recv_s,lag_s. This is the
+// complete ground truth of a run; everything else derives from it.
+func WriteDeliveryCSV(w io.Writer, run *Run) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"node", "packet", "publish_s", "recv_s", "lag_s"}); err != nil {
+		return err
+	}
+	for i := range run.Nodes {
+		n := &run.Nodes[i]
+		if n.Excluded {
+			continue
+		}
+		for id := range n.Recv {
+			lag := run.Lag(n, id)
+			if lag == Never {
+				continue
+			}
+			rec := []string{
+				strconv.Itoa(int(n.Node)),
+				strconv.Itoa(id),
+				fmtSeconds(run.PublishAt[id]),
+				fmtSeconds(n.Recv[id]),
+				fmtSeconds(lag),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func fmtSeconds(d time.Duration) string {
+	return strconv.FormatFloat(d.Seconds(), 'f', 6, 64)
+}
+
+// Summary produces the per-run scalar summary used by heapsim and the CSV
+// exports: a stable, ordered list of (name, value) pairs.
+type Summary struct {
+	Fields []SummaryField
+}
+
+// SummaryField is one named scalar.
+type SummaryField struct {
+	Name  string
+	Value float64
+}
+
+// Add appends a field.
+func (s *Summary) Add(name string, value float64) {
+	s.Fields = append(s.Fields, SummaryField{Name: name, Value: value})
+}
+
+// WriteCSV writes the summary as a two-line CSV (header + values).
+func (s *Summary) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	names := make([]string, len(s.Fields))
+	vals := make([]string, len(s.Fields))
+	for i, f := range s.Fields {
+		names[i] = f.Name
+		vals[i] = strconv.FormatFloat(f.Value, 'g', -1, 64)
+	}
+	if err := cw.Write(names); err != nil {
+		return err
+	}
+	if err := cw.Write(vals); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// String renders the summary as "name=value" pairs.
+func (s *Summary) String() string {
+	out := ""
+	for i, f := range s.Fields {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%s=%.4g", f.Name, f.Value)
+	}
+	return out
+}

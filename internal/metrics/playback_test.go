@@ -1,0 +1,82 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+// playbackRun: tinyGeom windows of 3+2 (window duration 300ms at 100ms
+// interval; last packet of window w publishes at (3w+2)*100ms).
+func playbackRun(t *testing.T, lagsMs [][]int) *Run {
+	t.Helper()
+	return buildRun(t, tinyGeom(), len(lagsMs[0])/5, lagsMs)
+}
+
+func TestPlaybackSmooth(t *testing.T) {
+	// Everything arrives 50ms after publish: a 100ms startup plays cleanly.
+	run := playbackRun(t, [][]int{{50, 50, 50, 50, 50, 50, 50, 50, 50, 50}})
+	rep := run.Playback(&run.Nodes[0], 100*time.Millisecond)
+	if rep.Stalls != 0 || rep.SkippedWindows != 0 {
+		t.Fatalf("smooth playback reported stalls=%d skips=%d", rep.Stalls, rep.SkippedWindows)
+	}
+	if rep.FinalLag != 100*time.Millisecond {
+		t.Fatalf("final lag %v, want startup 100ms", rep.FinalLag)
+	}
+}
+
+func TestPlaybackStallsAccumulate(t *testing.T) {
+	// Window 0 decodable at its last packet publish +50ms; window 1's
+	// packets arrive 400ms late: with a 100ms startup the player stalls.
+	lags := []int{50, 50, 50, -1, -1, 400, 400, 400, -1, -1}
+	run := playbackRun(t, [][]int{lags})
+	n := &run.Nodes[0]
+	rep := run.Playback(n, 100*time.Millisecond)
+	if rep.Stalls != 1 {
+		t.Fatalf("stalls = %d, want 1", rep.Stalls)
+	}
+	if rep.StallTime != 300*time.Millisecond {
+		t.Fatalf("stall time = %v, want 300ms (400ms lag - 100ms startup)", rep.StallTime)
+	}
+	if rep.FinalLag != 400*time.Millisecond {
+		t.Fatalf("final lag = %v, want 400ms", rep.FinalLag)
+	}
+	// A larger startup absorbs the late window entirely.
+	rep = run.Playback(n, 500*time.Millisecond)
+	if rep.Stalls != 0 || rep.FinalLag != 500*time.Millisecond {
+		t.Fatalf("500ms startup: stalls=%d finalLag=%v", rep.Stalls, rep.FinalLag)
+	}
+}
+
+func TestPlaybackSkipsDeadWindows(t *testing.T) {
+	lags := []int{50, 50, 50, -1, -1, -1, -1, -1, -1, -1}
+	run := playbackRun(t, [][]int{lags})
+	rep := run.Playback(&run.Nodes[0], 100*time.Millisecond)
+	if rep.SkippedWindows != 1 {
+		t.Fatalf("skipped = %d, want 1", rep.SkippedWindows)
+	}
+	if rep.Stalls != 0 {
+		t.Fatalf("dead window should be skipped, not stalled (stalls=%d)", rep.Stalls)
+	}
+}
+
+func TestMinStartupForSmoothPlayback(t *testing.T) {
+	lags := []int{50, 50, 50, -1, -1, 400, 400, 400, -1, -1}
+	run := playbackRun(t, [][]int{lags})
+	n := &run.Nodes[0]
+	min := run.MinStartupForSmoothPlayback(n)
+	if min != 400*time.Millisecond {
+		t.Fatalf("min startup = %v, want 400ms", min)
+	}
+	// Verify the bound is tight: at min no stalls, just below it stalls.
+	if rep := run.Playback(n, min); rep.Stalls != 0 {
+		t.Fatalf("playback at min startup stalled %d times", rep.Stalls)
+	}
+	if rep := run.Playback(n, min-time.Millisecond); rep.Stalls == 0 {
+		t.Fatal("playback below min startup did not stall")
+	}
+	// Dead window -> Never.
+	dead := playbackRun(t, [][]int{{50, 50, 50, -1, -1, -1, -1, -1, -1, -1}})
+	if got := dead.MinStartupForSmoothPlayback(&dead.Nodes[0]); got != Never {
+		t.Fatalf("min startup with dead window = %v, want Never", got)
+	}
+}

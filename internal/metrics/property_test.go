@@ -1,0 +1,159 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/stream"
+	"repro/internal/wire"
+)
+
+// randomRun builds a Run with random delivery records.
+func randomRun(rng *rand.Rand) *Run {
+	g := stream.Geometry{RateBps: 8000, PacketBytes: 100, DataPerWindow: 4, ParityPerWindow: 2}
+	windows := 1 + rng.Intn(6)
+	total := g.TotalPackets(windows)
+	pub := make([]time.Duration, total)
+	for id := 0; id < total; id++ {
+		pub[id] = g.PublishOffset(wire.PacketID(id))
+	}
+	run := &Run{Geometry: g, Windows: windows, PublishAt: pub}
+	nodes := 1 + rng.Intn(4)
+	for n := 0; n < nodes; n++ {
+		recv := make([]time.Duration, total)
+		for id := 0; id < total; id++ {
+			if rng.Float64() < 0.3 {
+				recv[id] = stream.NotReceived
+			} else {
+				recv[id] = pub[id] + time.Duration(rng.Intn(5000))*time.Millisecond
+			}
+		}
+		run.Nodes = append(run.Nodes, NodeRecord{Node: wire.NodeID(n), Class: "c", Recv: recv})
+	}
+	return run
+}
+
+// TestJitterFreeShareMonotoneInLag: allowing more playback lag can only make
+// more windows viewable.
+func TestJitterFreeShareMonotoneInLag(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 120, Rand: rand.New(rand.NewSource(1))}
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		run := randomRun(rng)
+		n := &run.Nodes[0]
+		prev := -1.0
+		for _, lag := range []time.Duration{0, time.Second, 2 * time.Second, 5 * time.Second, Never} {
+			share := run.JitterFreeShare(n, lag)
+			if share < prev {
+				return false
+			}
+			prev = share
+		}
+		return true
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMinLagConsistentWithShare: at the lag MinLagForJitterFree returns, the
+// jitter constraint must hold; just below it (when finite), it must not.
+func TestMinLagConsistentWithShare(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 120, Rand: rand.New(rand.NewSource(2))}
+	err := quick.Check(func(seed int64, jitterPct uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		run := randomRun(rng)
+		n := &run.Nodes[0]
+		maxJitter := float64(jitterPct%30) / 100
+		minLag := run.MinLagForJitterFree(n, maxJitter)
+		if minLag == Never {
+			// Even offline viewing can't satisfy the constraint.
+			return 1-run.JitterFreeShare(n, Never) > maxJitter
+		}
+		okAt := 1-run.JitterFreeShare(n, minLag) <= maxJitter+1e-9
+		if !okAt {
+			return false
+		}
+		if minLag == 0 {
+			return true
+		}
+		// One nanosecond earlier must violate the constraint.
+		return 1-run.JitterFreeShare(n, minLag-1) > maxJitter
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLagForDeliveryRatioMonotoneInRatio: demanding a larger share of the
+// stream can only require a larger (or equal) lag.
+func TestLagForDeliveryRatioMonotoneInRatio(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 120, Rand: rand.New(rand.NewSource(3))}
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		run := randomRun(rng)
+		n := &run.Nodes[0]
+		prev := time.Duration(-1)
+		for _, ratio := range []float64{0.25, 0.5, 0.75, 0.9, 0.99, 1.0} {
+			lag := run.LagForDeliveryRatio(n, ratio)
+			if lag < prev && lag != Never {
+				return false
+			}
+			if prev == Never && lag != Never {
+				return false
+			}
+			prev = lag
+		}
+		return true
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCoverageBounds: per-window coverage is always a fraction.
+func TestCoverageBounds(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 80, Rand: rand.New(rand.NewSource(4))}
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		run := randomRun(rng)
+		for _, lag := range []time.Duration{0, time.Second, Never} {
+			for _, c := range run.PerWindowCoverage(lag) {
+				if c < 0 || c > 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCDFPercentileInverse: ValueAtPercentile and FractionAtOrBelow are
+// consistent: F(V(p)) >= p/100.
+func TestCDFPercentileInverse(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(5))}
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		samples := make([]float64, n)
+		for i := range samples {
+			samples[i] = rng.NormFloat64() * 100
+		}
+		cdf := NewCDF(samples)
+		for _, p := range []float64{1, 25, 50, 75, 99, 100} {
+			v := cdf.ValueAtPercentile(p)
+			if cdf.FractionAtOrBelow(v)*100 < p-1e-9 {
+				return false
+			}
+		}
+		return true
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+}

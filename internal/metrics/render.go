@@ -1,0 +1,180 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Point is one (x, y) sample of a plotted series.
+type Point struct {
+	X, Y float64
+}
+
+// Series is a named line on a Plot.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Plot renders simple ASCII line charts, enough to eyeball the paper's CDFs
+// and time-series figures in a terminal or EXPERIMENTS.md.
+type Plot struct {
+	Title  string
+	XLabel string
+	YLabel string
+	XMax   float64
+	YMax   float64
+	Width  int // plot area columns (default 72)
+	Height int // plot area rows (default 20)
+	Series []Series
+}
+
+// Add appends a series.
+func (p *Plot) Add(name string, pts []Point) {
+	p.Series = append(p.Series, Series{Name: name, Points: pts})
+}
+
+var seriesMarks = []byte("*o+x#@%&")
+
+// Render draws the plot.
+func (p *Plot) Render() string {
+	width, height := p.Width, p.Height
+	if width <= 0 {
+		width = 72
+	}
+	if height <= 0 {
+		height = 20
+	}
+	xmax, ymax := p.XMax, p.YMax
+	if xmax <= 0 {
+		for _, s := range p.Series {
+			for _, pt := range s.Points {
+				if !math.IsInf(pt.X, 0) && pt.X > xmax {
+					xmax = pt.X
+				}
+			}
+		}
+	}
+	if ymax <= 0 {
+		for _, s := range p.Series {
+			for _, pt := range s.Points {
+				if !math.IsInf(pt.Y, 0) && pt.Y > ymax {
+					ymax = pt.Y
+				}
+			}
+		}
+	}
+	if xmax <= 0 {
+		xmax = 1
+	}
+	if ymax <= 0 {
+		ymax = 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range p.Series {
+		mark := seriesMarks[si%len(seriesMarks)]
+		for _, pt := range s.Points {
+			if math.IsInf(pt.X, 0) || math.IsInf(pt.Y, 0) ||
+				math.IsNaN(pt.X) || math.IsNaN(pt.Y) {
+				continue
+			}
+			col := int(pt.X / xmax * float64(width-1))
+			row := height - 1 - int(pt.Y/ymax*float64(height-1))
+			if col < 0 || col >= width || row < 0 || row >= height {
+				continue
+			}
+			grid[row][col] = mark
+		}
+	}
+
+	var b strings.Builder
+	if p.Title != "" {
+		fmt.Fprintf(&b, "%s\n", p.Title)
+	}
+	for r, row := range grid {
+		yVal := ymax * float64(height-1-r) / float64(height-1)
+		fmt.Fprintf(&b, "%7.1f |%s|\n", yVal, string(row))
+	}
+	fmt.Fprintf(&b, "        +%s+\n", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "         0%s%.4g\n", strings.Repeat(" ", width-len(fmt.Sprintf("%.4g", xmax))-1), xmax)
+	if p.XLabel != "" || p.YLabel != "" {
+		fmt.Fprintf(&b, "         x: %s   y: %s\n", p.XLabel, p.YLabel)
+	}
+	for si, s := range p.Series {
+		fmt.Fprintf(&b, "         %c %s\n", seriesMarks[si%len(seriesMarks)], s.Name)
+	}
+	return b.String()
+}
+
+// Table renders aligned text tables for the paper's tabular results.
+type Table struct {
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends one row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render draws the table with column alignment.
+func (t *Table) Render() string {
+	cols := len(t.Headers)
+	for _, r := range t.Rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	measure := func(cells []string) {
+		for i, c := range cells {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.Headers)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			fmt.Fprintf(&b, "| %-*s ", widths[i], cell)
+		}
+		b.WriteString("|\n")
+	}
+	writeRow(t.Headers)
+	for i := 0; i < cols; i++ {
+		fmt.Fprintf(&b, "|%s", strings.Repeat("-", widths[i]+2))
+	}
+	b.WriteString("|\n")
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// CDFSeries converts per-node sample values into CDF plot points
+// ("percentage of nodes with value <= x"), sampling at each distinct value —
+// the staircase the paper's figures draw.
+func CDFSeries(samples []float64) []Point {
+	c := NewCDF(samples)
+	pts := make([]Point, 0, c.N)
+	for i, v := range c.Values {
+		if math.IsInf(v, 0) {
+			break
+		}
+		pts = append(pts, Point{X: v, Y: 100 * float64(i+1) / float64(c.N)})
+	}
+	return pts
+}

@@ -1,0 +1,132 @@
+// Package ratelimit implements the paper's application-level bandwidth
+// throttling (§3.1): a token-bucket pacer with a FIFO queue in front of it.
+// Nodes never push bursts that exceed their upload capacity; excess packets
+// wait in the queue and leave as soon as bandwidth allows.
+//
+// The discrete-event simulator models this behaviour natively
+// (internal/simnet); this package provides it for the real-UDP runtime
+// (internal/udpnet).
+package ratelimit
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Sender paces items of type T through a send function at a fixed bit rate.
+// Items queue FIFO; when the queue is full, Enqueue drops (tail drop) —
+// a bounded variant of the paper's unbounded application queue.
+type Sender[T any] struct {
+	rateBps int64
+	sizeOf  func(T) int
+	send    func(T)
+
+	queue chan T
+	wg    sync.WaitGroup
+	stop  chan struct{}
+	once  sync.Once
+
+	sent    atomic.Int64
+	dropped atomic.Int64
+	bytes   atomic.Int64
+}
+
+// NewSender builds and starts a paced sender. rateBps <= 0 means unlimited.
+// sizeOf must return the on-wire size (used for pacing); send performs the
+// actual transmission and must not block indefinitely.
+func NewSender[T any](rateBps int64, queueCap int, sizeOf func(T) int, send func(T)) (*Sender[T], error) {
+	if queueCap <= 0 {
+		return nil, fmt.Errorf("ratelimit: queue capacity %d must be positive", queueCap)
+	}
+	if sizeOf == nil || send == nil {
+		return nil, fmt.Errorf("ratelimit: sizeOf and send are required")
+	}
+	s := &Sender[T]{
+		rateBps: rateBps,
+		sizeOf:  sizeOf,
+		send:    send,
+		queue:   make(chan T, queueCap),
+		stop:    make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go s.drain()
+	return s, nil
+}
+
+// Enqueue submits an item for paced transmission. It reports false when the
+// queue is full (the item is dropped) or the sender is closed.
+func (s *Sender[T]) Enqueue(item T) bool {
+	select {
+	case <-s.stop:
+		s.dropped.Add(1)
+		return false
+	default:
+	}
+	select {
+	case s.queue <- item:
+		return true
+	default:
+		s.dropped.Add(1)
+		return false
+	}
+}
+
+// Close stops the drain loop and waits for it to exit. Queued items are
+// discarded. Close is idempotent.
+func (s *Sender[T]) Close() {
+	s.once.Do(func() { close(s.stop) })
+	s.wg.Wait()
+}
+
+// Sent returns the number of items transmitted.
+func (s *Sender[T]) Sent() int64 { return s.sent.Load() }
+
+// Dropped returns the number of items tail-dropped.
+func (s *Sender[T]) Dropped() int64 { return s.dropped.Load() }
+
+// Bytes returns the total bytes transmitted.
+func (s *Sender[T]) Bytes() int64 { return s.bytes.Load() }
+
+// QueueLen returns the instantaneous queue length.
+func (s *Sender[T]) QueueLen() int { return len(s.queue) }
+
+// drain is the pacing loop: a virtual transmission clock advances by each
+// item's serialization time; the loop sleeps whenever the clock runs ahead
+// of real time. This is equivalent to a token bucket with zero burst, which
+// is what "never exceed the upload capability" requires.
+func (s *Sender[T]) drain() {
+	defer s.wg.Done()
+	var txClock time.Time // when the uplink becomes free
+	for {
+		select {
+		case <-s.stop:
+			return
+		case item := <-s.queue:
+			if s.rateBps > 0 {
+				now := time.Now()
+				if txClock.Before(now) {
+					txClock = now
+				}
+				size := s.sizeOf(item)
+				ser := time.Duration(int64(size) * 8 * int64(time.Second) / s.rateBps)
+				txClock = txClock.Add(ser)
+				if wait := time.Until(txClock); wait > 0 {
+					timer := time.NewTimer(wait)
+					select {
+					case <-timer.C:
+					case <-s.stop:
+						timer.Stop()
+						return
+					}
+				}
+				s.bytes.Add(int64(size))
+			} else {
+				s.bytes.Add(int64(s.sizeOf(item)))
+			}
+			s.send(item)
+			s.sent.Add(1)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package ratelimit
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestValidation(t *testing.T) {
+	size := func(int) int { return 1 }
+	send := func(int) {}
+	if _, err := NewSender(0, 0, size, send); err == nil {
+		t.Error("zero queue cap accepted")
+	}
+	if _, err := NewSender[int](0, 1, nil, send); err == nil {
+		t.Error("nil sizeOf accepted")
+	}
+	if _, err := NewSender[int](0, 1, size, nil); err == nil {
+		t.Error("nil send accepted")
+	}
+}
+
+func TestUnlimitedSendsImmediately(t *testing.T) {
+	var got atomic.Int64
+	s, err := NewSender(0, 100, func(int) int { return 1000 }, func(int) { got.Add(1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 50; i++ {
+		if !s.Enqueue(i) {
+			t.Fatal("enqueue failed")
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for got.Load() < 50 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got.Load() != 50 {
+		t.Fatalf("sent %d of 50", got.Load())
+	}
+	if s.Bytes() != 50*1000 {
+		t.Fatalf("bytes = %d, want 50000", s.Bytes())
+	}
+}
+
+func TestRatePacing(t *testing.T) {
+	// 100 items of 1250 bytes at 1 Mbps = 10ms each = ~1s total. Use a
+	// smaller run to keep the test fast: 20 items = ~200ms.
+	var got atomic.Int64
+	s, err := NewSender(1_000_000, 100, func(int) int { return 1250 }, func(int) { got.Add(1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	start := time.Now()
+	for i := 0; i < 20; i++ {
+		s.Enqueue(i)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for got.Load() < 20 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	elapsed := time.Since(start)
+	if got.Load() != 20 {
+		t.Fatalf("sent %d of 20", got.Load())
+	}
+	// 20 * 10ms = 200ms of serialization. Allow generous scheduling slop
+	// upward but fail if pacing was absent (much faster than 150ms).
+	if elapsed < 150*time.Millisecond {
+		t.Fatalf("20 items took %v; pacing absent (want >= ~200ms)", elapsed)
+	}
+}
+
+func TestTailDropWhenFull(t *testing.T) {
+	block := make(chan struct{})
+	s, err := NewSender(1, 4, func(int) int { return 1 << 20 }, func(int) { <-block })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		close(block)
+		s.Close()
+	}()
+	// Fill queue (4) + the one the drain loop is stuck on; the rest drop.
+	dropped := 0
+	for i := 0; i < 20; i++ {
+		if !s.Enqueue(i) {
+			dropped++
+		}
+	}
+	if dropped == 0 {
+		t.Fatal("no drops despite full queue")
+	}
+	if s.Dropped() != int64(dropped) {
+		t.Fatalf("Dropped() = %d, want %d", s.Dropped(), dropped)
+	}
+}
+
+func TestCloseStopsAndIsIdempotent(t *testing.T) {
+	s, err := NewSender(0, 10, func(int) int { return 1 }, func(int) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s.Close() // idempotent
+	if s.Enqueue(1) {
+		t.Fatal("enqueue succeeded after close")
+	}
+}
+
+func TestCloseUnblocksPacedWait(t *testing.T) {
+	// An item needing a long pacing wait must not block Close.
+	s, err := NewSender(8, 10, func(int) int { return 1 << 20 }, func(int) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Enqueue(1)
+	s.Enqueue(2) // second item waits ~forever at 1 B/s
+	time.Sleep(10 * time.Millisecond)
+	done := make(chan struct{})
+	go func() {
+		s.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close blocked on paced wait")
+	}
+}
+
+func TestQueueLen(t *testing.T) {
+	block := make(chan struct{})
+	s, err := NewSender(0, 10, func(int) int { return 1 }, func(int) { <-block })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		close(block)
+		s.Close()
+	}()
+	for i := 0; i < 5; i++ {
+		s.Enqueue(i)
+	}
+	time.Sleep(10 * time.Millisecond) // drain loop picks up one
+	if l := s.QueueLen(); l < 3 || l > 5 {
+		t.Fatalf("queue length %d, want ~4", l)
+	}
+}

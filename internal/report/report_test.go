@@ -1,0 +1,105 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// smallSuite runs fast, scaled-down experiments for testing the generators.
+func smallSuite(out *strings.Builder) *Suite {
+	s := NewSuite(out, 60, 4, 42)
+	s.DegradedFraction = 0
+	return s
+}
+
+func TestArtifactsListMatchesGenerate(t *testing.T) {
+	var out strings.Builder
+	s := smallSuite(&out)
+	for _, a := range Artifacts() {
+		if a == "fig2" || a == "fig10" {
+			continue // slow multi-run artifacts covered separately
+		}
+		if err := s.Generate(a); err != nil {
+			t.Fatalf("artifact %s: %v", a, err)
+		}
+	}
+	if err := s.Generate("nope"); err == nil {
+		t.Fatal("unknown artifact accepted")
+	}
+}
+
+func TestFigure1Content(t *testing.T) {
+	var out strings.Builder
+	s := smallSuite(&out)
+	if err := s.Figure1(); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"Figure 1", "99% delivery", "P50="} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("figure 1 output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestFigure4AndTablesShareRuns(t *testing.T) {
+	var out strings.Builder
+	s := smallSuite(&out)
+	if err := s.Figure4(); err != nil {
+		t.Fatal(err)
+	}
+	runsAfterFig4 := len(s.CachedRuns())
+	if err := s.Table3(); err != nil {
+		t.Fatal(err)
+	}
+	runsAfterTable3 := len(s.CachedRuns())
+	// Table 3 adds only the ref-724 pair; the ref-691/ms-691 runs must be
+	// reused from Figure 4.
+	if runsAfterTable3 != runsAfterFig4+2 {
+		t.Fatalf("expected 2 extra runs for Table 3, got %d -> %d: %v",
+			runsAfterFig4, runsAfterTable3, s.CachedRuns())
+	}
+	text := out.String()
+	if !strings.Contains(text, "Table 3") || !strings.Contains(text, "HEAP") {
+		t.Fatalf("table 3 output malformed:\n%s", text)
+	}
+}
+
+func TestFigure10Churn(t *testing.T) {
+	var out strings.Builder
+	s := smallSuite(&out)
+	start := time.Now()
+	if err := s.Figure10(); err != nil {
+		t.Fatal(err)
+	}
+	if testing.Verbose() {
+		t.Logf("figure 10 took %v", time.Since(start))
+	}
+	text := out.String()
+	for _, want := range []string{"Figure 10", "20%", "50%", "12s lag", "30s lag"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("figure 10 output missing %q", want)
+		}
+	}
+}
+
+func TestProgressCallback(t *testing.T) {
+	var out strings.Builder
+	s := smallSuite(&out)
+	var names []string
+	s.Progress = func(name string, _ time.Duration) { names = append(names, name) }
+	if err := s.Figure3(); err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "heap-ms-691" {
+		t.Fatalf("progress calls: %v", names)
+	}
+	// Cached: no second progress call.
+	if err := s.Figure3(); err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 {
+		t.Fatalf("cache miss on repeat: %v", names)
+	}
+}

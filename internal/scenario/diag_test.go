@@ -1,0 +1,73 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// TestDiagnostics prints per-class protocol behavior for manual inspection.
+// Run with: go test ./internal/scenario/ -run TestDiagnostics -v
+func TestDiagnostics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic only")
+	}
+	for _, proto := range []Protocol{StandardGossip, HEAP} {
+		cfg := Config{
+			Name:        "diag-" + string(proto),
+			Nodes:       180,
+			Dist:        MS691,
+			Protocol:    proto,
+			Windows:     15,
+			Seed:        3,
+			StreamStart: 5 * time.Second,
+			Drain:       30 * time.Second,
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		type agg struct {
+			n                                  int
+			served, proposed, retx, dups, unsv int64
+			usage, backlog                     float64
+			jf                                 float64
+		}
+		classes := map[string]*agg{}
+		for i := 1; i < cfg.Nodes; i++ {
+			cl := cfg.Dist.ClassOf(res.CapsKbps[i])
+			a := classes[cl]
+			if a == nil {
+				a = &agg{}
+				classes[cl] = a
+			}
+			a.n++
+			st := res.CoreStats[i]
+			a.served += st.EventsServed
+			a.proposed += st.ProposesSent
+			a.retx += st.Retransmissions
+			a.dups += st.DuplicateEvents
+			a.unsv += st.UnservableIDs
+			a.usage += res.Usage[i]
+			a.backlog += res.NodeNetStats[i].QueueDelay.Seconds()
+			a.jf += res.Run.JitterFreeShare(&res.Run.Nodes[i], 10*time.Second)
+		}
+		t.Logf("=== %s ===", proto)
+		streamSecs := res.Config.StreamDuration().Seconds()
+		for cl, a := range classes {
+			nf := float64(a.n)
+			t.Logf("%8s n=%2d servedMbps=%.2f proposes/s=%.0f retx=%.0f dups=%.0f unsv=%.0f usage=%.2f backlog=%.1fs jf@10s=%.2f",
+				cl, a.n,
+				float64(a.served)/nf*1365*8/streamSecs/1e6,
+				float64(a.proposed)/nf/streamSecs,
+				float64(a.retx)/nf, float64(a.dups)/nf, float64(a.unsv)/nf,
+				a.usage/nf, a.backlog/nf, a.jf/nf)
+		}
+		var lagSum float64
+		for i := 1; i < cfg.Nodes; i++ {
+			lagSum += metrics.Seconds(res.Run.MinLagForJitterFree(&res.Run.Nodes[i], 0.01))
+		}
+		t.Logf("mean min-lag(<=1%% jitter) = %.1fs; giveups: see above", lagSum/float64(cfg.Nodes-1))
+	}
+}

@@ -1,0 +1,162 @@
+// Package scenario assembles full experiment runs: the upload-capability
+// distributions of Table 1, the node/protocol wiring, churn injection, and
+// the collection of every measurement the paper's figures and tables need.
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Class is one capability class of a Table 1 distribution.
+type Class struct {
+	Name     string
+	Kbps     uint32
+	Fraction float64
+}
+
+// Distribution assigns upload capabilities to nodes.
+type Distribution interface {
+	// Name identifies the distribution (e.g. "ref-691").
+	Name() string
+	// Assign returns per-node capabilities in kbps, shuffled with rng.
+	Assign(n int, rng *rand.Rand) []uint32
+	// ClassOf labels a capability for per-class reporting.
+	ClassOf(kbps uint32) string
+	// MeanKbps returns the distribution's expected mean capability.
+	MeanKbps() float64
+}
+
+// ClassDistribution is a discrete distribution over capability classes.
+type ClassDistribution struct {
+	DistName string
+	Classes  []Class
+}
+
+var _ Distribution = (*ClassDistribution)(nil)
+
+// Name implements Distribution.
+func (d *ClassDistribution) Name() string { return d.DistName }
+
+// Assign implements Distribution using largest-remainder apportionment, so
+// class fractions are hit exactly (up to integer rounding) for any n, then a
+// shuffle assigns classes to node ids.
+func (d *ClassDistribution) Assign(n int, rng *rand.Rand) []uint32 {
+	counts := make([]int, len(d.Classes))
+	type rem struct {
+		idx  int
+		frac float64
+	}
+	rems := make([]rem, len(d.Classes))
+	total := 0
+	for i, c := range d.Classes {
+		exact := c.Fraction * float64(n)
+		counts[i] = int(exact)
+		rems[i] = rem{idx: i, frac: exact - float64(counts[i])}
+		total += counts[i]
+	}
+	sort.Slice(rems, func(i, j int) bool {
+		if rems[i].frac != rems[j].frac {
+			return rems[i].frac > rems[j].frac
+		}
+		return rems[i].idx < rems[j].idx
+	})
+	for k := 0; total < n; k++ {
+		counts[rems[k%len(rems)].idx]++
+		total++
+	}
+	out := make([]uint32, 0, n)
+	for i, c := range d.Classes {
+		for j := 0; j < counts[i]; j++ {
+			out = append(out, c.Kbps)
+		}
+	}
+	out = out[:n]
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// ClassOf implements Distribution.
+func (d *ClassDistribution) ClassOf(kbps uint32) string {
+	for _, c := range d.Classes {
+		if c.Kbps == kbps {
+			return c.Name
+		}
+	}
+	return fmt.Sprintf("%dkbps", kbps)
+}
+
+// MeanKbps implements Distribution.
+func (d *ClassDistribution) MeanKbps() float64 {
+	var m float64
+	for _, c := range d.Classes {
+		m += c.Fraction * float64(c.Kbps)
+	}
+	return m
+}
+
+// UniformDistribution draws capabilities uniformly from [MinKbps, MaxKbps]
+// (dist2 of Figure 2: a uniform distribution with the same 691 kbps mean as
+// ms-691; the paper does not give its bounds, we use 256-1126 kbps).
+type UniformDistribution struct {
+	DistName         string
+	MinKbps, MaxKbps uint32
+}
+
+var _ Distribution = (*UniformDistribution)(nil)
+
+// Name implements Distribution.
+func (d *UniformDistribution) Name() string { return d.DistName }
+
+// Assign implements Distribution.
+func (d *UniformDistribution) Assign(n int, rng *rand.Rand) []uint32 {
+	out := make([]uint32, n)
+	span := int64(d.MaxKbps - d.MinKbps)
+	for i := range out {
+		out[i] = d.MinKbps + uint32(rng.Int63n(span+1))
+	}
+	return out
+}
+
+// ClassOf implements Distribution: uniform draws share one reporting bucket.
+func (d *UniformDistribution) ClassOf(uint32) string { return "uniform" }
+
+// MeanKbps implements Distribution.
+func (d *UniformDistribution) MeanKbps() float64 {
+	return (float64(d.MinKbps) + float64(d.MaxKbps)) / 2
+}
+
+// Table 1 distributions plus the unconstrained and uniform settings used in
+// Figures 1 and 2.
+var (
+	// Ref691 is ref-691: CSR 1.15, mean 691 kbps.
+	Ref691 = &ClassDistribution{DistName: "ref-691", Classes: []Class{
+		{Name: "2Mbps", Kbps: 2000, Fraction: 0.10},
+		{Name: "768kbps", Kbps: 768, Fraction: 0.50},
+		{Name: "256kbps", Kbps: 256, Fraction: 0.40},
+	}}
+	// Ref724 is ref-724: CSR 1.20, mean 724 kbps.
+	Ref724 = &ClassDistribution{DistName: "ref-724", Classes: []Class{
+		{Name: "2Mbps", Kbps: 2000, Fraction: 0.15},
+		{Name: "768kbps", Kbps: 768, Fraction: 0.39},
+		{Name: "256kbps", Kbps: 256, Fraction: 0.46},
+	}}
+	// MS691 is ms-691 (dist1 of the introduction): CSR 1.15, mean 691 kbps,
+	// most skewed — 85% of nodes below the stream rate.
+	MS691 = &ClassDistribution{DistName: "ms-691", Classes: []Class{
+		{Name: "3Mbps", Kbps: 3000, Fraction: 0.05},
+		{Name: "1Mbps", Kbps: 1000, Fraction: 0.10},
+		{Name: "512kbps", Kbps: 512, Fraction: 0.85},
+	}}
+	// Uniform691 is dist2 of Figure 2: uniform with the same 691 kbps mean.
+	Uniform691 = &UniformDistribution{DistName: "uniform-691", MinKbps: 256, MaxKbps: 1126}
+)
+
+// Distributions indexes the named distributions.
+var Distributions = map[string]Distribution{
+	Ref691.Name():     Ref691,
+	Ref724.Name():     Ref724,
+	MS691.Name():      MS691,
+	Uniform691.Name(): Uniform691,
+}

@@ -1,0 +1,14 @@
+package scenario
+
+import (
+	"testing"
+
+	"repro/internal/membership"
+	"repro/internal/wire"
+)
+
+// viewForTest builds a full view over n nodes for the given self id.
+func viewForTest(t *testing.T, self wire.NodeID, n int) *membership.View {
+	t.Helper()
+	return membership.NewDirectory(n).ViewFor(self)
+}

@@ -1,0 +1,754 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/aggregation"
+	"repro/internal/churn"
+	"repro/internal/core"
+	"repro/internal/env"
+	"repro/internal/membership"
+	"repro/internal/metrics"
+	"repro/internal/simnet"
+	"repro/internal/stream"
+	"repro/internal/tree"
+	"repro/internal/wire"
+)
+
+// Protocol selects the dissemination protocol under test.
+type Protocol string
+
+// The protocols under evaluation: the paper's two gossip protocols plus
+// the static-tree baseline its introduction dismisses.
+const (
+	StandardGossip Protocol = "standard" // Algorithm 1, fixed fanout
+	HEAP           Protocol = "heap"     // Algorithm 2, capability-adaptive fanout
+	StaticTree     Protocol = "tree"     // k-ary push tree, no repair (intro baseline)
+)
+
+// Config fully describes one experiment run. The zero value of most fields
+// selects the paper's §3.1 parameters.
+type Config struct {
+	// Name labels the run in reports.
+	Name string
+	// Nodes is the system size including the source. Default 270.
+	Nodes int
+	// Protocol selects standard gossip or HEAP. Default StandardGossip.
+	Protocol Protocol
+	// Fanout is fbar. Default 7 (§3.1).
+	Fanout float64
+	// MaxFanout clamps HEAP's adapted fanout. Default 64.
+	MaxFanout int
+	// Dist assigns upload capabilities. Required unless Unconstrained.
+	Dist Distribution
+	// Unconstrained disables upload caps entirely (Figure 1).
+	Unconstrained bool
+	// Windows is the stream length in FEC windows. Default 31 (~60 s).
+	Windows int
+	// Geometry is the stream geometry. Default stream.PaperGeometry().
+	Geometry stream.Geometry
+	// Seed drives all randomness.
+	Seed int64
+	// StreamStart delays the source, letting aggregation warm up.
+	// Default 5 s.
+	StreamStart time.Duration
+	// Drain keeps the run going after the last packet so that stragglers
+	// and offline metrics settle. Default 60 s.
+	Drain time.Duration
+
+	// GossipPeriod is Algorithm 1's round period. Default 200 ms.
+	GossipPeriod time.Duration
+	// RetPeriod is the retransmission timeout. Default 5 s (see
+	// core.Config.RetPeriod for why it must exceed congestion transients).
+	RetPeriod time.Duration
+	// RetMaxAttempts bounds request attempts per id. Default 2.
+	RetMaxAttempts int
+	// RetSameProposer switches retransmission to the paper-literal
+	// same-proposer policy (ablation; see core.Config.RetSameProposer).
+	RetSameProposer bool
+
+	// AggPeriod / AggFanout / AggFreshestK parameterize the aggregation
+	// protocol (HEAP only). Defaults: 200 ms, 1 peer, 10 entries (§3.1).
+	AggPeriod    time.Duration
+	AggFanout    int
+	AggFreshestK int
+
+	// LossRate is the per-datagram loss probability. Default 0.1%.
+	LossRate float64
+	// LatencyMin/LatencyMax/LatencyJitter parameterize per-pair one-way
+	// delays. Defaults 10 ms / 100 ms / 5 ms.
+	LatencyMin, LatencyMax, LatencyJitter time.Duration
+
+	// SourceCapKbps is the source's upload capacity; the source must
+	// sustain roughly Fanout times the stream rate (every first-hop
+	// proposal is pulled). Default 10000 (10 Mbps), mimicking the paper's
+	// well-provisioned PlanetLab source.
+	SourceCapKbps uint32
+	// SourceBias enables the §5 extension: the source's first-hop targets
+	// are drawn with probability proportional to advertised capability
+	// (oracle knowledge; this is an ablation, not part of HEAP).
+	SourceBias bool
+
+	// DegradedFraction of nodes deliver only DegradedFactor of their
+	// advertised capability (the overloaded PlanetLab hosts of §3.1; 5-7%
+	// in the paper). Defaults 0 / 0.5.
+	DegradedFraction float64
+	DegradedFactor   float64
+
+	// FreeriderFraction of nodes advertise only FreeriderFactor of their
+	// true capability to the aggregation protocol while keeping their full
+	// capacity — the §5 freeriding threat: HEAP assigns them a small fanout
+	// and they contribute less than their share. Defaults 0 / 0.25.
+	FreeriderFraction float64
+	FreeriderFactor   float64
+
+	// AdaptPeriod switches HEAP's knob from fanout to gossip period
+	// (§5 alternative; ablation). Requires Protocol == HEAP.
+	AdaptPeriod bool
+
+	// AutoFanout removes the paper's "n known in advance" simplification:
+	// every node runs the push-pull averaging protocol ([13], §2.2) to
+	// continuously estimate the system size n̂ and derives its fanout base
+	// as ln(n̂) + FanoutC instead of the static Fanout.
+	AutoFanout bool
+	// FanoutC is the additive reliability margin c. Default 1.4 (which
+	// gives ln(270)+1.4 ~= 7, the paper's fanout at its scale).
+	FanoutC float64
+
+	// TreeDegree is the static tree's arity (StaticTree only). Default 4.
+	TreeDegree int
+	// TreeCapacityOrder places high-capability nodes near the root
+	// (StaticTree only) instead of arbitrary id order.
+	TreeCapacityOrder bool
+
+	// UsePSS replaces the full-membership view with a Cyclon-style
+	// peer-sampling service (extension): nodes bootstrap from a few random
+	// contacts and sample gossip targets from shuffled partial views.
+	UsePSS bool
+	// PSSViewSize is the partial view size (default 24).
+	PSSViewSize int
+
+	// Churn optionally injects a catastrophic failure (§3.6).
+	Churn *churn.Catastrophic
+
+	// VerifyPayloads makes receivers run full FEC reconstruction and check
+	// payload contents (slow; used by integration tests).
+	VerifyPayloads bool
+
+	// BacklogProbePeriod samples every node's uplink queue depth at this
+	// interval (0 disables). The resulting time series is the paper's
+	// §3.6 congestion symptom: "upload queues tend to grow larger".
+	BacklogProbePeriod time.Duration
+
+	// FreezesPerNode injects that many random freezes per node across the
+	// run (the paper's §3.5 "sporadically, some PlanetLab nodes seem
+	// temporarily frozen"); during a freeze, deliveries and timers are
+	// deferred. Each freeze lasts uniformly 0.5-1.5x FreezeMeanDuration
+	// (default 2 s). 0 disables.
+	FreezesPerNode     float64
+	FreezeMeanDuration time.Duration
+}
+
+func (c *Config) applyDefaults() error {
+	if c.Nodes == 0 {
+		c.Nodes = 270
+	}
+	if c.Nodes < 3 {
+		return fmt.Errorf("scenario: need at least 3 nodes, got %d", c.Nodes)
+	}
+	if c.Protocol == "" {
+		c.Protocol = StandardGossip
+	}
+	if c.Protocol != StandardGossip && c.Protocol != HEAP && c.Protocol != StaticTree {
+		return fmt.Errorf("scenario: unknown protocol %q", c.Protocol)
+	}
+	if c.Fanout == 0 {
+		c.Fanout = 7
+	}
+	if c.MaxFanout == 0 {
+		c.MaxFanout = 64
+	}
+	if c.Dist == nil && !c.Unconstrained {
+		return fmt.Errorf("scenario: a distribution is required unless Unconstrained")
+	}
+	if c.Windows == 0 {
+		c.Windows = 31
+	}
+	if c.Geometry == (stream.Geometry{}) {
+		c.Geometry = stream.PaperGeometry()
+	}
+	if err := c.Geometry.Validate(); err != nil {
+		return err
+	}
+	if c.StreamStart == 0 {
+		c.StreamStart = 5 * time.Second
+	}
+	if c.Drain == 0 {
+		c.Drain = 60 * time.Second
+	}
+	if c.GossipPeriod == 0 {
+		c.GossipPeriod = 200 * time.Millisecond
+	}
+	if c.RetPeriod == 0 {
+		c.RetPeriod = 5 * time.Second
+	}
+	if c.RetMaxAttempts == 0 {
+		c.RetMaxAttempts = 2
+	}
+	if c.AggPeriod == 0 {
+		c.AggPeriod = 200 * time.Millisecond
+	}
+	if c.AggFanout == 0 {
+		c.AggFanout = 1
+	}
+	if c.AggFreshestK == 0 {
+		c.AggFreshestK = 10
+	}
+	if c.LossRate == 0 {
+		c.LossRate = 0.001
+	}
+	if c.LatencyMin == 0 && c.LatencyMax == 0 {
+		c.LatencyMin, c.LatencyMax = 10*time.Millisecond, 100*time.Millisecond
+	}
+	if c.LatencyJitter == 0 {
+		c.LatencyJitter = 5 * time.Millisecond
+	}
+	if c.SourceCapKbps == 0 {
+		c.SourceCapKbps = 10_000
+	}
+	if c.DegradedFactor == 0 {
+		c.DegradedFactor = 0.5
+	}
+	if c.FreeriderFactor == 0 {
+		c.FreeriderFactor = 0.25
+	}
+	if c.FreeriderFraction < 0 || c.FreeriderFraction >= 1 {
+		return fmt.Errorf("scenario: freerider fraction %v outside [0,1)", c.FreeriderFraction)
+	}
+	if c.AdaptPeriod && c.Protocol != HEAP {
+		return fmt.Errorf("scenario: AdaptPeriod requires the HEAP protocol")
+	}
+	if c.PSSViewSize == 0 {
+		c.PSSViewSize = 24
+	}
+	if c.TreeDegree == 0 {
+		c.TreeDegree = 4
+	}
+	if c.FanoutC == 0 {
+		c.FanoutC = 1.4
+	}
+	if c.FreezeMeanDuration == 0 {
+		c.FreezeMeanDuration = 2 * time.Second
+	}
+	if c.FreezesPerNode < 0 {
+		return fmt.Errorf("scenario: negative freezes per node")
+	}
+	return nil
+}
+
+// StreamDuration returns the stream's on-air time.
+func (c *Config) StreamDuration() time.Duration {
+	last := wire.PacketID(c.Geometry.TotalPackets(c.Windows) - 1)
+	return c.Geometry.PublishOffset(last)
+}
+
+// Result carries everything measured during one run.
+type Result struct {
+	Config Config
+	// Run holds the delivery records that feed every paper metric.
+	Run *metrics.Run
+	// CapsKbps is the true capability per node (source included).
+	CapsKbps []uint32
+	// AdvertisedKbps is what each node told the aggregation protocol; it
+	// differs from CapsKbps only for freeriders.
+	AdvertisedKbps []uint32
+	// Freeriders marks nodes that under-advertised their capability.
+	Freeriders []bool
+	// Usage is each node's upload utilization during the streaming phase:
+	// bytes actually sent (incl. UDP overhead) over capability (Fig 4).
+	// Unconstrained runs report zeros.
+	Usage []float64
+	// Victims lists nodes killed by churn.
+	Victims []wire.NodeID
+	// NodeNetStats are final per-node network counters.
+	NodeNetStats []simnet.NodeStats
+	// CoreStats are final per-node protocol counters.
+	CoreStats []core.Stats
+	// NetStats are network-wide counters.
+	NetStats simnet.Stats
+	// EstimatesKbps holds each HEAP node's final bbar estimate (nil for
+	// standard gossip).
+	EstimatesKbps []float64
+	// SizeEstimates holds each node's final n̂ estimate (AutoFanout runs
+	// only; nil otherwise).
+	SizeEstimates []float64
+	// VerifyFailures counts payload verification failures (verify mode).
+	VerifyFailures int
+	// DecodedWindows counts fully reconstructed windows (verify mode).
+	DecodedWindows int
+	// BacklogSamples holds the uplink-backlog time series when
+	// BacklogProbePeriod is set.
+	BacklogSamples []BacklogSample
+}
+
+// BacklogSample is one probe of the system's uplink queues.
+type BacklogSample struct {
+	// At is the sample's virtual time.
+	At time.Duration
+	// MeanByClass maps capability class to the mean uplink backlog
+	// (seconds of queued serialization time) across that class's nodes.
+	MeanByClass map[string]float64
+	// Max is the largest backlog in the system (seconds).
+	Max float64
+}
+
+// Run executes the scenario and returns its measurements.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+	setupRng := rand.New(rand.NewSource(cfg.Seed ^ 0x5ca1ab1e))
+
+	// Capability assignment. Node 0 is the source.
+	caps := make([]uint32, cfg.Nodes)
+	caps[0] = cfg.SourceCapKbps
+	if cfg.Dist != nil {
+		assigned := cfg.Dist.Assign(cfg.Nodes-1, setupRng)
+		copy(caps[1:], assigned)
+	}
+	// Degraded nodes deliver less than they advertise.
+	effective := make([]int64, cfg.Nodes)
+	for i, c := range caps {
+		effective[i] = int64(c) * 1000
+	}
+	if cfg.DegradedFraction > 0 {
+		for i := 1; i < cfg.Nodes; i++ {
+			if setupRng.Float64() < cfg.DegradedFraction {
+				effective[i] = int64(float64(effective[i]) * cfg.DegradedFactor)
+			}
+		}
+	}
+	// Freeriders advertise less than they have (keeping full capacity).
+	advertised := make([]uint32, cfg.Nodes)
+	copy(advertised, caps)
+	freerider := make([]bool, cfg.Nodes)
+	if cfg.FreeriderFraction > 0 {
+		for i := 1; i < cfg.Nodes; i++ {
+			if setupRng.Float64() < cfg.FreeriderFraction {
+				freerider[i] = true
+				advertised[i] = uint32(float64(caps[i]) * cfg.FreeriderFactor)
+				if advertised[i] == 0 {
+					advertised[i] = 1
+				}
+			}
+		}
+	}
+
+	net := simnet.New(simnet.Config{
+		Seed:     cfg.Seed,
+		Latency:  simnet.NewPairwiseLatency(cfg.Seed, cfg.LatencyMin, cfg.LatencyMax, cfg.LatencyJitter),
+		LossRate: cfg.LossRate,
+	})
+	dir := membership.NewDirectory(cfg.Nodes)
+
+	views := make([]*membership.View, cfg.Nodes)
+	engines := make([]*core.Engine, cfg.Nodes)
+	receivers := make([]*stream.Receiver, cfg.Nodes)
+	estimators := make([]*aggregation.Estimator, cfg.Nodes)
+	averagers := make([]*aggregation.Averager, cfg.Nodes)
+
+	// The static-tree baseline has a fixed topology instead of sampling.
+	var topo *tree.Topology
+	if cfg.Protocol == StaticTree {
+		order := tree.ByID
+		if cfg.TreeCapacityOrder {
+			order = tree.ByCapacityDesc
+		}
+		var err error
+		topo, err = tree.BuildKAry(dir.IDs(), 0, cfg.TreeDegree, order, caps)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	pssRng := rand.New(rand.NewSource(cfg.Seed ^ 0x9551))
+	for i := 0; i < cfg.Nodes; i++ {
+		id := wire.NodeID(i)
+
+		rcv, err := stream.NewReceiver(cfg.Geometry, cfg.Windows, cfg.VerifyPayloads)
+		if err != nil {
+			return nil, err
+		}
+		receivers[i] = rcv
+
+		if cfg.Protocol == StaticTree {
+			eng := tree.NewEngine(topo, tree.DeliverFunc(rcv.OnDeliver))
+			mux := env.NewMux()
+			mux.Register(eng, wire.KindServe)
+			if i == 0 {
+				src, err := stream.NewSource(stream.SourceConfig{
+					Geometry:  cfg.Geometry,
+					Windows:   cfg.Windows,
+					StartAt:   cfg.StreamStart,
+					Publisher: eng,
+				})
+				if err != nil {
+					return nil, err
+				}
+				mux.Register(src)
+			}
+			nodeCfg := simnet.NodeConfig{}
+			if !cfg.Unconstrained {
+				nodeCfg.UploadBps = effective[i]
+			}
+			if got := net.AddNode(mux, nodeCfg); got != id {
+				return nil, fmt.Errorf("scenario: node id mismatch: %d != %d", got, id)
+			}
+			continue
+		}
+
+		// Peer sampling: full view by default, Cyclon PSS as an extension.
+		var sampler membership.Sampler
+		mux := env.NewMux()
+		if cfg.UsePSS {
+			bootstrap := make([]wire.NodeID, 0, 5)
+			for len(bootstrap) < 5 {
+				p := wire.NodeID(pssRng.Intn(cfg.Nodes))
+				if p != id {
+					bootstrap = append(bootstrap, p)
+				}
+			}
+			pss := membership.NewCyclon(membership.CyclonConfig{
+				ViewSize: cfg.PSSViewSize,
+			}, bootstrap)
+			mux.Register(pss, wire.KindShuffleReq, wire.KindShuffleReply)
+			sampler = pss
+			// views[i] stays nil: churn notification is organic (shuffle
+			// timeouts evict dead peers).
+		} else {
+			views[i] = dir.ViewFor(id)
+			sampler = views[i]
+		}
+
+		engCfg := core.Config{
+			Fanout:          cfg.Fanout,
+			MaxFanout:       cfg.MaxFanout,
+			GossipPeriod:    cfg.GossipPeriod,
+			RetPeriod:       cfg.RetPeriod,
+			RetMaxAttempts:  cfg.RetMaxAttempts,
+			RetSameProposer: cfg.RetSameProposer,
+			Sampler:         sampler,
+			OnDeliver:       rcv.OnDeliver,
+		}
+		isSource := i == 0
+		if cfg.AutoFanout {
+			// Continuous size estimation: the source seeds the average at 1,
+			// everyone else at 0; the mean converges to 1/n.
+			initial := 0.0
+			if isSource {
+				initial = 1.0
+			}
+			avg := aggregation.NewAverager(aggregation.AveragerConfig{
+				InitialValue: initial,
+				Sampler:      sampler,
+			})
+			averagers[i] = avg
+			mux.Register(avg, wire.KindAvgPush, wire.KindAvgReply)
+			fallback := cfg.Fanout
+			fanoutC := cfg.FanoutC
+			engCfg.FanoutFn = func() float64 {
+				nHat := avg.SizeEstimate()
+				if nHat < 2 {
+					return fallback
+				}
+				return math.Log(nHat) + fanoutC
+			}
+		}
+		if cfg.Protocol == HEAP && !isSource {
+			est := aggregation.NewEstimator(aggregation.Config{
+				SelfCapKbps: advertised[i],
+				Period:      cfg.AggPeriod,
+				Fanout:      cfg.AggFanout,
+				FreshestK:   cfg.AggFreshestK,
+				Sampler:     sampler,
+			})
+			estimators[i] = est
+			engCfg.Adaptive = true
+			engCfg.AdaptPeriod = cfg.AdaptPeriod
+			engCfg.Capabilities = est
+			mux.Register(est, wire.KindAggregate)
+		}
+		if isSource && cfg.SourceBias && views[i] != nil {
+			// §5 extension: bias the source's first hop toward rich nodes.
+			engCfg.Sampler = newBiasedSampler(views[i], caps)
+		}
+		eng, err := core.New(engCfg)
+		if err != nil {
+			return nil, err
+		}
+		engines[i] = eng
+		mux.Register(eng, wire.KindPropose, wire.KindRequest, wire.KindServe)
+
+		if isSource {
+			src, err := stream.NewSource(stream.SourceConfig{
+				Geometry:  cfg.Geometry,
+				Windows:   cfg.Windows,
+				StartAt:   cfg.StreamStart,
+				Publisher: eng,
+			})
+			if err != nil {
+				return nil, err
+			}
+			mux.Register(src) // lifecycle only
+		}
+
+		nodeCfg := simnet.NodeConfig{}
+		if !cfg.Unconstrained {
+			nodeCfg.UploadBps = effective[i]
+		}
+		if got := net.AddNode(mux, nodeCfg); got != id {
+			return nil, fmt.Errorf("scenario: node id mismatch: %d != %d", got, id)
+		}
+	}
+
+	// Churn injection.
+	var victims []wire.NodeID
+	if cfg.Churn != nil {
+		ch := *cfg.Churn
+		ch.Protect = append(append([]wire.NodeID{}, ch.Protect...), 0) // never kill the source
+		var err error
+		victims, err = ch.Apply(net, views, rand.New(rand.NewSource(cfg.Seed^0x0ddba11)))
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Bandwidth-usage sampling during the streaming phase (Fig 4).
+	// SentBytes counts at enqueue time, so bytes still sitting in a
+	// congested uplink queue would inflate utilization past 1; subtract the
+	// backlog (backlog duration × capacity) at each snapshot to obtain
+	// bytes actually transmitted.
+	streamEnd := cfg.StreamStart + cfg.StreamDuration()
+	startBytes := make([]int64, cfg.Nodes)
+	endBytes := make([]int64, cfg.Nodes)
+	snapshot := func(dst []int64) func() {
+		return func() {
+			for i := 0; i < cfg.Nodes; i++ {
+				id := wire.NodeID(i)
+				sent := net.NodeStats(id).SentBytes
+				if eff := effective[i]; eff > 0 {
+					backlogBytes := int64(net.QueueBacklog(id).Seconds() * float64(eff) / 8)
+					sent -= backlogBytes
+				}
+				dst[i] = sent
+			}
+		}
+	}
+	net.Schedule(cfg.StreamStart, snapshot(startBytes))
+	net.Schedule(streamEnd, snapshot(endBytes))
+
+	// Sporadic freezes (§3.5 PlanetLab noise).
+	if cfg.FreezesPerNode > 0 {
+		freezeRng := rand.New(rand.NewSource(cfg.Seed ^ 0xf0f0))
+		runSpan := int64(streamEnd + cfg.Drain/2)
+		for i := 1; i < cfg.Nodes; i++ {
+			id := wire.NodeID(i)
+			count := int(cfg.FreezesPerNode)
+			if freezeRng.Float64() < cfg.FreezesPerNode-float64(count) {
+				count++
+			}
+			for k := 0; k < count; k++ {
+				at := time.Duration(freezeRng.Int63n(runSpan))
+				mean := float64(cfg.FreezeMeanDuration)
+				dur := time.Duration(mean * (0.5 + freezeRng.Float64()))
+				net.Schedule(at, func() { net.Freeze(id, dur) })
+			}
+		}
+	}
+
+	// Optional uplink-backlog probing (the §3.6 congestion symptom).
+	var backlogSamples []BacklogSample
+	if cfg.BacklogProbePeriod > 0 {
+		var probe func()
+		probe = func() {
+			sample := BacklogSample{At: net.Now(), MeanByClass: make(map[string]float64)}
+			counts := make(map[string]int)
+			for i := 1; i < cfg.Nodes; i++ {
+				backlog := net.QueueBacklog(wire.NodeID(i)).Seconds()
+				class := "all"
+				if cfg.Dist != nil {
+					class = cfg.Dist.ClassOf(caps[i])
+				}
+				sample.MeanByClass[class] += backlog
+				counts[class]++
+				if backlog > sample.Max {
+					sample.Max = backlog
+				}
+			}
+			for class, sum := range sample.MeanByClass {
+				sample.MeanByClass[class] = sum / float64(counts[class])
+			}
+			backlogSamples = append(backlogSamples, sample)
+			if net.Now() < streamEnd+cfg.Drain {
+				net.Schedule(net.Now()+cfg.BacklogProbePeriod, probe)
+			}
+		}
+		net.Schedule(cfg.StreamStart, probe)
+	}
+
+	net.Run(streamEnd + cfg.Drain)
+
+	res, err := collect(collectArgs{
+		cfg: cfg, net: net, caps: caps, advertised: advertised,
+		freerider: freerider, victims: victims, engines: engines,
+		receivers: receivers, estimators: estimators, averagers: averagers,
+		startBytes: startBytes, endBytes: endBytes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.BacklogSamples = backlogSamples
+	return res, nil
+}
+
+type collectArgs struct {
+	cfg                  Config
+	net                  *simnet.Network
+	caps, advertised     []uint32
+	freerider            []bool
+	victims              []wire.NodeID
+	engines              []*core.Engine
+	receivers            []*stream.Receiver
+	estimators           []*aggregation.Estimator
+	averagers            []*aggregation.Averager
+	startBytes, endBytes []int64
+}
+
+func collect(a collectArgs) (*Result, error) {
+	cfg, net, caps, victims := a.cfg, a.net, a.caps, a.victims
+	engines, receivers, estimators := a.engines, a.receivers, a.estimators
+	startBytes, endBytes := a.startBytes, a.endBytes
+
+	total := cfg.Geometry.TotalPackets(cfg.Windows)
+	publishAt := make([]time.Duration, total)
+	for id := 0; id < total; id++ {
+		publishAt[id] = cfg.StreamStart + cfg.Geometry.PublishOffset(wire.PacketID(id))
+	}
+
+	victimSet := make(map[wire.NodeID]bool, len(victims))
+	for _, v := range victims {
+		victimSet[v] = true
+	}
+
+	run := &metrics.Run{
+		Geometry:  cfg.Geometry,
+		Windows:   cfg.Windows,
+		PublishAt: publishAt,
+	}
+	res := &Result{
+		Config:         cfg,
+		Run:            run,
+		CapsKbps:       caps,
+		AdvertisedKbps: a.advertised,
+		Freeriders:     a.freerider,
+		Usage:          make([]float64, cfg.Nodes),
+		Victims:        victims,
+		NodeNetStats:   make([]simnet.NodeStats, cfg.Nodes),
+		CoreStats:      make([]core.Stats, cfg.Nodes),
+		NetStats:       net.Stats(),
+	}
+	if cfg.Protocol == HEAP {
+		res.EstimatesKbps = make([]float64, cfg.Nodes)
+	}
+	if cfg.AutoFanout {
+		res.SizeEstimates = make([]float64, cfg.Nodes)
+	}
+
+	streamSecs := (cfg.StreamDuration()).Seconds()
+	for i := 0; i < cfg.Nodes; i++ {
+		id := wire.NodeID(i)
+		res.NodeNetStats[i] = net.NodeStats(id)
+		if engines[i] != nil {
+			res.CoreStats[i] = engines[i].Stats()
+		}
+		if estimators[i] != nil {
+			res.EstimatesKbps[i] = estimators[i].EstimateKbps()
+		}
+		if a.averagers[i] != nil {
+			res.SizeEstimates[i] = a.averagers[i].SizeEstimate()
+		}
+		if !cfg.Unconstrained && streamSecs > 0 && caps[i] > 0 {
+			sentBits := float64(endBytes[i]-startBytes[i]) * 8
+			res.Usage[i] = sentBits / (float64(caps[i]) * 1000 * streamSecs)
+		}
+		className := "all"
+		if cfg.Dist != nil {
+			className = cfg.Dist.ClassOf(caps[i])
+		}
+		run.Nodes = append(run.Nodes, metrics.NodeRecord{
+			Node:     id,
+			Class:    className,
+			CapKbps:  caps[i],
+			Recv:     receivers[i].Records(),
+			Excluded: i == 0, // the source trivially has the whole stream
+			Crashed:  victimSet[id],
+		})
+		res.VerifyFailures += receivers[i].VerifyFailures
+		res.DecodedWindows += receivers[i].DecodedWindows
+	}
+	if err := run.Validate(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// biasedSampler draws peers with probability proportional to advertised
+// capability (oracle weights), for the SourceBias extension.
+type biasedSampler struct {
+	view *membership.View
+	caps []uint32
+}
+
+var _ membership.Sampler = (*biasedSampler)(nil)
+
+func newBiasedSampler(view *membership.View, caps []uint32) *biasedSampler {
+	return &biasedSampler{view: view, caps: caps}
+}
+
+// PeerCount implements membership.Sampler.
+func (b *biasedSampler) PeerCount() int { return b.view.PeerCount() }
+
+// SelectPeers implements membership.Sampler with weighted sampling without
+// replacement (repeated weighted draws, skipping duplicates).
+func (b *biasedSampler) SelectPeers(rng *rand.Rand, k int) []wire.NodeID {
+	peers := b.view.Peers()
+	if k >= len(peers) {
+		return peers
+	}
+	var totalWeight int64
+	for _, p := range peers {
+		totalWeight += int64(b.caps[p])
+	}
+	chosen := make(map[wire.NodeID]bool, k)
+	out := make([]wire.NodeID, 0, k)
+	for len(out) < k && totalWeight > 0 {
+		target := rng.Int63n(totalWeight)
+		var acc int64
+		for _, p := range peers {
+			if chosen[p] {
+				continue
+			}
+			acc += int64(b.caps[p])
+			if acc > target {
+				chosen[p] = true
+				out = append(out, p)
+				totalWeight -= int64(b.caps[p])
+				break
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,500 @@
+// Package simnet is a deterministic discrete-event network simulator that
+// substitutes for the paper's PlanetLab testbed (see DESIGN.md §2).
+//
+// The model mirrors the experimental setup of the paper (§3.1):
+//
+//   - Every node owns one uplink of configurable capacity. A datagram of
+//     wire size S occupies the uplink for 8·(S+28)/capacity seconds;
+//     datagrams queue FIFO behind it, which is exactly the application-level
+//     throttling queue the paper implements above UDP. Congestion therefore
+//     manifests as queueing delay, the symptom driving the paper's results.
+//   - Propagation latency is a stable per-pair base plus per-message jitter.
+//   - Datagrams are lost independently with a configurable probability
+//     (and, optionally, tail-dropped when the uplink queue exceeds a delay
+//     bound).
+//   - Downlinks are unconstrained (the paper constrains upload only).
+//   - Nodes can crash (messages still in their uplink queue are lost, as the
+//     paper observes in §3.6) and freeze (deliveries and timers are deferred,
+//     modelling the overloaded PlanetLab hosts of §3.5).
+//
+// The simulator runs every node's Handler inside a single event loop with
+// virtual time, so runs are deterministic given a seed and much faster than
+// real time.
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+
+	"math/rand"
+	"time"
+
+	"repro/internal/env"
+	"repro/internal/wire"
+)
+
+// LatencyModel produces one-way propagation delays. Implementations must be
+// deterministic functions of (from, to) plus draws from rng.
+type LatencyModel interface {
+	Latency(from, to wire.NodeID, rng *rand.Rand) time.Duration
+}
+
+// ConstantLatency applies the same one-way delay to every message.
+type ConstantLatency time.Duration
+
+// Latency implements LatencyModel.
+func (c ConstantLatency) Latency(_, _ wire.NodeID, _ *rand.Rand) time.Duration {
+	return time.Duration(c)
+}
+
+// PairwiseLatency assigns each unordered node pair a stable base delay drawn
+// uniformly from [Min, Max] (keyed deterministically by Seed) and adds
+// per-message jitter drawn uniformly from [0, Jitter]. This approximates a
+// wide-area testbed: stable paths of heterogeneous length with small
+// per-packet variation.
+type PairwiseLatency struct {
+	Min, Max time.Duration
+	Jitter   time.Duration
+	Seed     uint64
+}
+
+// NewPairwiseLatency builds a PairwiseLatency keyed by seed, so per-pair
+// base latencies are reproducible across runs and processes.
+func NewPairwiseLatency(seed int64, min, max, jitter time.Duration) *PairwiseLatency {
+	return &PairwiseLatency{Min: min, Max: max, Jitter: jitter, Seed: uint64(seed)}
+}
+
+// Latency implements LatencyModel.
+func (p *PairwiseLatency) Latency(from, to wire.NodeID, rng *rand.Rand) time.Duration {
+	lo, hi := from, to
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	h := splitmix64(p.Seed ^ (uint64(uint32(lo))<<32 | uint64(uint32(hi))))
+	span := int64(p.Max - p.Min)
+	base := p.Min
+	if span > 0 {
+		base += time.Duration(h % uint64(span+1))
+	}
+	if p.Jitter > 0 {
+		base += time.Duration(rng.Int63n(int64(p.Jitter) + 1))
+	}
+	return base
+}
+
+// splitmix64 is a strong 64-bit mixing function (Steele et al.), used for
+// stable per-pair latency derivation.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Config parameterizes a simulated network.
+type Config struct {
+	// Seed drives all randomness (loss, jitter, per-node protocol rngs).
+	Seed int64
+	// Latency is the propagation model. Nil means ConstantLatency(0).
+	Latency LatencyModel
+	// LossRate is the independent per-datagram loss probability in [0, 1).
+	LossRate float64
+	// MaxQueueDelay tail-drops a datagram when the sender's uplink queue
+	// already holds more than this much serialization time. Zero means
+	// unbounded (the paper's application-level queue is unbounded).
+	MaxQueueDelay time.Duration
+}
+
+// NodeConfig parameterizes one simulated node.
+type NodeConfig struct {
+	// UploadBps is the uplink capacity in bits per second. Zero means
+	// unconstrained (used for the Figure 1 experiment).
+	UploadBps int64
+}
+
+// Stats aggregates network-wide counters.
+type Stats struct {
+	MsgsSent      int64
+	MsgsDelivered int64
+	MsgsLost      int64 // random datagram loss
+	MsgsTailDrop  int64 // uplink queue overflow (only if MaxQueueDelay > 0)
+	MsgsDeadDrop  int64 // sender crashed before transmit finished, or dead destination
+	BytesSent     int64 // includes UDP/IP overhead
+}
+
+// NodeStats aggregates per-node counters; byte counts include the 28-byte
+// per-datagram UDP/IP overhead so that utilization can be compared against
+// the node's capacity exactly as the paper's rate limiter does.
+type NodeStats struct {
+	SentBytes  int64
+	RecvBytes  int64
+	SentByKind [16]int64 // indexed by wire.Kind
+	SentMsgs   int64
+	RecvMsgs   int64
+	QueueDelay time.Duration // instantaneous uplink backlog at last send
+	Crashed    bool
+	CrashedAt  time.Duration
+}
+
+// Network is a simulated network of nodes. It is not safe for concurrent
+// use: build it, then call Run from a single goroutine.
+type Network struct {
+	cfg     Config
+	rng     *rand.Rand // network-level randomness: loss, jitter
+	latency LatencyModel
+
+	now    time.Duration
+	seq    uint64
+	events eventHeap
+
+	nodes   []*simNode
+	stats   Stats
+	running bool
+}
+
+type simNode struct {
+	id      wire.NodeID
+	handler env.Handler
+	rng     *rand.Rand
+	cfg     NodeConfig
+
+	alive        bool
+	started      bool
+	frozenUntil  time.Duration
+	uplinkFreeAt time.Duration
+	crashedAt    time.Duration
+
+	stats NodeStats
+}
+
+// event kinds
+type eventKind uint8
+
+const (
+	evDeliver eventKind = iota + 1
+	evTimer
+	evFunc
+	evStart
+)
+
+type event struct {
+	at   time.Duration
+	seq  uint64
+	kind eventKind
+
+	// evDeliver
+	from, to wire.NodeID
+	msg      wire.Message
+	txFinish time.Duration // when the datagram left the sender's uplink
+	size     int           // wire size incl UDP overhead
+
+	// evTimer / evFunc / evStart
+	node     wire.NodeID // evTimer, evStart: owning node
+	fn       func()
+	canceled bool
+}
+
+// New creates an empty network.
+func New(cfg Config) *Network {
+	if cfg.Latency == nil {
+		cfg.Latency = ConstantLatency(0)
+	}
+	if cfg.LossRate < 0 || cfg.LossRate >= 1 {
+		panic(fmt.Sprintf("simnet: loss rate %v outside [0,1)", cfg.LossRate))
+	}
+	return &Network{
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		latency: cfg.Latency,
+	}
+}
+
+// AddNode registers a node with the given handler and configuration and
+// returns its id. The handler's Start runs at the current simulation time
+// (time zero if the network has not run yet). AddNode may be called from
+// scheduled callbacks to model joins.
+func (n *Network) AddNode(h env.Handler, cfg NodeConfig) wire.NodeID {
+	if cfg.UploadBps < 0 {
+		panic("simnet: negative upload capacity")
+	}
+	id := wire.NodeID(len(n.nodes))
+	node := &simNode{
+		id:      id,
+		handler: h,
+		rng:     rand.New(rand.NewSource(int64(uint64(n.cfg.Seed) ^ (0x9e3779b97f4a7c15 * uint64(id+1))))),
+		cfg:     cfg,
+		alive:   true,
+	}
+	n.nodes = append(n.nodes, node)
+	n.push(&event{at: n.now, kind: evStart, node: id})
+	return id
+}
+
+// NumNodes returns the number of nodes ever added.
+func (n *Network) NumNodes() int { return len(n.nodes) }
+
+// Now returns the current virtual time.
+func (n *Network) Now() time.Duration { return n.now }
+
+// Stats returns a copy of the network-wide counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// NodeStats returns a copy of the counters for one node.
+func (n *Network) NodeStats(id wire.NodeID) NodeStats {
+	return n.node(id).stats
+}
+
+// Alive reports whether the node is currently up.
+func (n *Network) Alive(id wire.NodeID) bool { return n.node(id).alive }
+
+// Schedule runs fn at the given absolute virtual time (or immediately if at
+// is in the past). fn runs in the simulation loop and may call Crash,
+// Freeze, AddNode, or node-level operations.
+func (n *Network) Schedule(at time.Duration, fn func()) {
+	if at < n.now {
+		at = n.now
+	}
+	n.push(&event{at: at, kind: evFunc, fn: fn})
+}
+
+// Crash kills a node at the current time: its handler is stopped, pending
+// timers are discarded, and datagrams still queued on its uplink (transmit
+// finish after now) are lost — matching the paper's observation that a
+// crash loses everything delivered to the node but not yet forwarded.
+func (n *Network) Crash(id wire.NodeID) {
+	node := n.node(id)
+	if !node.alive {
+		return
+	}
+	node.alive = false
+	node.crashedAt = n.now
+	node.stats.Crashed = true
+	node.stats.CrashedAt = n.now
+	node.handler.Stop()
+}
+
+// Freeze suspends a node for d: deliveries and timers that would fire while
+// frozen are deferred to the unfreeze instant. Models transiently overloaded
+// PlanetLab hosts (§3.5).
+func (n *Network) Freeze(id wire.NodeID, d time.Duration) {
+	node := n.node(id)
+	until := n.now + d
+	if until > node.frozenUntil {
+		node.frozenUntil = until
+	}
+}
+
+// Run processes events until virtual time exceeds until or no events remain.
+func (n *Network) Run(until time.Duration) {
+	if n.running {
+		panic("simnet: re-entrant Run")
+	}
+	n.running = true
+	defer func() { n.running = false }()
+	for len(n.events) > 0 {
+		ev := n.events[0]
+		if ev.at > until {
+			n.now = until
+			return
+		}
+		heap.Pop(&n.events)
+		if ev.canceled {
+			continue
+		}
+		n.now = ev.at
+		n.dispatch(ev)
+	}
+	if n.now < until {
+		n.now = until
+	}
+}
+
+// RunUntilIdle processes all remaining events.
+func (n *Network) RunUntilIdle() {
+	n.Run(1<<62 - 1)
+}
+
+func (n *Network) dispatch(ev *event) {
+	switch ev.kind {
+	case evStart:
+		node := n.node(ev.node)
+		if node.alive && !node.started {
+			node.started = true
+			node.handler.Start(&nodeRuntime{net: n, node: node})
+		}
+	case evFunc:
+		ev.fn()
+	case evTimer:
+		node := n.node(ev.node)
+		if !node.alive {
+			return
+		}
+		if node.frozenUntil > n.now {
+			ev.at = node.frozenUntil
+			n.push(ev)
+			return
+		}
+		ev.fn()
+	case evDeliver:
+		n.deliver(ev)
+	}
+}
+
+func (n *Network) deliver(ev *event) {
+	sender := n.node(ev.from)
+	// A datagram that had not finished leaving the sender's uplink when the
+	// sender crashed is lost with it.
+	if !sender.alive && sender.crashedAt < ev.txFinish {
+		n.stats.MsgsDeadDrop++
+		return
+	}
+	dst := n.node(ev.to)
+	if !dst.alive {
+		n.stats.MsgsDeadDrop++
+		return
+	}
+	if dst.frozenUntil > n.now {
+		ev.at = dst.frozenUntil
+		n.push(ev)
+		return
+	}
+	n.stats.MsgsDelivered++
+	dst.stats.RecvBytes += int64(ev.size)
+	dst.stats.RecvMsgs++
+	dst.handler.Receive(ev.from, ev.msg)
+}
+
+// send implements Runtime.Send for a node.
+func (n *Network) send(from *simNode, to wire.NodeID, m wire.Message) {
+	if int(to) < 0 || int(to) >= len(n.nodes) {
+		n.stats.MsgsDeadDrop++
+		return
+	}
+	size := m.WireSize() + wire.UDPOverheadBytes
+	n.stats.MsgsSent++
+	n.stats.BytesSent += int64(size)
+	from.stats.SentMsgs++
+	from.stats.SentBytes += int64(size)
+	if k := int(m.Kind()); k >= 0 && k < len(from.stats.SentByKind) {
+		from.stats.SentByKind[k] += int64(size)
+	}
+
+	// Uplink serialization: the message transmits after everything already
+	// queued. Zero capacity means unconstrained.
+	start := n.now
+	if from.uplinkFreeAt > start {
+		start = from.uplinkFreeAt
+	}
+	var serTime time.Duration
+	if from.cfg.UploadBps > 0 {
+		bits := int64(size) * 8
+		serTime = time.Duration(bits * int64(time.Second) / from.cfg.UploadBps)
+		if n.cfg.MaxQueueDelay > 0 && start-n.now > n.cfg.MaxQueueDelay {
+			n.stats.MsgsTailDrop++
+			return
+		}
+	}
+	txFinish := start + serTime
+	from.uplinkFreeAt = txFinish
+	from.stats.QueueDelay = txFinish - n.now
+
+	// Random datagram loss: the bandwidth is still consumed (the datagram
+	// left the sender), but it never arrives.
+	if n.cfg.LossRate > 0 && n.rng.Float64() < n.cfg.LossRate {
+		n.stats.MsgsLost++
+		return
+	}
+	lat := n.latency.Latency(from.id, to, n.rng)
+	n.push(&event{
+		at:       txFinish + lat,
+		kind:     evDeliver,
+		from:     from.id,
+		to:       to,
+		msg:      m,
+		txFinish: txFinish,
+		size:     size,
+	})
+}
+
+// QueueBacklog returns the current uplink backlog (time until the node's
+// uplink drains) — the congestion signal the paper discusses in §3.6.
+func (n *Network) QueueBacklog(id wire.NodeID) time.Duration {
+	node := n.node(id)
+	if node.uplinkFreeAt <= n.now {
+		return 0
+	}
+	return node.uplinkFreeAt - n.now
+}
+
+func (n *Network) push(ev *event) {
+	ev.seq = n.seq
+	n.seq++
+	heap.Push(&n.events, ev)
+}
+
+func (n *Network) node(id wire.NodeID) *simNode {
+	if int(id) < 0 || int(id) >= len(n.nodes) {
+		panic(fmt.Sprintf("simnet: unknown node %d", id))
+	}
+	return n.nodes[id]
+}
+
+// nodeRuntime adapts a simNode to env.Runtime.
+type nodeRuntime struct {
+	net  *Network
+	node *simNode
+}
+
+var _ env.Runtime = (*nodeRuntime)(nil)
+
+func (rt *nodeRuntime) ID() wire.NodeID    { return rt.node.id }
+func (rt *nodeRuntime) Now() time.Duration { return rt.net.now }
+func (rt *nodeRuntime) Rand() *rand.Rand   { return rt.node.rng }
+
+func (rt *nodeRuntime) Send(to wire.NodeID, m wire.Message) {
+	if !rt.node.alive {
+		return
+	}
+	rt.net.send(rt.node, to, m)
+}
+
+func (rt *nodeRuntime) After(d time.Duration, fn func()) env.Timer {
+	if d < 0 {
+		d = 0
+	}
+	ev := &event{at: rt.net.now + d, kind: evTimer, node: rt.node.id, fn: fn}
+	rt.net.push(ev)
+	return (*simTimer)(ev)
+}
+
+// simTimer implements env.Timer by flagging the underlying event.
+type simTimer event
+
+func (t *simTimer) Stop() bool {
+	if t.canceled {
+		return false
+	}
+	t.canceled = true
+	return true
+}
+
+// eventHeap orders events by (time, sequence).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,134 @@
+package stream
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/env"
+	"repro/internal/fec"
+	"repro/internal/wire"
+)
+
+// Publisher is where the source injects produced packets; core.Engine
+// implements it (the broadcaster path of Algorithm 1).
+type Publisher interface {
+	Publish(ev wire.Event)
+}
+
+// SourceConfig parameterizes a stream source.
+type SourceConfig struct {
+	// Geometry of the stream. Must validate.
+	Geometry Geometry
+	// Windows is how many complete FEC windows to stream.
+	Windows int
+	// StartAt delays the first packet relative to node start, giving the
+	// aggregation protocol time to warm up.
+	StartAt time.Duration
+	// Publisher receives the produced events.
+	Publisher Publisher
+}
+
+// Source produces the stream: one source packet per production tick, the
+// window's parity packets immediately after its last source packet. It
+// implements env.Handler (lifecycle only; it receives no messages) so it can
+// be stacked on the source node next to the dissemination engine.
+type Source struct {
+	cfg    SourceConfig
+	code   *fec.Code
+	rt     env.Runtime
+	ticker *env.Ticker
+
+	nextTick int      // production tick counter == source packets produced
+	window   [][]byte // source payloads of the window being produced
+
+	// Published counts packets handed to the Publisher (source + parity).
+	Published int
+	// Done reports stream completion.
+	Done bool
+}
+
+var _ env.Handler = (*Source)(nil)
+
+// NewSource builds a Source. It returns an error for invalid configurations.
+func NewSource(cfg SourceConfig) (*Source, error) {
+	if err := cfg.Geometry.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Windows <= 0 {
+		return nil, fmt.Errorf("stream: windows %d must be positive", cfg.Windows)
+	}
+	if cfg.Publisher == nil {
+		return nil, fmt.Errorf("stream: publisher is required")
+	}
+	code, err := fec.New(cfg.Geometry.DataPerWindow, cfg.Geometry.ParityPerWindow)
+	if err != nil {
+		return nil, fmt.Errorf("stream: %w", err)
+	}
+	return &Source{
+		cfg:    cfg,
+		code:   code,
+		window: make([][]byte, 0, cfg.Geometry.DataPerWindow),
+	}, nil
+}
+
+// Start implements env.Handler.
+func (s *Source) Start(rt env.Runtime) {
+	s.rt = rt
+	s.ticker = env.NewTicker(rt, s.cfg.StartAt, s.cfg.Geometry.Interval(), s.tick)
+}
+
+// Stop implements env.Handler.
+func (s *Source) Stop() {
+	if s.ticker != nil {
+		s.ticker.Stop()
+	}
+}
+
+// Receive implements env.Handler; the source consumes no messages.
+func (s *Source) Receive(wire.NodeID, wire.Message) {}
+
+func (s *Source) tick() {
+	g := s.cfg.Geometry
+	if s.Done {
+		return
+	}
+	w := s.nextTick / g.DataPerWindow
+	j := s.nextTick % g.DataPerWindow
+
+	id := g.PacketIDAt(w, j)
+	payload := g.PayloadFor(id)
+	s.window = append(s.window, payload)
+	s.publish(id, payload)
+	s.nextTick++
+
+	if j == g.DataPerWindow-1 {
+		s.emitParity(w)
+		s.window = s.window[:0]
+		if w == s.cfg.Windows-1 {
+			s.Done = true
+			s.ticker.Stop()
+		}
+	}
+}
+
+func (s *Source) emitParity(w int) {
+	g := s.cfg.Geometry
+	parity, err := s.code.Encode(s.window)
+	if err != nil {
+		// Cannot happen: the window is complete and uniformly sized by
+		// construction.
+		panic(fmt.Sprintf("stream: FEC encode failed: %v", err))
+	}
+	for p, payload := range parity {
+		s.publish(g.PacketIDAt(w, g.DataPerWindow+p), payload)
+	}
+}
+
+func (s *Source) publish(id wire.PacketID, payload []byte) {
+	s.cfg.Publisher.Publish(wire.Event{
+		ID:      id,
+		Stamp:   int64(s.rt.Now()),
+		Payload: payload,
+	})
+	s.Published++
+}

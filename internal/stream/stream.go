@@ -1,0 +1,142 @@
+// Package stream implements the video-streaming workload of the paper's
+// evaluation (§3.1): a source produces 1316-byte packets at 551 kbps,
+// grouped into FEC windows of 101 source packets plus 9 parity packets
+// (600 kbps effective), and receivers reassemble windows, reconstruct
+// missing packets when at least 101 of the 110 arrived, and measure
+// stream lag and jitter.
+package stream
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Geometry describes the packetization and FEC window structure of a stream.
+type Geometry struct {
+	// RateBps is the source data rate in bits per second, counting source
+	// packets only (parity overhead comes on top).
+	RateBps int64
+	// PacketBytes is the payload size of every packet.
+	PacketBytes int
+	// DataPerWindow is the number of source packets per FEC window.
+	DataPerWindow int
+	// ParityPerWindow is the number of FEC parity packets per window.
+	ParityPerWindow int
+}
+
+// PaperGeometry returns the exact parameters of §3.1: 551 kbps, 1316-byte
+// packets, windows of 101+9 (600 kbps effective).
+func PaperGeometry() Geometry {
+	return Geometry{
+		RateBps:         551_000,
+		PacketBytes:     1316,
+		DataPerWindow:   101,
+		ParityPerWindow: 9,
+	}
+}
+
+// Validate checks the geometry is usable.
+func (g Geometry) Validate() error {
+	if g.RateBps <= 0 {
+		return fmt.Errorf("stream: rate %d must be positive", g.RateBps)
+	}
+	if g.PacketBytes < 8 {
+		return fmt.Errorf("stream: packet size %d too small (needs 8-byte header)", g.PacketBytes)
+	}
+	if g.DataPerWindow <= 0 || g.ParityPerWindow <= 0 {
+		return fmt.Errorf("stream: window %d+%d invalid", g.DataPerWindow, g.ParityPerWindow)
+	}
+	if g.DataPerWindow+g.ParityPerWindow > 256 {
+		return fmt.Errorf("stream: window %d+%d exceeds GF(256) erasure-code limit",
+			g.DataPerWindow, g.ParityPerWindow)
+	}
+	return nil
+}
+
+// PacketsPerWindow returns DataPerWindow + ParityPerWindow.
+func (g Geometry) PacketsPerWindow() int { return g.DataPerWindow + g.ParityPerWindow }
+
+// Interval returns the source packet production period.
+func (g Geometry) Interval() time.Duration {
+	return time.Duration(int64(g.PacketBytes) * 8 * int64(time.Second) / g.RateBps)
+}
+
+// EffectiveRateBps returns the stream rate including parity overhead.
+func (g Geometry) EffectiveRateBps() int64 {
+	return g.RateBps * int64(g.PacketsPerWindow()) / int64(g.DataPerWindow)
+}
+
+// WindowOf returns the FEC window index of a packet.
+func (g Geometry) WindowOf(id wire.PacketID) int {
+	return int(id) / g.PacketsPerWindow()
+}
+
+// IndexInWindow returns the packet's position within its window; positions
+// >= DataPerWindow are parity.
+func (g Geometry) IndexInWindow(id wire.PacketID) int {
+	return int(id) % g.PacketsPerWindow()
+}
+
+// IsParity reports whether the packet is an FEC parity packet.
+func (g Geometry) IsParity(id wire.PacketID) bool {
+	return g.IndexInWindow(id) >= g.DataPerWindow
+}
+
+// PacketIDAt returns the global packet id of the given window and
+// within-window index.
+func (g Geometry) PacketIDAt(window, index int) wire.PacketID {
+	return wire.PacketID(window*g.PacketsPerWindow() + index)
+}
+
+// PublishOffset returns when a packet is published, relative to the
+// production of the first packet. Source packet j of window w is the
+// (w·Data + j)-th production tick; parity packets of window w are published
+// together with the window's last source packet.
+func (g Geometry) PublishOffset(id wire.PacketID) time.Duration {
+	w := g.WindowOf(id)
+	idx := g.IndexInWindow(id)
+	tick := w*g.DataPerWindow + idx
+	if idx >= g.DataPerWindow {
+		tick = w*g.DataPerWindow + g.DataPerWindow - 1
+	}
+	return time.Duration(tick) * g.Interval()
+}
+
+// TotalPackets returns the number of packets in a stream of the given number
+// of windows.
+func (g Geometry) TotalPackets(windows int) int {
+	return windows * g.PacketsPerWindow()
+}
+
+// WindowDuration returns the stream time covered by one window.
+func (g Geometry) WindowDuration() time.Duration {
+	return time.Duration(g.DataPerWindow) * g.Interval()
+}
+
+// PayloadFor deterministically generates the content of a source packet: an
+// 8-byte big-endian id header followed by pseudo-random bytes keyed by the
+// id. Receivers in verify mode regenerate and compare after FEC
+// reconstruction, proving payload integrity end to end.
+func (g Geometry) PayloadFor(id wire.PacketID) []byte {
+	buf := make([]byte, g.PacketBytes)
+	binary.BigEndian.PutUint64(buf, uint64(id))
+	state := uint64(id)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+	for i := 8; i < len(buf); i += 8 {
+		state = splitmix64(state)
+		var chunk [8]byte
+		binary.LittleEndian.PutUint64(chunk[:], state)
+		copy(buf[i:], chunk[:])
+	}
+	return buf
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	z := x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,237 @@
+package tree
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/simnet"
+	"repro/internal/wire"
+)
+
+func ids(n int) []wire.NodeID {
+	out := make([]wire.NodeID, n)
+	for i := range out {
+		out[i] = wire.NodeID(i)
+	}
+	return out
+}
+
+func TestBuildKAryShape(t *testing.T) {
+	topo, err := BuildKAry(ids(13), 0, 3, ByID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Root() != 0 {
+		t.Fatalf("root = %d", topo.Root())
+	}
+	if got := len(topo.Children(0)); got != 3 {
+		t.Fatalf("root has %d children, want 3", got)
+	}
+	// 13 nodes in a 3-ary tree: depths 0,1,1,1,2...
+	if topo.MaxDepth() != 2 {
+		t.Fatalf("max depth = %d, want 2", topo.MaxDepth())
+	}
+	if topo.SubtreeSize(0) != 13 {
+		t.Fatalf("subtree size of root = %d, want 13", topo.SubtreeSize(0))
+	}
+	// Every non-root node has a parent; parents are shallower.
+	for i := 1; i < 13; i++ {
+		id := wire.NodeID(i)
+		p, ok := topo.Parent(id)
+		if !ok {
+			t.Fatalf("node %d has no parent", i)
+		}
+		if topo.Depth(p) != topo.Depth(id)-1 {
+			t.Fatalf("node %d depth %d but parent depth %d", i, topo.Depth(id), topo.Depth(p))
+		}
+		if len(topo.Children(id)) > 3 {
+			t.Fatalf("node %d has %d children", i, len(topo.Children(id)))
+		}
+	}
+	if _, ok := topo.Parent(0); ok {
+		t.Fatal("root has a parent")
+	}
+}
+
+func TestBuildKAryValidation(t *testing.T) {
+	if _, err := BuildKAry(ids(5), 0, 0, ByID, nil); err == nil {
+		t.Error("zero degree accepted")
+	}
+	if _, err := BuildKAry(ids(5), 99, 2, ByID, nil); err == nil {
+		t.Error("absent root accepted")
+	}
+	if _, err := BuildKAry(ids(5), 0, 2, ByCapacityDesc, nil); err == nil {
+		t.Error("ByCapacityDesc without caps accepted")
+	}
+	if _, err := BuildKAry(ids(5), 0, 2, Order(99), nil); err == nil {
+		t.Error("unknown order accepted")
+	}
+}
+
+func TestBuildKAryCapacityOrder(t *testing.T) {
+	caps := []uint32{9999, 100, 3000, 100, 2000, 100, 100}
+	topo, err := BuildKAry(ids(7), 0, 2, ByCapacityDesc, caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The two richest non-root nodes (2: 3000, 4: 2000) sit at depth 1.
+	kids := topo.Children(0)
+	if len(kids) != 2 || kids[0] != 2 || kids[1] != 4 {
+		t.Fatalf("root children = %v, want [2 4]", kids)
+	}
+}
+
+// buildSimTree wires n tree engines over a simulated network.
+func buildSimTree(t *testing.T, n, k int, loss float64, upBps []int64) (*simnet.Network, *Topology, []*Engine, [][]wire.PacketID) {
+	t.Helper()
+	topo, err := BuildKAry(ids(n), 0, k, ByID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := simnet.New(simnet.Config{
+		Seed:     1,
+		Latency:  simnet.ConstantLatency(10 * time.Millisecond),
+		LossRate: loss,
+	})
+	engines := make([]*Engine, n)
+	delivered := make([][]wire.PacketID, n)
+	for i := 0; i < n; i++ {
+		i := i
+		engines[i] = NewEngine(topo, func(ev wire.Event, _ time.Duration) {
+			delivered[i] = append(delivered[i], ev.ID)
+		})
+		var nc simnet.NodeConfig
+		if upBps != nil {
+			nc.UploadBps = upBps[i]
+		}
+		net.AddNode(engines[i], nc)
+	}
+	return net, topo, engines, delivered
+}
+
+func TestTreeDeliversWithoutLoss(t *testing.T) {
+	net, _, engines, delivered := buildSimTree(t, 30, 3, 0, nil)
+	for p := 0; p < 20; p++ {
+		p := p
+		net.Schedule(time.Duration(p)*20*time.Millisecond, func() {
+			engines[0].Publish(wire.Event{ID: wire.PacketID(p), Payload: make([]byte, 100)})
+		})
+	}
+	net.RunUntilIdle()
+	for i, got := range delivered {
+		if len(got) != 20 {
+			t.Fatalf("node %d delivered %d of 20", i, len(got))
+		}
+	}
+}
+
+func TestTreeLossStarvesSubtrees(t *testing.T) {
+	// With 5% datagram loss and no repair, deeper nodes miss more packets:
+	// P(arrive) = (1-loss)^depth.
+	const n, packets = 40, 400
+	net, topo, engines, delivered := buildSimTree(t, n, 2, 0.05, nil)
+	for p := 0; p < packets; p++ {
+		p := p
+		net.Schedule(time.Duration(p)*5*time.Millisecond, func() {
+			engines[0].Publish(wire.Event{ID: wire.PacketID(p), Payload: make([]byte, 50)})
+		})
+	}
+	net.RunUntilIdle()
+	byDepth := map[int][]float64{}
+	for i := 1; i < n; i++ {
+		d := topo.Depth(wire.NodeID(i))
+		byDepth[d] = append(byDepth[d], float64(len(delivered[i]))/packets)
+	}
+	mean := func(v []float64) float64 {
+		s := 0.0
+		for _, x := range v {
+			s += x
+		}
+		return s / float64(len(v))
+	}
+	d1, dMax := mean(byDepth[1]), mean(byDepth[topo.MaxDepth()])
+	t.Logf("delivery: depth1=%.3f depth%d=%.3f", d1, topo.MaxDepth(), dMax)
+	if d1 < 0.90 {
+		t.Fatalf("depth-1 delivery %.3f unexpectedly low", d1)
+	}
+	if dMax >= d1 {
+		t.Fatalf("no loss compounding with depth: d1=%.3f dmax=%.3f", d1, dMax)
+	}
+	// Compounded loss at depth 5: ~(0.95)^5 = 0.77.
+	if dMax > 0.9 {
+		t.Fatalf("deep nodes deliver %.3f; expected compounded loss", dMax)
+	}
+}
+
+func TestTreePoorInteriorNodeBottlenecksSubtree(t *testing.T) {
+	// A 512 kbps interior node forwarding a 600 kbps stream to 3 children
+	// needs 1.8 Mbps: its subtree lags unboundedly. Leaf-only poor nodes
+	// are fine. This is the intro's heterogeneity argument against trees.
+	const n = 40
+	up := make([]int64, n)
+	for i := range up {
+		up[i] = 10_000_000
+	}
+	up[1] = 512_000 // interior (depth 1) node of a 3-ary tree
+	net, topo, engines, delivered := buildSimTree(t, n, 3, 0, up)
+
+	// ~600 kbps stream for 20 s: 1316B packets every 17.5ms.
+	const packets = 1100
+	for p := 0; p < packets; p++ {
+		p := p
+		net.Schedule(time.Duration(p)*17500*time.Microsecond, func() {
+			engines[0].Publish(wire.Event{ID: wire.PacketID(p), Payload: make([]byte, 1316)})
+		})
+	}
+	net.Run(25 * time.Second) // bounded horizon: the backlog never drains
+
+	// Node 1's subtree receives far less within the horizon than siblings'.
+	sub := map[wire.NodeID]bool{}
+	var mark func(wire.NodeID)
+	mark = func(id wire.NodeID) {
+		sub[id] = true
+		for _, c := range topo.Children(id) {
+			mark(c)
+		}
+	}
+	mark(1)
+	var inSub, outSub, inN, outN float64
+	for i := 1; i < n; i++ {
+		frac := float64(len(delivered[i])) / packets
+		if sub[wire.NodeID(i)] {
+			inSub += frac
+			inN++
+		} else {
+			outSub += frac
+			outN++
+		}
+	}
+	inMean, outMean := inSub/inN, outSub/outN
+	t.Logf("delivery within horizon: poor subtree=%.3f rest=%.3f", inMean, outMean)
+	if outMean < 0.99 {
+		t.Fatalf("well-provisioned subtrees delivered %.3f", outMean)
+	}
+	if inMean > 0.55 {
+		t.Fatalf("poor interior node's subtree delivered %.3f; expected severe bottleneck", inMean)
+	}
+}
+
+func TestTreeEngineIgnoresNonServe(t *testing.T) {
+	topo, err := BuildKAry(ids(3), 0, 2, ByID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := simnet.New(simnet.Config{Seed: 1})
+	var got int
+	e := NewEngine(topo, func(wire.Event, time.Duration) { got++ })
+	net.AddNode(e, simnet.NodeConfig{})
+	net.Schedule(0, func() {
+		e.Receive(1, &wire.Propose{IDs: []wire.PacketID{1}})
+		e.Receive(1, &wire.Serve{Events: []wire.Event{{ID: 2}}})
+		e.Receive(1, &wire.Serve{Events: []wire.Event{{ID: 2}}}) // duplicate
+	})
+	net.RunUntilIdle()
+	if got != 1 {
+		t.Fatalf("delivered %d, want 1 (serve only, deduplicated)", got)
+	}
+}

@@ -1,0 +1,285 @@
+// Package udpnet runs the same protocol handlers that the simulator drives
+// (internal/env.Handler) over real UDP sockets, the transport the paper's
+// system uses: gossip targets change constantly and messages are small, so
+// datagrams fit better than connections (§3.1), combined with
+// application-level retransmission and upload throttling.
+//
+// Each datagram carries a 4-byte sender id followed by one wire message.
+// A Node serializes all handler callbacks (socket reads, timers) behind one
+// mutex, honoring the env contract that handlers are single-threaded.
+package udpnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/env"
+	"repro/internal/ratelimit"
+	"repro/internal/wire"
+)
+
+// maxDatagram bounds receive buffers. Serve batches can exceed an Ethernet
+// MTU; loopback and most paths handle fragmentation, and the paper's packet
+// size (1316 B) keeps single-packet serves under the MTU.
+const maxDatagram = 64 * 1024
+
+// frameHeader is the per-datagram overhead: the 4-byte sender id.
+const frameHeader = 4
+
+// Config parameterizes a UDP node.
+type Config struct {
+	// Listen is the UDP listen address, e.g. "127.0.0.1:0".
+	Listen string
+	// UploadBps throttles outgoing bandwidth (token bucket + app-level
+	// queue, §3.1). 0 means unthrottled.
+	UploadBps int64
+	// QueueCap bounds the application-level send queue. Default 1024.
+	QueueCap int
+	// Seed drives the node's protocol randomness.
+	Seed int64
+}
+
+type outDatagram struct {
+	buf  []byte
+	addr *net.UDPAddr
+}
+
+// Node hosts one protocol stack (an env.Handler, typically an env.Mux) on a
+// real UDP socket and implements env.Runtime for it.
+type Node struct {
+	id      wire.NodeID
+	handler env.Handler
+	conn    *net.UDPConn
+	sender  *ratelimit.Sender[outDatagram]
+	epoch   time.Time
+
+	mu      sync.Mutex // serializes handler callbacks and guards the fields below
+	rng     *rand.Rand
+	peers   map[wire.NodeID]*net.UDPAddr
+	byAddr  map[string]wire.NodeID
+	started bool
+	closed  bool
+
+	wg sync.WaitGroup
+
+	// DecodeErrors counts datagrams that failed to parse.
+	DecodeErrors int
+}
+
+var _ env.Runtime = (*nodeRuntime)(nil)
+
+// NewNode binds a socket and prepares the node. Call SetPeers and Start
+// before traffic flows.
+func NewNode(id wire.NodeID, handler env.Handler, cfg Config) (*Node, error) {
+	if handler == nil {
+		return nil, errors.New("udpnet: nil handler")
+	}
+	if cfg.Listen == "" {
+		cfg.Listen = "127.0.0.1:0"
+	}
+	if cfg.QueueCap == 0 {
+		cfg.QueueCap = 1024
+	}
+	addr, err := net.ResolveUDPAddr("udp", cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("udpnet: resolve %q: %w", cfg.Listen, err)
+	}
+	conn, err := net.ListenUDP("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("udpnet: listen %q: %w", cfg.Listen, err)
+	}
+	n := &Node{
+		id:      id,
+		handler: handler,
+		conn:    conn,
+		epoch:   time.Now(),
+		rng:     rand.New(rand.NewSource(cfg.Seed ^ int64(id)<<32 ^ 0x7ee1)),
+		peers:   make(map[wire.NodeID]*net.UDPAddr),
+		byAddr:  make(map[string]wire.NodeID),
+	}
+	sender, err := ratelimit.NewSender(cfg.UploadBps, cfg.QueueCap,
+		func(d outDatagram) int { return len(d.buf) + wire.UDPOverheadBytes },
+		func(d outDatagram) {
+			// Losing a datagram is normal UDP behaviour; protocols handle it.
+			_, _ = n.conn.WriteToUDP(d.buf, d.addr)
+		})
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	n.sender = sender
+	return n, nil
+}
+
+// ID returns the node's identity.
+func (n *Node) ID() wire.NodeID { return n.id }
+
+// Addr returns the bound UDP address.
+func (n *Node) Addr() *net.UDPAddr { return n.conn.LocalAddr().(*net.UDPAddr) }
+
+// SetPeers installs the address directory (replacing any previous one).
+func (n *Node) SetPeers(peers map[wire.NodeID]*net.UDPAddr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.peers = make(map[wire.NodeID]*net.UDPAddr, len(peers))
+	n.byAddr = make(map[string]wire.NodeID, len(peers))
+	for id, addr := range peers {
+		n.peers[id] = addr
+		n.byAddr[addr.String()] = id
+	}
+}
+
+// AddPeer registers one peer address.
+func (n *Node) AddPeer(id wire.NodeID, addr *net.UDPAddr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.peers[id] = addr
+	n.byAddr[addr.String()] = id
+}
+
+// Start launches the read loop and starts the handler. It must be called at
+// most once.
+func (n *Node) Start() error {
+	n.mu.Lock()
+	if n.started {
+		n.mu.Unlock()
+		return errors.New("udpnet: already started")
+	}
+	n.started = true
+	n.handler.Start(&nodeRuntime{n: n})
+	n.mu.Unlock()
+
+	n.wg.Add(1)
+	go n.readLoop()
+	return nil
+}
+
+// Close stops the node: the socket is closed, the read loop exits, the
+// handler is stopped, and the paced sender is shut down. Idempotent.
+func (n *Node) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	n.mu.Unlock()
+
+	n.conn.Close() // unblocks the read loop
+	n.wg.Wait()
+	n.sender.Close()
+
+	n.mu.Lock()
+	if n.started {
+		n.handler.Stop()
+	}
+	n.mu.Unlock()
+}
+
+// Execute runs fn in the node's execution context (serialized with all
+// handler callbacks), so external code can safely touch handler state —
+// views, estimators, statistics. It reports false if the node is closed.
+func (n *Node) Execute(fn func()) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return false
+	}
+	fn()
+	return true
+}
+
+func (n *Node) readLoop() {
+	defer n.wg.Done()
+	buf := make([]byte, maxDatagram)
+	for {
+		size, from, err := n.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // closed
+		}
+		if size < frameHeader {
+			n.noteDecodeError()
+			continue
+		}
+		senderID := wire.NodeID(int32(binary.BigEndian.Uint32(buf[:4])))
+		// Decoded messages alias their input (payloads are sub-slices), so
+		// each datagram needs its own copy — the read buffer is reused.
+		body := make([]byte, size-frameHeader)
+		copy(body, buf[frameHeader:size])
+		msg, err := wire.Unmarshal(body)
+		if err != nil {
+			n.noteDecodeError()
+			continue
+		}
+		n.mu.Lock()
+		if !n.closed {
+			// Verify the claimed sender against the source address when we
+			// know it; unknown peers are accepted (late directory updates).
+			if known, ok := n.peers[senderID]; !ok || sameAddr(known, from) {
+				n.handler.Receive(senderID, msg)
+			}
+		}
+		n.mu.Unlock()
+	}
+}
+
+func sameAddr(a, b *net.UDPAddr) bool {
+	return a.Port == b.Port && a.IP.Equal(b.IP)
+}
+
+func (n *Node) noteDecodeError() {
+	n.mu.Lock()
+	n.DecodeErrors++
+	n.mu.Unlock()
+}
+
+// nodeRuntime implements env.Runtime over the node.
+type nodeRuntime struct {
+	n *Node
+}
+
+func (rt *nodeRuntime) ID() wire.NodeID    { return rt.n.id }
+func (rt *nodeRuntime) Now() time.Duration { return time.Since(rt.n.epoch) }
+
+// Rand implements env.Runtime. It is only called from handler callbacks,
+// which hold the node mutex, so the shared rng is safe.
+func (rt *nodeRuntime) Rand() *rand.Rand { return rt.n.rng }
+
+// Send implements env.Runtime: marshal, frame, and hand to the paced sender.
+// Unknown destinations are dropped silently (UDP semantics).
+func (rt *nodeRuntime) Send(to wire.NodeID, m wire.Message) {
+	addr, ok := rt.n.peers[to]
+	if !ok {
+		return
+	}
+	buf := make([]byte, frameHeader, frameHeader+m.WireSize())
+	binary.BigEndian.PutUint32(buf, uint32(rt.n.id))
+	buf = m.MarshalBinary(buf)
+	rt.n.sender.Enqueue(outDatagram{buf: buf, addr: addr})
+}
+
+// After implements env.Runtime with a wall-clock timer whose callback runs
+// under the node mutex.
+func (rt *nodeRuntime) After(d time.Duration, fn func()) env.Timer {
+	n := rt.n
+	t := time.AfterFunc(d, func() {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		if n.closed {
+			return
+		}
+		fn()
+	})
+	return wallTimer{t}
+}
+
+type wallTimer struct {
+	t *time.Timer
+}
+
+func (w wallTimer) Stop() bool { return w.t.Stop() }

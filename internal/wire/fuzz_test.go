@@ -1,0 +1,42 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshal exercises the decoder with arbitrary bytes: it must never
+// panic, and anything it accepts must round-trip losslessly through
+// Marshal/Unmarshal (canonical encoding).
+func FuzzUnmarshal(f *testing.F) {
+	seeds := []Message{
+		&Propose{IDs: []PacketID{1, 2, 3}},
+		&Request{IDs: []PacketID{42}},
+		&Serve{Events: []Event{{ID: 7, Stamp: 99, Payload: []byte("payload")}}},
+		&Aggregate{Entries: []CapEntry{{Node: 3, CapKbps: 512, AgeMs: 100}}},
+		&ShuffleReq{Descriptors: []PeerDescriptor{{Node: 1, Age: 2}}},
+		&ShuffleReply{Descriptors: []PeerDescriptor{{Node: 9, Age: 0}}},
+		&AvgPush{Value: 1.5, Weight: 1},
+		&AvgReply{Value: -2.5, Weight: 1},
+	}
+	for _, m := range seeds {
+		f.Add(Marshal(m))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0x00, 0x01})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		// Canonical re-encoding must reproduce the input exactly.
+		out := Marshal(m)
+		if !bytes.Equal(out, data) {
+			t.Fatalf("non-canonical encoding accepted:\n in: %x\nout: %x", data, out)
+		}
+		if m.WireSize() != len(data) {
+			t.Fatalf("WireSize %d != encoded length %d", m.WireSize(), len(data))
+		}
+	})
+}

@@ -1,0 +1,533 @@
+// Package wire defines the datagram protocol spoken by HEAP nodes: the
+// three-phase dissemination messages of Algorithm 1 ([Propose], [Request],
+// [Serve]), the capability-aggregation messages of Algorithm 2, and the
+// auxiliary messages used by the optional peer-sampling and push-pull
+// averaging services.
+//
+// Every message knows its exact encoded size (WireSize), which the simulated
+// network uses for upload-bandwidth accounting, and marshals to a compact
+// big-endian binary form, which the real UDP runtime puts on the wire. The
+// two are guaranteed to agree (property-tested).
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// NodeID identifies a node in the system. In the simulator it is a dense
+// index; over real UDP it is assigned by the bootstrap directory.
+type NodeID int32
+
+// NodeNone is the zero-value "no node" sentinel.
+const NodeNone NodeID = -1
+
+// PacketID identifies one stream packet (source or FEC parity) globally and
+// monotonically in publish order.
+type PacketID uint64
+
+// UDPOverheadBytes is the per-datagram UDP/IPv4 header overhead charged by
+// the bandwidth model on top of WireSize.
+const UDPOverheadBytes = 28
+
+// Kind enumerates message types. Values are part of the wire format.
+type Kind uint8
+
+// Message kinds. Explicit values: these bytes go on the wire.
+const (
+	KindPropose      Kind = 1 // phase 1: push event ids
+	KindRequest      Kind = 2 // phase 2: pull wanted ids
+	KindServe        Kind = 3 // phase 3: push payloads
+	KindAggregate    Kind = 4 // capability aggregation (Algorithm 2)
+	KindShuffleReq   Kind = 5 // peer sampling: shuffle request
+	KindShuffleReply Kind = 6 // peer sampling: shuffle reply
+	KindAvgPush      Kind = 7 // push-pull averaging: initiator half
+	KindAvgReply     Kind = 8 // push-pull averaging: responder half
+)
+
+// String returns the human-readable kind name.
+func (k Kind) String() string {
+	switch k {
+	case KindPropose:
+		return "Propose"
+	case KindRequest:
+		return "Request"
+	case KindServe:
+		return "Serve"
+	case KindAggregate:
+		return "Aggregate"
+	case KindShuffleReq:
+		return "ShuffleReq"
+	case KindShuffleReply:
+		return "ShuffleReply"
+	case KindAvgPush:
+		return "AvgPush"
+	case KindAvgReply:
+		return "AvgReply"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Codec errors.
+var (
+	ErrShortBuffer   = errors.New("wire: buffer too short")
+	ErrUnknownKind   = errors.New("wire: unknown message kind")
+	ErrTrailingBytes = errors.New("wire: trailing bytes after message")
+	ErrTooManyItems  = errors.New("wire: item count exceeds encoding limit")
+)
+
+// Message is implemented by every protocol message.
+//
+// Received messages must be treated as immutable: the simulator delivers the
+// sender's object directly (no copy) to keep large fan-outs cheap.
+type Message interface {
+	Kind() Kind
+	// WireSize returns the exact number of bytes Marshal appends,
+	// excluding UDP/IP overhead (see UDPOverheadBytes).
+	WireSize() int
+	// MarshalBinary appends the encoded message to dst and returns the
+	// extended slice.
+	MarshalBinary(dst []byte) []byte
+}
+
+// Event is one stream packet in flight inside a [Serve] message.
+type Event struct {
+	ID      PacketID
+	Stamp   int64  // publish time, nanoseconds since the run epoch
+	Payload []byte // packet content; len must fit in uint16
+}
+
+// eventWireSize is the fixed per-event header: id(8) + stamp(8) + len(2).
+const eventWireSize = 8 + 8 + 2
+
+// WireSize returns the encoded size of the event.
+func (e Event) WireSize() int { return eventWireSize + len(e.Payload) }
+
+// Propose carries the identifiers a node offers to serve (Alg. 1 phase 1).
+type Propose struct {
+	IDs []PacketID
+}
+
+// Kind implements Message.
+func (*Propose) Kind() Kind { return KindPropose }
+
+// WireSize implements Message.
+func (m *Propose) WireSize() int { return 1 + 2 + 8*len(m.IDs) }
+
+// Request asks the proposing peer for the listed ids (Alg. 1 phase 2).
+type Request struct {
+	IDs []PacketID
+}
+
+// Kind implements Message.
+func (*Request) Kind() Kind { return KindRequest }
+
+// WireSize implements Message.
+func (m *Request) WireSize() int { return 1 + 2 + 8*len(m.IDs) }
+
+// Serve delivers the requested payloads (Alg. 1 phase 3).
+type Serve struct {
+	Events []Event
+}
+
+// Kind implements Message.
+func (*Serve) Kind() Kind { return KindServe }
+
+// WireSize implements Message.
+func (m *Serve) WireSize() int {
+	n := 1 + 2
+	for _, e := range m.Events {
+		n += e.WireSize()
+	}
+	return n
+}
+
+// CapEntry is one node's advertised upload capability, aged like a Cyclon
+// descriptor: AgeMs is the time elapsed since the value was (re)measured at
+// its owner, so receivers need no synchronized clocks.
+type CapEntry struct {
+	Node    NodeID
+	CapKbps uint32 // advertised upload capability, kilobits per second
+	AgeMs   uint32 // staleness at send time, milliseconds
+}
+
+// capEntryWireSize is node(4) + cap(4) + age(4).
+const capEntryWireSize = 12
+
+// Aggregate carries the freshest capability entries known to the sender
+// (Algorithm 2, aggregation phase).
+type Aggregate struct {
+	Entries []CapEntry
+}
+
+// Kind implements Message.
+func (*Aggregate) Kind() Kind { return KindAggregate }
+
+// WireSize implements Message.
+func (m *Aggregate) WireSize() int { return 1 + 1 + capEntryWireSize*len(m.Entries) }
+
+// PeerDescriptor is a peer-sampling view entry.
+type PeerDescriptor struct {
+	Node NodeID
+	Age  uint16 // shuffle rounds since the descriptor was created
+}
+
+const peerDescriptorWireSize = 4 + 2
+
+// ShuffleReq initiates a Cyclon-style view shuffle (peer-sampling service).
+type ShuffleReq struct {
+	Descriptors []PeerDescriptor
+}
+
+// Kind implements Message.
+func (*ShuffleReq) Kind() Kind { return KindShuffleReq }
+
+// WireSize implements Message.
+func (m *ShuffleReq) WireSize() int { return 1 + 1 + peerDescriptorWireSize*len(m.Descriptors) }
+
+// ShuffleReply answers a ShuffleReq with a sample of the responder's view.
+type ShuffleReply struct {
+	Descriptors []PeerDescriptor
+}
+
+// Kind implements Message.
+func (*ShuffleReply) Kind() Kind { return KindShuffleReply }
+
+// WireSize implements Message.
+func (m *ShuffleReply) WireSize() int { return 1 + 1 + peerDescriptorWireSize*len(m.Descriptors) }
+
+// AvgPush is the initiator half of a Jelasity-style push-pull averaging
+// exchange (used for system-size estimation).
+type AvgPush struct {
+	Value  float64
+	Weight float64
+}
+
+// Kind implements Message.
+func (*AvgPush) Kind() Kind { return KindAvgPush }
+
+// WireSize implements Message.
+func (m *AvgPush) WireSize() int { return 1 + 8 + 8 }
+
+// AvgReply is the responder half of a push-pull averaging exchange.
+type AvgReply struct {
+	Value  float64
+	Weight float64
+}
+
+// Kind implements Message.
+func (*AvgReply) Kind() Kind { return KindAvgReply }
+
+// WireSize implements Message.
+func (m *AvgReply) WireSize() int { return 1 + 8 + 8 }
+
+// Compile-time interface checks.
+var (
+	_ Message = (*Propose)(nil)
+	_ Message = (*Request)(nil)
+	_ Message = (*Serve)(nil)
+	_ Message = (*Aggregate)(nil)
+	_ Message = (*ShuffleReq)(nil)
+	_ Message = (*ShuffleReply)(nil)
+	_ Message = (*AvgPush)(nil)
+	_ Message = (*AvgReply)(nil)
+)
+
+// MarshalBinary implements Message.
+func (m *Propose) MarshalBinary(dst []byte) []byte {
+	dst = append(dst, byte(KindPropose))
+	return appendIDs(dst, m.IDs)
+}
+
+// MarshalBinary implements Message.
+func (m *Request) MarshalBinary(dst []byte) []byte {
+	dst = append(dst, byte(KindRequest))
+	return appendIDs(dst, m.IDs)
+}
+
+// MarshalBinary implements Message.
+func (m *Serve) MarshalBinary(dst []byte) []byte {
+	dst = append(dst, byte(KindServe))
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(m.Events)))
+	for _, e := range m.Events {
+		dst = binary.BigEndian.AppendUint64(dst, uint64(e.ID))
+		dst = binary.BigEndian.AppendUint64(dst, uint64(e.Stamp))
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(e.Payload)))
+		dst = append(dst, e.Payload...)
+	}
+	return dst
+}
+
+// MarshalBinary implements Message.
+func (m *Aggregate) MarshalBinary(dst []byte) []byte {
+	dst = append(dst, byte(KindAggregate))
+	dst = append(dst, byte(len(m.Entries)))
+	for _, e := range m.Entries {
+		dst = binary.BigEndian.AppendUint32(dst, uint32(e.Node))
+		dst = binary.BigEndian.AppendUint32(dst, e.CapKbps)
+		dst = binary.BigEndian.AppendUint32(dst, e.AgeMs)
+	}
+	return dst
+}
+
+// MarshalBinary implements Message.
+func (m *ShuffleReq) MarshalBinary(dst []byte) []byte {
+	dst = append(dst, byte(KindShuffleReq))
+	return appendDescriptors(dst, m.Descriptors)
+}
+
+// MarshalBinary implements Message.
+func (m *ShuffleReply) MarshalBinary(dst []byte) []byte {
+	dst = append(dst, byte(KindShuffleReply))
+	return appendDescriptors(dst, m.Descriptors)
+}
+
+// MarshalBinary implements Message.
+func (m *AvgPush) MarshalBinary(dst []byte) []byte {
+	dst = append(dst, byte(KindAvgPush))
+	dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(m.Value))
+	return binary.BigEndian.AppendUint64(dst, math.Float64bits(m.Weight))
+}
+
+// MarshalBinary implements Message.
+func (m *AvgReply) MarshalBinary(dst []byte) []byte {
+	dst = append(dst, byte(KindAvgReply))
+	dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(m.Value))
+	return binary.BigEndian.AppendUint64(dst, math.Float64bits(m.Weight))
+}
+
+func appendIDs(dst []byte, ids []PacketID) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(ids)))
+	for _, id := range ids {
+		dst = binary.BigEndian.AppendUint64(dst, uint64(id))
+	}
+	return dst
+}
+
+func appendDescriptors(dst []byte, ds []PeerDescriptor) []byte {
+	dst = append(dst, byte(len(ds)))
+	for _, d := range ds {
+		dst = binary.BigEndian.AppendUint32(dst, uint32(d.Node))
+		dst = binary.BigEndian.AppendUint16(dst, d.Age)
+	}
+	return dst
+}
+
+// Marshal encodes m into a freshly allocated buffer of exactly WireSize
+// bytes.
+func Marshal(m Message) []byte {
+	return m.MarshalBinary(make([]byte, 0, m.WireSize()))
+}
+
+// Unmarshal decodes one message from buf. The whole buffer must be consumed;
+// trailing bytes are an error (datagram transports deliver exactly one
+// message per datagram).
+func Unmarshal(buf []byte) (Message, error) {
+	if len(buf) < 1 {
+		return nil, ErrShortBuffer
+	}
+	kind := Kind(buf[0])
+	r := reader{buf: buf[1:]}
+	var m Message
+	var err error
+	switch kind {
+	case KindPropose:
+		ids, e := r.ids()
+		m, err = &Propose{IDs: ids}, e
+	case KindRequest:
+		ids, e := r.ids()
+		m, err = &Request{IDs: ids}, e
+	case KindServe:
+		evs, e := r.events()
+		m, err = &Serve{Events: evs}, e
+	case KindAggregate:
+		entries, e := r.capEntries()
+		m, err = &Aggregate{Entries: entries}, e
+	case KindShuffleReq:
+		ds, e := r.descriptors()
+		m, err = &ShuffleReq{Descriptors: ds}, e
+	case KindShuffleReply:
+		ds, e := r.descriptors()
+		m, err = &ShuffleReply{Descriptors: ds}, e
+	case KindAvgPush:
+		v, w, e := r.twoFloats()
+		m, err = &AvgPush{Value: v, Weight: w}, e
+	case KindAvgReply:
+		v, w, e := r.twoFloats()
+		m, err = &AvgReply{Value: v, Weight: w}, e
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrUnknownKind, kind)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("wire: decoding %s: %w", kind, err)
+	}
+	if len(r.buf) != 0 {
+		return nil, fmt.Errorf("%w: %d bytes after %s", ErrTrailingBytes, len(r.buf), kind)
+	}
+	return m, nil
+}
+
+// reader is a consuming cursor over an encoded message body.
+type reader struct {
+	buf []byte
+}
+
+func (r *reader) u16() (uint16, error) {
+	if len(r.buf) < 2 {
+		return 0, ErrShortBuffer
+	}
+	v := binary.BigEndian.Uint16(r.buf)
+	r.buf = r.buf[2:]
+	return v, nil
+}
+
+func (r *reader) u32() (uint32, error) {
+	if len(r.buf) < 4 {
+		return 0, ErrShortBuffer
+	}
+	v := binary.BigEndian.Uint32(r.buf)
+	r.buf = r.buf[4:]
+	return v, nil
+}
+
+func (r *reader) u64() (uint64, error) {
+	if len(r.buf) < 8 {
+		return 0, ErrShortBuffer
+	}
+	v := binary.BigEndian.Uint64(r.buf)
+	r.buf = r.buf[8:]
+	return v, nil
+}
+
+func (r *reader) u8() (uint8, error) {
+	if len(r.buf) < 1 {
+		return 0, ErrShortBuffer
+	}
+	v := r.buf[0]
+	r.buf = r.buf[1:]
+	return v, nil
+}
+
+func (r *reader) take(n int) ([]byte, error) {
+	if len(r.buf) < n {
+		return nil, ErrShortBuffer
+	}
+	v := r.buf[:n:n]
+	r.buf = r.buf[n:]
+	return v, nil
+}
+
+func (r *reader) ids() ([]PacketID, error) {
+	n, err := r.u16()
+	if err != nil {
+		return nil, err
+	}
+	if int(n)*8 > len(r.buf) {
+		return nil, ErrShortBuffer
+	}
+	ids := make([]PacketID, n)
+	for i := range ids {
+		v, err := r.u64()
+		if err != nil {
+			return nil, err
+		}
+		ids[i] = PacketID(v)
+	}
+	return ids, nil
+}
+
+func (r *reader) events() ([]Event, error) {
+	n, err := r.u16()
+	if err != nil {
+		return nil, err
+	}
+	if int(n)*eventWireSize > len(r.buf) {
+		return nil, ErrShortBuffer
+	}
+	evs := make([]Event, n)
+	for i := range evs {
+		id, err := r.u64()
+		if err != nil {
+			return nil, err
+		}
+		stamp, err := r.u64()
+		if err != nil {
+			return nil, err
+		}
+		plen, err := r.u16()
+		if err != nil {
+			return nil, err
+		}
+		payload, err := r.take(int(plen))
+		if err != nil {
+			return nil, err
+		}
+		evs[i] = Event{ID: PacketID(id), Stamp: int64(stamp), Payload: payload}
+	}
+	return evs, nil
+}
+
+func (r *reader) capEntries() ([]CapEntry, error) {
+	n, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	if int(n)*capEntryWireSize > len(r.buf) {
+		return nil, ErrShortBuffer
+	}
+	entries := make([]CapEntry, n)
+	for i := range entries {
+		node, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		capKbps, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		age, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		entries[i] = CapEntry{Node: NodeID(int32(node)), CapKbps: capKbps, AgeMs: age}
+	}
+	return entries, nil
+}
+
+func (r *reader) descriptors() ([]PeerDescriptor, error) {
+	n, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	if int(n)*peerDescriptorWireSize > len(r.buf) {
+		return nil, ErrShortBuffer
+	}
+	ds := make([]PeerDescriptor, n)
+	for i := range ds {
+		node, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		age, err := r.u16()
+		if err != nil {
+			return nil, err
+		}
+		ds[i] = PeerDescriptor{Node: NodeID(int32(node)), Age: age}
+	}
+	return ds, nil
+}
+
+func (r *reader) twoFloats() (float64, float64, error) {
+	v, err := r.u64()
+	if err != nil {
+		return 0, 0, err
+	}
+	w, err := r.u64()
+	if err != nil {
+		return 0, 0, err
+	}
+	return math.Float64frombits(v), math.Float64frombits(w), nil
+}

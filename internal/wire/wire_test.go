@@ -1,0 +1,264 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, m Message) Message {
+	t.Helper()
+	buf := Marshal(m)
+	if len(buf) != m.WireSize() {
+		t.Fatalf("%s: Marshal produced %d bytes, WireSize says %d", m.Kind(), len(buf), m.WireSize())
+	}
+	out, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatalf("%s: Unmarshal: %v", m.Kind(), err)
+	}
+	return out
+}
+
+func TestProposeRoundTrip(t *testing.T) {
+	cases := []*Propose{
+		{IDs: nil},
+		{IDs: []PacketID{0}},
+		{IDs: []PacketID{1, 2, 3, math.MaxUint64}},
+		{IDs: make([]PacketID, 100)},
+	}
+	for _, m := range cases {
+		got := roundTrip(t, m).(*Propose)
+		if len(got.IDs) != len(m.IDs) {
+			t.Fatalf("id count mismatch: got %d want %d", len(got.IDs), len(m.IDs))
+		}
+		for i := range m.IDs {
+			if got.IDs[i] != m.IDs[i] {
+				t.Fatalf("id %d mismatch", i)
+			}
+		}
+	}
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	m := &Request{IDs: []PacketID{42, 7, 9999999}}
+	got := roundTrip(t, m).(*Request)
+	if !reflect.DeepEqual(got.IDs, m.IDs) {
+		t.Fatalf("got %v want %v", got.IDs, m.IDs)
+	}
+}
+
+func TestServeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	payload := make([]byte, 1316)
+	rng.Read(payload)
+	m := &Serve{Events: []Event{
+		{ID: 1, Stamp: 123456789, Payload: payload},
+		{ID: 2, Stamp: -5, Payload: []byte{}},
+		{ID: math.MaxUint64, Stamp: math.MaxInt64, Payload: []byte{1, 2, 3}},
+	}}
+	got := roundTrip(t, m).(*Serve)
+	if len(got.Events) != 3 {
+		t.Fatalf("event count = %d, want 3", len(got.Events))
+	}
+	for i, e := range m.Events {
+		g := got.Events[i]
+		if g.ID != e.ID || g.Stamp != e.Stamp || !bytes.Equal(g.Payload, e.Payload) {
+			t.Fatalf("event %d mismatch: got %+v", i, g)
+		}
+	}
+}
+
+func TestServeEmptyPayloadVsNil(t *testing.T) {
+	m := &Serve{Events: []Event{{ID: 9, Stamp: 1, Payload: nil}}}
+	got := roundTrip(t, m).(*Serve)
+	if len(got.Events[0].Payload) != 0 {
+		t.Fatal("nil payload should decode as empty")
+	}
+}
+
+func TestAggregateRoundTrip(t *testing.T) {
+	m := &Aggregate{Entries: []CapEntry{
+		{Node: 0, CapKbps: 512, AgeMs: 0},
+		{Node: 269, CapKbps: 3000, AgeMs: 4999},
+		{Node: NodeNone, CapKbps: math.MaxUint32, AgeMs: math.MaxUint32},
+	}}
+	got := roundTrip(t, m).(*Aggregate)
+	if !reflect.DeepEqual(got.Entries, m.Entries) {
+		t.Fatalf("got %+v want %+v", got.Entries, m.Entries)
+	}
+}
+
+func TestShuffleRoundTrip(t *testing.T) {
+	req := &ShuffleReq{Descriptors: []PeerDescriptor{{Node: 3, Age: 0}, {Node: 9, Age: 65535}}}
+	gotReq := roundTrip(t, req).(*ShuffleReq)
+	if !reflect.DeepEqual(gotReq.Descriptors, req.Descriptors) {
+		t.Fatalf("req: got %+v", gotReq.Descriptors)
+	}
+	rep := &ShuffleReply{Descriptors: []PeerDescriptor{{Node: 100, Age: 7}}}
+	gotRep := roundTrip(t, rep).(*ShuffleReply)
+	if !reflect.DeepEqual(gotRep.Descriptors, rep.Descriptors) {
+		t.Fatalf("reply: got %+v", gotRep.Descriptors)
+	}
+}
+
+func TestAvgRoundTrip(t *testing.T) {
+	push := &AvgPush{Value: 3.14159, Weight: 0.5}
+	gotPush := roundTrip(t, push).(*AvgPush)
+	if gotPush.Value != push.Value || gotPush.Weight != push.Weight {
+		t.Fatalf("push: got %+v", gotPush)
+	}
+	reply := &AvgReply{Value: -1e300, Weight: math.SmallestNonzeroFloat64}
+	gotReply := roundTrip(t, reply).(*AvgReply)
+	if gotReply.Value != reply.Value || gotReply.Weight != reply.Weight {
+		t.Fatalf("reply: got %+v", gotReply)
+	}
+}
+
+func TestWireSizeMatchesMarshalProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	cfg := &quick.Config{MaxCount: 300, Rand: rng}
+	check := func(gen func(r *rand.Rand) Message) {
+		t.Helper()
+		if err := quick.Check(func(seed int64) bool {
+			m := gen(rand.New(rand.NewSource(seed)))
+			return len(Marshal(m)) == m.WireSize()
+		}, cfg); err != nil {
+			t.Error(err)
+		}
+	}
+	check(func(r *rand.Rand) Message {
+		ids := make([]PacketID, r.Intn(50))
+		for i := range ids {
+			ids[i] = PacketID(r.Uint64())
+		}
+		return &Propose{IDs: ids}
+	})
+	check(func(r *rand.Rand) Message {
+		evs := make([]Event, r.Intn(5))
+		for i := range evs {
+			p := make([]byte, r.Intn(1500))
+			r.Read(p)
+			evs[i] = Event{ID: PacketID(r.Uint64()), Stamp: r.Int63(), Payload: p}
+		}
+		return &Serve{Events: evs}
+	})
+	check(func(r *rand.Rand) Message {
+		entries := make([]CapEntry, r.Intn(20))
+		for i := range entries {
+			entries[i] = CapEntry{Node: NodeID(r.Int31()), CapKbps: r.Uint32(), AgeMs: r.Uint32()}
+		}
+		return &Aggregate{Entries: entries}
+	})
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		{0},                               // kind 0 unknown
+		{99},                              // unknown kind
+		{1},                               // Propose with no count
+		{1, 0},                            // Propose with half a count
+		{1, 0, 2, 0, 0, 0, 0, 0, 0, 0, 1}, // claims 2 ids, has 1
+		{3, 0, 1, 0, 0, 0, 0, 0, 0, 0, 1}, // Serve event truncated
+		{7, 1, 2, 3},                      // AvgPush truncated
+	}
+	for i, buf := range cases {
+		if _, err := Unmarshal(buf); err == nil {
+			t.Errorf("case %d: Unmarshal(%v) succeeded, want error", i, buf)
+		}
+	}
+}
+
+func TestUnmarshalRejectsTrailingBytes(t *testing.T) {
+	buf := Marshal(&Propose{IDs: []PacketID{1}})
+	buf = append(buf, 0xde, 0xad)
+	if _, err := Unmarshal(buf); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+func TestUnmarshalFuzzNoPanics(t *testing.T) {
+	// Random byte soup must never panic, only return errors (or decode).
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		n := rng.Intn(200)
+		buf := make([]byte, n)
+		rng.Read(buf)
+		if n > 0 {
+			buf[0] = byte(1 + rng.Intn(10)) // bias toward valid kinds
+		}
+		_, _ = Unmarshal(buf) // must not panic
+	}
+}
+
+func TestMarshalMutationRoundTrip(t *testing.T) {
+	// Flip each byte of a valid encoding: decoder must never panic and the
+	// result must either error or decode to *some* message.
+	m := &Serve{Events: []Event{{ID: 7, Stamp: 99, Payload: []byte("hello world")}}}
+	orig := Marshal(m)
+	for i := range orig {
+		for _, delta := range []byte{1, 0x80, 0xff} {
+			buf := append([]byte(nil), orig...)
+			buf[i] ^= delta
+			_, _ = Unmarshal(buf) // must not panic
+		}
+	}
+}
+
+func TestPaperProposeSize(t *testing.T) {
+	// §3.1: ~11.26 packet ids per propose. Sanity-check the message is small
+	// relative to the stream payload, as assumed by HEAP's analysis.
+	m := &Propose{IDs: make([]PacketID, 11)}
+	if m.WireSize() >= 200 {
+		t.Fatalf("11-id propose is %d bytes; expected well under 200", m.WireSize())
+	}
+	serve := &Serve{Events: []Event{{Payload: make([]byte, 1316)}}}
+	if m.WireSize()*5 > serve.WireSize() {
+		t.Fatalf("propose (%dB) not small vs serve (%dB)", m.WireSize(), serve.WireSize())
+	}
+}
+
+func TestAggregateSizeMatchesPaperBudget(t *testing.T) {
+	// §3.1: gossiping the 10 freshest capabilities every 200 ms costs
+	// ~1 KB/s. One message with 10 entries must therefore be ~200 bytes or
+	// less (5 msgs/s incl. 28B UDP overhead).
+	m := &Aggregate{Entries: make([]CapEntry, 10)}
+	perSecond := 5 * (m.WireSize() + UDPOverheadBytes)
+	if perSecond > 1024 {
+		t.Fatalf("aggregation costs %d B/s, paper budget is ~1 KB/s", perSecond)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	kinds := []Kind{KindPropose, KindRequest, KindServe, KindAggregate,
+		KindShuffleReq, KindShuffleReply, KindAvgPush, KindAvgReply, Kind(200)}
+	for _, k := range kinds {
+		if k.String() == "" {
+			t.Fatalf("empty string for kind %d", k)
+		}
+	}
+}
+
+func BenchmarkMarshalServe(b *testing.B) {
+	payload := make([]byte, 1316)
+	m := &Serve{Events: []Event{{ID: 1, Stamp: 2, Payload: payload}}}
+	b.SetBytes(int64(m.WireSize()))
+	for i := 0; i < b.N; i++ {
+		Marshal(m)
+	}
+}
+
+func BenchmarkUnmarshalServe(b *testing.B) {
+	payload := make([]byte, 1316)
+	buf := Marshal(&Serve{Events: []Event{{ID: 1, Stamp: 2, Payload: payload}}})
+	b.SetBytes(int64(len(buf)))
+	for i := 0; i < b.N; i++ {
+		if _, err := Unmarshal(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

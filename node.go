@@ -1,0 +1,218 @@
+package heapgossip
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/aggregation"
+	"repro/internal/core"
+	"repro/internal/env"
+	"repro/internal/membership"
+	"repro/internal/stream"
+	"repro/internal/udpnet"
+	"repro/internal/wire"
+)
+
+// DeliverFunc receives every stream packet exactly once as it is delivered.
+// lag is the time between the packet's publication (per its stamp) and its
+// local delivery, assuming loosely synchronized clocks across nodes.
+type DeliverFunc func(id PacketID, payload []byte, lag time.Duration)
+
+// NodeConfig assembles one real-UDP HEAP node.
+type NodeConfig struct {
+	// ID is this node's identity; it must be unique within the deployment.
+	ID NodeID
+	// Listen is the UDP listen address (default "127.0.0.1:0").
+	Listen string
+	// UploadKbps is the node's advertised upload capability; it throttles
+	// the socket (token bucket + queue) and feeds HEAP's aggregation.
+	// Required.
+	UploadKbps uint32
+	// Adaptive enables HEAP; false runs standard fixed-fanout gossip.
+	Adaptive bool
+	// Fanout is fbar, the target average fanout (ln(n)+c). Default 7.
+	Fanout float64
+	// GossipPeriod is the propose batching period. Default 200 ms.
+	GossipPeriod time.Duration
+	// Peers maps every node id (including self) to its UDP address,
+	// "host:port". More peers can join later via Node.AddPeer.
+	Peers map[NodeID]string
+	// OnDeliver, if non-nil, receives every delivered packet.
+	OnDeliver DeliverFunc
+	// Source, if non-nil, makes this node the stream broadcaster.
+	Source *SourceConfig
+	// Seed drives the node's protocol randomness (default: derived from ID).
+	Seed int64
+}
+
+// SourceConfig describes the stream a source node produces.
+type SourceConfig struct {
+	// Geometry of the stream. Default PaperGeometry().
+	Geometry Geometry
+	// Windows is the stream length in FEC windows. Required.
+	Windows int
+	// StartDelay postpones the first packet (lets aggregation warm up).
+	// Default 2 s.
+	StartDelay time.Duration
+}
+
+// Node is a running HEAP node on a real UDP socket.
+type Node struct {
+	udp       *udpnet.Node
+	engine    *core.Engine
+	estimator *aggregation.Estimator
+	view      *membership.View
+	source    *stream.Source
+}
+
+// StartNode binds a socket, wires the protocol stack (dissemination engine,
+// capability aggregation when Adaptive, optional stream source) and starts
+// it. Close the returned node to shut down.
+func StartNode(cfg NodeConfig) (*Node, error) {
+	if cfg.UploadKbps == 0 {
+		return nil, fmt.Errorf("heapgossip: UploadKbps is required")
+	}
+	if cfg.Fanout == 0 {
+		cfg.Fanout = 7
+	}
+	if cfg.GossipPeriod == 0 {
+		cfg.GossipPeriod = 200 * time.Millisecond
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = int64(cfg.ID) + 1
+	}
+
+	peerIDs := make([]wire.NodeID, 0, len(cfg.Peers))
+	for id := range cfg.Peers {
+		peerIDs = append(peerIDs, id)
+	}
+	view := membership.NewView(cfg.ID, peerIDs)
+
+	n := &Node{view: view}
+	mux := env.NewMux()
+
+	engCfg := core.Config{
+		Fanout:       cfg.Fanout,
+		GossipPeriod: cfg.GossipPeriod,
+		Sampler:      view,
+	}
+	if cfg.OnDeliver != nil {
+		deliver := cfg.OnDeliver
+		engCfg.OnDeliver = func(ev wire.Event, at time.Duration) {
+			lag := at - time.Duration(ev.Stamp)
+			if lag < 0 {
+				lag = 0
+			}
+			deliver(ev.ID, ev.Payload, lag)
+		}
+	}
+	if cfg.Adaptive {
+		est := aggregation.NewEstimator(aggregation.Config{
+			SelfCapKbps: cfg.UploadKbps,
+			Sampler:     view,
+		})
+		n.estimator = est
+		engCfg.Adaptive = true
+		engCfg.Capabilities = est
+		mux.Register(est, wire.KindAggregate)
+	}
+	eng, err := core.New(engCfg)
+	if err != nil {
+		return nil, err
+	}
+	n.engine = eng
+	mux.Register(eng, wire.KindPropose, wire.KindRequest, wire.KindServe)
+
+	if cfg.Source != nil {
+		sc := *cfg.Source
+		if sc.Geometry == (Geometry{}) {
+			sc.Geometry = PaperGeometry()
+		}
+		if sc.StartDelay == 0 {
+			sc.StartDelay = 2 * time.Second
+		}
+		src, err := stream.NewSource(stream.SourceConfig{
+			Geometry:  sc.Geometry,
+			Windows:   sc.Windows,
+			StartAt:   sc.StartDelay,
+			Publisher: eng,
+		})
+		if err != nil {
+			return nil, err
+		}
+		n.source = src
+		mux.Register(src)
+	}
+
+	udpNode, err := udpnet.NewNode(cfg.ID, mux, udpnet.Config{
+		Listen:    cfg.Listen,
+		UploadBps: int64(cfg.UploadKbps) * 1000,
+		Seed:      cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	n.udp = udpNode
+
+	peers := make(map[wire.NodeID]*net.UDPAddr, len(cfg.Peers))
+	for id, addrStr := range cfg.Peers {
+		addr, err := net.ResolveUDPAddr("udp", addrStr)
+		if err != nil {
+			udpNode.Close()
+			return nil, fmt.Errorf("heapgossip: peer %d address %q: %w", id, addrStr, err)
+		}
+		peers[id] = addr
+	}
+	udpNode.SetPeers(peers)
+	if err := udpNode.Start(); err != nil {
+		udpNode.Close()
+		return nil, err
+	}
+	return n, nil
+}
+
+// Addr returns the node's bound UDP address.
+func (n *Node) Addr() *net.UDPAddr { return n.udp.Addr() }
+
+// AddPeer registers a peer that joined after startup. Safe to call while
+// the node runs: the view mutation is serialized with protocol callbacks.
+func (n *Node) AddPeer(id NodeID, addr *net.UDPAddr) {
+	n.udp.AddPeer(id, addr)
+	n.udp.Execute(func() { n.view.Add(id) })
+}
+
+// RemovePeer drops a peer (e.g., on failure notification).
+func (n *Node) RemovePeer(id NodeID) {
+	n.udp.Execute(func() { n.view.Remove(id) })
+}
+
+// Close shuts the node down.
+func (n *Node) Close() { n.udp.Close() }
+
+// Stats returns the node's dissemination counters, serialized with protocol
+// activity.
+func (n *Node) Stats() EngineStats {
+	var st EngineStats
+	n.udp.Execute(func() { st = n.engine.Stats() })
+	return st
+}
+
+// EstimateKbps returns the node's current estimate of the system-wide mean
+// upload capability (HEAP only; 0 for standard gossip nodes).
+func (n *Node) EstimateKbps() float64 {
+	var est float64
+	n.udp.Execute(func() {
+		if n.estimator != nil {
+			est = n.estimator.EstimateKbps()
+		}
+	})
+	return est
+}
+
+// SourceDone reports whether this node's stream (if any) finished.
+func (n *Node) SourceDone() bool {
+	done := false
+	n.udp.Execute(func() { done = n.source != nil && n.source.Done })
+	return done
+}
