@@ -1,0 +1,31 @@
+# Development entry points. `make check` is the fast CI gate; `make test`
+# adds the full-scale experiments (the ~1 min TestFullScaleHeadline).
+
+GO ?= go
+
+.PHONY: check vet build test-short test bench sweep fmt
+
+check: vet build test-short
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test-short:
+	$(GO) test -short ./...
+
+test:
+	$(GO) test ./...
+
+# One iteration of every paper-figure benchmark (reduced scale).
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+
+# The paper's headline grid on all cores, CSV into out/.
+sweep:
+	$(GO) run ./cmd/heapsweep -csv out/
+
+fmt:
+	gofmt -l -w .

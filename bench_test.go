@@ -439,6 +439,53 @@ func abs(x float64) float64 {
 	return x
 }
 
+// --- Sweep engine (parallel scenario grids) ---
+
+// sweepBenchGrid is the 4-cell grid shared by the sweep benchmarks:
+// {standard, HEAP} x {ref-691, ms-691} at the reduced benchmark scale.
+func sweepBenchGrid(workers int) Sweep {
+	return Sweep{
+		Base: Scenario{
+			Nodes:       benchNodes,
+			Windows:     benchWindows,
+			StreamStart: 5 * time.Second,
+			Drain:       30 * time.Second,
+		},
+		Protocols: []Protocol{StandardGossip, HEAP},
+		Dists:     []Distribution{Ref691, MS691},
+		BaseSeed:  benchSeed,
+		Workers:   workers,
+		DropRuns:  true,
+	}
+}
+
+// benchSweep runs the grid once per iteration and reports the HEAP/ms-691
+// cell's stream quality; the value must be identical between the Parallel
+// and Serial variants (deterministic seed derivation), while ns/op shows
+// the wall-clock gap — on an N-core machine the parallel variant approaches
+// min(N, 4)x faster.
+func benchSweep(b *testing.B, workers int) {
+	for i := 0; i < b.N; i++ {
+		res, err := RunSweep(sweepBenchGrid(workers))
+		if err != nil {
+			b.Fatal(err)
+		}
+		cell := res.Find(func(k CellKey) bool {
+			return k.Protocol == HEAP && k.Dist == MS691.Name()
+		})
+		b.ReportMetric(100*cell.Summary.JFMean, "heap-ms691-jitterfree-%")
+	}
+}
+
+// BenchmarkSweepParallel runs the 4-cell grid with GOMAXPROCS workers.
+func BenchmarkSweepParallel(b *testing.B) { benchSweep(b, 0) }
+
+// BenchmarkSweepSerial runs the identical grid on a single worker; comparing
+// its ns/op against BenchmarkSweepParallel measures the sweep engine's
+// multi-core speedup, and the identical domain metric proves worker count
+// does not leak into results.
+func BenchmarkSweepSerial(b *testing.B) { benchSweep(b, 1) }
+
 // BenchmarkScenarioThroughput measures raw simulator speed on a constrained
 // HEAP run — the performance-critical path of the repository.
 func BenchmarkScenarioThroughput(b *testing.B) {

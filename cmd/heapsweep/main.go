@@ -1,0 +1,215 @@
+// Command heapsweep runs a grid of simulated experiments in parallel and
+// aggregates them into the paper's headline tables, one summary row per
+// (protocol, distribution, node count, fanout, churn) cell.
+//
+// The default grid is the paper's central comparison — standard gossip vs.
+// HEAP on the three Table 1 distributions at the paper's scale — i.e. the
+// data behind Figures 3-9 and Tables 2-3 of EXPERIMENTS.md:
+//
+//	heapsweep                                   # the headline grid (~minutes)
+//	heapsweep -nodes 120 -windows 10            # scaled-down quick look
+//	heapsweep -dists ms-691 -fanouts 7,15,20,25,30 -protocols standard  # Figure 2
+//	heapsweep -churn 0,0.2,0.5 -dists ref-691   # Figure 10's failure grid
+//	heapsweep -replicas 5 -csv out/             # 5 seeds per cell + CSV export
+//
+// With -csv DIR it writes DIR/sweep.csv (one row per cell, byte-identical
+// for a fixed grid and seed regardless of -workers) and DIR/lagcdf.csv (the
+// pooled per-cell lag CDFs in long series format for replotting).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/scenario"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		protocols = flag.String("protocols", "standard,heap",
+			"comma-separated protocols (standard, heap, tree)")
+		dists = flag.String("dists", "ref-691,ref-724,ms-691",
+			"comma-separated distributions (ref-691, ref-724, ms-691, uniform-691, none)")
+		nodesFlag   = flag.String("nodes", "270", "comma-separated system sizes incl. source")
+		fanoutsFlag = flag.String("fanouts", "7", "comma-separated average fanouts fbar")
+		churnFlag   = flag.String("churn", "0",
+			"comma-separated fractions of nodes crashing mid-stream (0 disables)")
+		windows  = flag.Int("windows", 93, "stream length in FEC windows (~1.93s each)")
+		replicas = flag.Int("replicas", 1, "seed replicas per cell")
+		seed     = flag.Int64("seed", 1, "base seed for deterministic per-run derivation")
+		workers  = flag.Int("workers", 0, "worker pool size (default GOMAXPROCS)")
+		lag      = flag.Duration("lag", 10*time.Second, "playback lag for stream-quality summaries")
+		csvDir   = flag.String("csv", "", "write sweep.csv and lagcdf.csv into this directory")
+		plots    = flag.Bool("plots", false, "render the pooled lag CDF of every cell as an ASCII plot")
+		quiet    = flag.Bool("q", false, "suppress per-run progress output")
+	)
+	flag.Parse()
+
+	sw := scenario.Sweep{
+		Base: scenario.Config{
+			Windows:     *windows,
+			StreamStart: 5 * time.Second,
+			Drain:       120 * time.Second,
+		},
+		Replicas:   *replicas,
+		BaseSeed:   *seed,
+		Workers:    *workers,
+		SummaryLag: *lag,
+		// Full Results at paper scale are large; the tables, plots and
+		// CSVs all come from the per-cell aggregates.
+		DropRuns: true,
+	}
+	if !*quiet {
+		sw.Progress = func(cell string, replica int, elapsed time.Duration) {
+			fmt.Fprintf(os.Stderr, "  ran %-40s rep %d in %6.1fs\n", cell, replica, elapsed.Seconds())
+		}
+	}
+
+	for _, p := range splitList(*protocols) {
+		proto := scenario.Protocol(p)
+		if proto != scenario.StandardGossip && proto != scenario.HEAP && proto != scenario.StaticTree {
+			fmt.Fprintf(os.Stderr, "heapsweep: unknown protocol %q\n", p)
+			return 1
+		}
+		sw.Protocols = append(sw.Protocols, proto)
+	}
+	for _, d := range splitList(*dists) {
+		if d == "none" {
+			sw.Dists = append(sw.Dists, nil) // unconstrained
+			continue
+		}
+		dist, ok := scenario.Distributions[d]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "heapsweep: unknown distribution %q\n", d)
+			return 1
+		}
+		sw.Dists = append(sw.Dists, dist)
+	}
+	var err error
+	if sw.Nodes, err = parseInts(*nodesFlag); err != nil {
+		fmt.Fprintf(os.Stderr, "heapsweep: -nodes: %v\n", err)
+		return 1
+	}
+	if sw.Fanouts, err = parseFloats(*fanoutsFlag); err != nil {
+		fmt.Fprintf(os.Stderr, "heapsweep: -fanouts: %v\n", err)
+		return 1
+	}
+	if sw.ChurnFractions, err = parseFloats(*churnFlag); err != nil {
+		fmt.Fprintf(os.Stderr, "heapsweep: -churn: %v\n", err)
+		return 1
+	}
+
+	res, err := scenario.RunSweep(sw)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "heapsweep: %v\n", err)
+		return 1
+	}
+
+	fmt.Printf("%d cells x %d replica(s) on %d worker(s) in %.1fs (sum of runs %.1fs)\n\n",
+		len(res.Cells), *replicas, res.Workers, res.Elapsed.Seconds(), sumRunTime(res).Seconds())
+	fmt.Print(res.Table().Render())
+
+	if *plots {
+		for i := range res.Cells {
+			c := &res.Cells[i]
+			plot := metrics.Plot{
+				Title:  fmt.Sprintf("%s — lag to receive 99%% of the stream", c.Key),
+				XLabel: "stream lag (s)",
+				YLabel: "% of nodes (CDF)",
+				XMax:   60, YMax: 100,
+			}
+			plot.Add("99% delivery", metrics.CDFSeries(c.Summary.LagCDF.Values))
+			fmt.Printf("\n%s", plot.Render())
+		}
+	}
+
+	if *csvDir != "" {
+		if err := writeCSVs(res, *csvDir); err != nil {
+			fmt.Fprintf(os.Stderr, "heapsweep: %v\n", err)
+			return 1
+		}
+		fmt.Printf("\nwrote %s/sweep.csv and %s/lagcdf.csv\n", *csvDir, *csvDir)
+	}
+	return 0
+}
+
+// writeCSVs exports the per-cell summary rows and the pooled lag CDFs.
+func writeCSVs(res *scenario.SweepResult, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	sweepFile, err := os.Create(filepath.Join(dir, "sweep.csv"))
+	if err != nil {
+		return err
+	}
+	defer sweepFile.Close()
+	if err := res.WriteCSV(sweepFile); err != nil {
+		return err
+	}
+	cdfFile, err := os.Create(filepath.Join(dir, "lagcdf.csv"))
+	if err != nil {
+		return err
+	}
+	defer cdfFile.Close()
+	series := make([]metrics.Series, 0, len(res.Cells))
+	for i := range res.Cells {
+		c := &res.Cells[i]
+		series = append(series, metrics.Series{
+			Name:   c.Key.String(),
+			Points: metrics.CDFSeries(c.Summary.LagCDF.Values),
+		})
+	}
+	return metrics.WriteSeriesCSV(cdfFile, series)
+}
+
+func sumRunTime(res *scenario.SweepResult) time.Duration {
+	var sum time.Duration
+	for i := range res.Cells {
+		sum += res.Cells[i].Summary.Elapsed
+	}
+	return sum
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range splitList(s) {
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range splitList(s) {
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

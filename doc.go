@@ -26,6 +26,10 @@
 //   - Simulation API (this package): Scenario, RunScenario, the Table 1
 //     capability distributions, and the metric helpers used to regenerate
 //     every figure and table of the paper. See EXPERIMENTS.md.
+//   - Sweep API (this package): Sweep, RunSweep executes whole grids of
+//     scenarios (protocol x distribution x nodes x fanout x churn x seed
+//     replicas) on a bounded worker pool with deterministic per-run seeds,
+//     aggregating per-cell summary statistics and merged lag CDFs.
 //   - Deployment API (this package): StartNode runs a HEAP node (optionally
 //     a stream source) on a real UDP socket.
 //   - internal/core: the dissemination engine (Algorithms 1 and 2).
@@ -52,4 +56,24 @@
 //
 // and inspect res.Run with the metrics helpers (JitterFreeShare,
 // MinLagForJitterFree, ...). See examples/ for complete programs.
+//
+// # Sweeps
+//
+// Grids of scenarios run in parallel through RunSweep — every run's seed is
+// derived from its grid position, so results are identical for any worker
+// count:
+//
+//	sweep, err := heapgossip.RunSweep(heapgossip.Sweep{
+//	    Base:      heapgossip.Scenario{Nodes: 180, Windows: 15},
+//	    Protocols: []heapgossip.Protocol{heapgossip.StandardGossip, heapgossip.HEAP},
+//	    Dists:     []heapgossip.Distribution{heapgossip.Ref691, heapgossip.MS691},
+//	    Replicas:  3,
+//	    BaseSeed:  1,
+//	})
+//	fmt.Print(sweep.Table().Render())
+//
+// Each of the four cells pools its three replicas into summary statistics
+// (mean jitter-free share, merged lag CDF percentiles); cmd/heapsweep is
+// the command-line front end, and EXPERIMENTS.md maps each paper artifact
+// to the sweep that regenerates it.
 package heapgossip

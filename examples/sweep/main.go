@@ -1,0 +1,64 @@
+// Sweep example: run the paper's central comparison — standard gossip vs.
+// HEAP on two capability distributions — as one parallel scenario sweep
+// instead of four serial runs, then print the per-cell summary table.
+//
+// The sweep engine derives every run's seed from its grid position, so the
+// numbers below are identical no matter how many workers execute them
+// (try it: set Workers to 1).
+//
+// Run with: go run ./examples/sweep
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	heapgossip "repro"
+)
+
+func main() {
+	sweep := heapgossip.Sweep{
+		Base: heapgossip.Scenario{
+			Nodes:       120,
+			Windows:     10, // ~19 s of stream, scaled down from the paper's 180 s
+			StreamStart: 5 * time.Second,
+			Drain:       30 * time.Second,
+		},
+		Protocols:  []heapgossip.Protocol{heapgossip.StandardGossip, heapgossip.HEAP},
+		Dists:      []heapgossip.Distribution{heapgossip.Ref691, heapgossip.MS691},
+		Replicas:   2, // two seeds per cell; summaries pool both runs
+		BaseSeed:   1,
+		SummaryLag: 10 * time.Second,
+	}
+
+	fmt.Println("Sweeping 2 protocols x 2 distributions x 2 seeds (8 runs)...")
+	res, err := heapgossip.RunSweep(sweep)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("done in %.1fs on %d worker(s); the runs alone sum to %.1fs\n\n",
+		res.Elapsed.Seconds(), res.Workers, totalRunTime(res).Seconds())
+	fmt.Print(res.Table().Render())
+
+	fmt.Println()
+	fmt.Println("HEAP holds its stream quality on the skewed ms-691 distribution")
+	fmt.Println("where standard gossip collapses — the paper's headline result.")
+
+	// The aggregated summary is reproducible byte-for-byte: write the CSV
+	// yourself and diff it against a workers=1 rerun.
+	fmt.Println()
+	if err := res.WriteCSV(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func totalRunTime(res *heapgossip.SweepResult) time.Duration {
+	var sum time.Duration
+	for i := range res.Cells {
+		sum += res.Cells[i].Summary.Elapsed
+	}
+	return sum
+}

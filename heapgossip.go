@@ -45,6 +45,33 @@ func RunScenario(cfg Scenario) (*ScenarioResult, error) {
 	return scenario.Run(cfg)
 }
 
+// Sweep describes a grid of scenarios (protocol × distribution × node count
+// × fanout × churn × seed replicas) executed by RunSweep on a bounded worker
+// pool with deterministic per-run seed derivation.
+type Sweep = scenario.Sweep
+
+// Variant is a named arbitrary config mutation used as a sweep axis.
+type Variant = scenario.Variant
+
+// SweepResult aggregates a sweep's runs into per-cell summary statistics.
+type SweepResult = scenario.SweepResult
+
+// CellResult is one sweep grid cell's outcome.
+type CellResult = scenario.CellResult
+
+// CellKey identifies one cell of a sweep grid.
+type CellKey = scenario.CellKey
+
+// CellSummary holds one cell's pooled summary statistics.
+type CellSummary = scenario.CellSummary
+
+// RunSweep executes a sweep grid in parallel (Workers goroutines, default
+// GOMAXPROCS) and aggregates per-cell statistics. Results are byte-for-byte
+// reproducible for a fixed sweep definition, independent of worker count.
+func RunSweep(sw Sweep) (*SweepResult, error) {
+	return scenario.RunSweep(sw)
+}
+
 // Distribution assigns upload capabilities to nodes.
 type Distribution = scenario.Distribution
 

@@ -22,6 +22,22 @@ func NewCDF(samples []float64) CDF {
 	return CDF{Values: vs, N: len(vs)}
 }
 
+// MergeCDFs merges empirical CDFs into one over the union of their samples —
+// the exact CDF of the pooled population (sweep replicas merge their per-node
+// lag distributions this way).
+func MergeCDFs(cdfs ...CDF) CDF {
+	total := 0
+	for _, c := range cdfs {
+		total += c.N
+	}
+	vs := make([]float64, 0, total)
+	for _, c := range cdfs {
+		vs = append(vs, c.Values...)
+	}
+	sort.Float64s(vs)
+	return CDF{Values: vs, N: len(vs)}
+}
+
 // FractionAtOrBelow returns the fraction of samples <= x.
 func (c CDF) FractionAtOrBelow(x float64) float64 {
 	if c.N == 0 {

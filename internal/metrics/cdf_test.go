@@ -1,0 +1,35 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMergeCDFs(t *testing.T) {
+	a := NewCDF([]float64{1, 3, 5})
+	b := NewCDF([]float64{2, 4, math.Inf(1)})
+	m := MergeCDFs(a, b)
+	if m.N != 6 {
+		t.Fatalf("merged N = %d, want 6", m.N)
+	}
+	want := []float64{1, 2, 3, 4, 5, math.Inf(1)}
+	for i, v := range want {
+		if m.Values[i] != v {
+			t.Fatalf("merged values %v, want %v", m.Values, want)
+		}
+	}
+	// The merge is the CDF of the pooled population: fractions reweight.
+	if got := m.FractionAtOrBelow(3); got != 0.5 {
+		t.Fatalf("merged F(3) = %v, want 0.5", got)
+	}
+	if got := a.FractionAtOrBelow(3); got != 2.0/3 {
+		t.Fatalf("input CDF mutated or wrong: F(3) = %v", got)
+	}
+	// Degenerate cases.
+	if empty := MergeCDFs(); empty.N != 0 {
+		t.Fatalf("empty merge N = %d", empty.N)
+	}
+	if one := MergeCDFs(a); one.N != 3 || one.ValueAtPercentile(100) != 5 {
+		t.Fatalf("single merge = %+v", one)
+	}
+}

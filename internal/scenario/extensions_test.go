@@ -156,43 +156,41 @@ func TestAutoFanoutEstimatesSizeAndDelivers(t *testing.T) {
 
 func TestFreezeInjectionDoesNotLoseTheStream(t *testing.T) {
 	// Sporadic freezes (§3.5 PlanetLab noise) defer deliveries but must not
-	// destroy dissemination: frozen nodes catch up after unfreezing.
-	res, err := Run(Config{
-		Nodes:          100,
-		Dist:           Ref724,
-		Protocol:       HEAP,
-		Windows:        10,
-		Seed:           16,
-		FreezesPerNode: 2,
-		StreamStart:    5 * time.Second,
-		Drain:          30 * time.Second,
+	// destroy dissemination: frozen nodes catch up after unfreezing. The
+	// frozen/clean pair runs as one paired-seed sweep, so the two cells
+	// differ only in the freeze injection.
+	sweep, err := RunSweep(Sweep{
+		Base: Config{
+			Nodes:       100,
+			Dist:        Ref724,
+			Protocol:    HEAP,
+			Windows:     10,
+			StreamStart: 5 * time.Second,
+			Drain:       30 * time.Second,
+		},
+		Variants: []Variant{
+			{Name: "frozen", Mutate: func(c *Config) { c.FreezesPerNode = 2 }},
+			{Name: "clean"},
+		},
+		BaseSeed:    16,
+		PairedSeeds: true,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
+	res := sweep.CellByVariant("frozen").Runs[0]
+	clean := sweep.CellByVariant("clean").Runs[0]
 	offline := metrics.Mean(res.Run.PerNode(func(n *metrics.NodeRecord) float64 {
 		return res.Run.JitterFreeShare(n, metrics.Never)
 	}))
 	if offline < 0.95 {
 		t.Fatalf("offline jitter-free share %.3f with freezes", offline)
 	}
-	// At a tight lag, freezes should cost some quality vs a freeze-free run
-	// (sanity that the injection actually does something).
+	// At a tight lag, freezes should cost some quality vs the freeze-free
+	// run (sanity that the injection actually does something).
 	frozen10 := metrics.Mean(res.Run.PerNode(func(n *metrics.NodeRecord) float64 {
 		return res.Run.JitterFreeShare(n, 3*time.Second)
 	}))
-	clean, err := Run(Config{
-		Nodes:       100,
-		Dist:        Ref724,
-		Protocol:    HEAP,
-		Windows:     10,
-		Seed:        16,
-		StreamStart: 5 * time.Second,
-		Drain:       30 * time.Second,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
 	clean10 := metrics.Mean(clean.Run.PerNode(func(n *metrics.NodeRecord) float64 {
 		return clean.Run.JitterFreeShare(n, 3*time.Second)
 	}))
@@ -207,29 +205,25 @@ func TestStaticTreeBaselineFailsWhereGossipSucceeds(t *testing.T) {
 	// static tree without any reconstruction even among 30 nodes" — UDP
 	// loss compounds down the tree and loaded interior nodes starve their
 	// subtrees, while plain gossip with fanout 7 delivers.
-	base := Config{
-		Nodes:       30,
-		Dist:        MS691,
-		Windows:     10,
-		Seed:        18,
-		LossRate:    0.01,
-		StreamStart: 2 * time.Second,
-		Drain:       30 * time.Second,
-	}
-	treeCfg := base
-	treeCfg.Protocol = StaticTree
-	treeCfg.TreeDegree = 3
-	gossipCfg := base
-	gossipCfg.Protocol = StandardGossip
-
-	treeRes, err := Run(treeCfg)
+	sweep, err := RunSweep(Sweep{
+		Base: Config{
+			Nodes:       30,
+			Dist:        MS691,
+			Windows:     10,
+			LossRate:    0.01,
+			TreeDegree:  3,
+			StreamStart: 2 * time.Second,
+			Drain:       30 * time.Second,
+		},
+		Protocols:   []Protocol{StaticTree, StandardGossip},
+		BaseSeed:    18,
+		PairedSeeds: true,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	gossipRes, err := Run(gossipCfg)
-	if err != nil {
-		t.Fatal(err)
-	}
+	treeRes := sweep.Cells[0].Runs[0]
+	gossipRes := sweep.Cells[1].Runs[0]
 	jf := func(res *Result) float64 {
 		return metrics.Mean(res.Run.PerNode(func(n *metrics.NodeRecord) float64 {
 			return res.Run.JitterFreeShare(n, 10*time.Second)

@@ -22,33 +22,37 @@ import (
 //     first-proposer races.
 //
 // Collapse accumulates over minutes of stream, so this test cannot be
-// scaled down in time; it runs ~1 minute and is skipped with -short.
+// scaled down in time; its three full-scale runs go through the sweep
+// engine (parallel on multi-core machines, ~1 min serial) and it is
+// skipped with -short.
 func TestFullScaleHeadline(t *testing.T) {
 	if testing.Short() {
-		t.Skip("full-scale experiment (~1 min)")
+		t.Skip("full-scale experiment (~1 min serial, 3 parallel runs)")
 	}
 	base := Config{
 		Nodes:              270,
 		Dist:               MS691,
 		Windows:            93,
-		Seed:               1,
 		StreamStart:        5 * time.Second,
 		Drain:              45 * time.Second,
 		BacklogProbePeriod: 10 * time.Second,
 	}
-	run := func(mutate func(*Config)) *Result {
-		t.Helper()
-		cfg := base
-		mutate(&cfg)
-		res, err := Run(cfg)
-		if err != nil {
-			t.Fatal(err)
-		}
-		return res
+	sweep, err := RunSweep(Sweep{
+		Base: base,
+		Variants: []Variant{
+			{Name: "std", Mutate: func(c *Config) { c.Protocol = StandardGossip }},
+			{Name: "heap", Mutate: func(c *Config) { c.Protocol = HEAP }},
+			{Name: "period", Mutate: func(c *Config) { c.Protocol = HEAP; c.AdaptPeriod = true }},
+		},
+		BaseSeed:    1,
+		PairedSeeds: true, // all three protocols face the same network draw
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
-	stdRes := run(func(c *Config) { c.Protocol = StandardGossip })
-	heapRes := run(func(c *Config) { c.Protocol = HEAP })
-	periodRes := run(func(c *Config) { c.Protocol = HEAP; c.AdaptPeriod = true })
+	stdRes := sweep.CellByVariant("std").Runs[0]
+	heapRes := sweep.CellByVariant("heap").Runs[0]
+	periodRes := sweep.CellByVariant("period").Runs[0]
 
 	lag := 20 * time.Second
 	jf := func(res *Result) float64 {

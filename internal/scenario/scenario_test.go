@@ -168,27 +168,29 @@ func TestVerifyPayloadsEndToEnd(t *testing.T) {
 
 func TestHEAPEqualizesBandwidthUsage(t *testing.T) {
 	// Figure 4b: standard gossip leaves 3 Mbps nodes underused while HEAP
-	// pushes their utilization close to the rest.
-	base := Config{
-		Nodes:       180,
-		Dist:        MS691,
-		Windows:     15,
-		Seed:        4,
-		StreamStart: 5 * time.Second,
-		Drain:       20 * time.Second,
+	// pushes their utilization close to the rest. The two runs go through
+	// the sweep engine — parallel on multi-core machines, and a controlled
+	// comparison thanks to PairedSeeds (both protocols see the same seed).
+	if testing.Short() {
+		t.Skip("two 180-node runs (~4 s serial)")
 	}
-	stdCfg := base
-	stdCfg.Name, stdCfg.Protocol = "std-usage", StandardGossip
-	heapCfg := base
-	heapCfg.Name, heapCfg.Protocol = "heap-usage", HEAP
-	stdRes, err := Run(stdCfg)
+	sweep, err := RunSweep(Sweep{
+		Base: Config{
+			Nodes:       180,
+			Dist:        MS691,
+			Windows:     15,
+			StreamStart: 5 * time.Second,
+			Drain:       20 * time.Second,
+		},
+		Protocols:   []Protocol{StandardGossip, HEAP},
+		BaseSeed:    4,
+		PairedSeeds: true,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	heapRes, err := Run(heapCfg)
-	if err != nil {
-		t.Fatal(err)
-	}
+	stdRes := sweep.Cells[0].Runs[0]
+	heapRes := sweep.Cells[1].Runs[0]
 	usageByClass := func(res *Result, class string) float64 {
 		var sum float64
 		var n int
