@@ -1,17 +1,24 @@
-# Development entry points. `make check` is the fast CI gate; `make test`
-# adds the full-scale experiments (the ~1 min TestFullScaleHeadline).
+# Development entry points. `make check` is the CI gate: vet, the race
+# detector over the short suite, and the plain short suite. `make test` adds
+# the full-scale experiments (the ~1 min TestFullScaleHeadline); `make full`
+# chains everything and briefly runs the wire-codec fuzzers.
 
 GO ?= go
 
-.PHONY: check vet build test-short test bench sweep fmt
+.PHONY: check vet build race test-short test bench sweep largescale fuzz full fmt
 
-check: vet build test-short
+check: vet build race test-short
 
 vet:
 	$(GO) vet ./...
 
 build:
 	$(GO) build ./...
+
+# Race-detect the short suite: the sweep engine is the only concurrent code,
+# but pooled-event regressions would also surface here first.
+race:
+	$(GO) test -race -short ./...
 
 test-short:
 	$(GO) test -short ./...
@@ -26,6 +33,18 @@ bench:
 # The paper's headline grid on all cores, CSV into out/.
 sweep:
 	$(GO) run ./cmd/heapsweep -csv out/
+
+# The LargeScale family (1k/5k nodes, flash crowds, churn bursts).
+largescale:
+	$(GO) run ./cmd/heapsweep -largescale -csv out/largescale/
+
+# Brief fuzzing of the wire codec (one target per invocation is a Go
+# toolchain constraint).
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzUnmarshal$$' -fuzztime 10s ./internal/wire
+	$(GO) test -run '^$$' -fuzz '^FuzzRoundTrip$$' -fuzztime 10s ./internal/wire
+
+full: check test fuzz
 
 fmt:
 	gofmt -l -w .

@@ -13,6 +13,7 @@ package heapgossip
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -493,6 +494,102 @@ func BenchmarkScenarioThroughput(b *testing.B) {
 		res := mustRun(b, benchConfig(HEAP, Ref691))
 		b.ReportMetric(float64(res.NetStats.MsgsSent), "msgs/run")
 	}
+}
+
+// --- Hot-path allocation guard ---
+
+// headlineAllocCeiling bounds the headline scenario's allocation count.
+// History: the map-backed engine + unpooled simulator allocated 1,424,074
+// objects per run; the pooled event heap, dense protocol tables, and
+// fire-and-forget timers brought it to ~446k. The ceiling leaves ~35%
+// headroom for benign drift while still failing loudly if pooling ever
+// silently regresses toward the old figure.
+const headlineAllocCeiling = 600_000
+
+// BenchmarkHeadline is the canonical headline scenario (HEAP on ref-691 at
+// the reduced benchmark scale) instrumented for the performance work this
+// repository cares about: allocs/op via ReportAllocs, plus the simulator's
+// events-per-run and ns-per-event.
+func BenchmarkHeadline(b *testing.B) {
+	b.ReportAllocs()
+	var events int64
+	for i := 0; i < b.N; i++ {
+		res := mustRun(b, benchConfig(HEAP, Ref691))
+		events = res.NetStats.EventsProcessed
+	}
+	b.ReportMetric(float64(events), "events/run")
+	if events > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(events), "ns/event")
+	}
+}
+
+// TestHeadlineAllocBudget fails when the headline scenario allocates more
+// than the checked-in ceiling — the regression guard for the zero-allocation
+// hot path. Skipped under -short (it runs a full simulated experiment).
+func TestHeadlineAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation budget check runs a full experiment; skipped in -short")
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	res, err := RunScenario(benchConfig(HEAP, Ref691))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runtime.ReadMemStats(&after)
+	allocs := after.Mallocs - before.Mallocs
+	t.Logf("headline scenario: %d allocs, %d events (%.2f allocs/event), %d msgs",
+		allocs, res.NetStats.EventsProcessed,
+		float64(allocs)/float64(res.NetStats.EventsProcessed), res.NetStats.MsgsSent)
+	if allocs > headlineAllocCeiling {
+		t.Fatalf("headline scenario allocated %d objects, ceiling %d — the pooled hot path has regressed",
+			allocs, headlineAllocCeiling)
+	}
+}
+
+// --- LargeScale family (1k+ nodes) ---
+
+// benchLargeScale runs one LargeScale variant per iteration and reports
+// simulator throughput at scale.
+func benchLargeScale(b *testing.B, n int, mutate func(*Scenario)) {
+	b.ReportAllocs()
+	var events int64
+	for i := 0; i < b.N; i++ {
+		cfg := LargeScale(n, benchSeed)
+		cfg.Windows = 3
+		cfg.Drain = 20 * time.Second
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		res := mustRun(b, cfg)
+		events = res.NetStats.EventsProcessed
+		b.ReportMetric(float64(res.NetStats.MsgsSent), "msgs/run")
+	}
+	b.ReportMetric(float64(events), "events/run")
+	if events > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(events), "ns/event")
+	}
+}
+
+// BenchmarkLargeScale1k is the steady-state 1000-node HEAP run.
+func BenchmarkLargeScale1k(b *testing.B) { benchLargeScale(b, 1000, nil) }
+
+// BenchmarkLargeScale1kFlashCrowd adds a flash crowd joining mid-stream.
+func BenchmarkLargeScale1kFlashCrowd(b *testing.B) {
+	benchLargeScale(b, 1000, func(c *Scenario) {
+		c.JoinWaves = []JoinWave{{At: 7 * time.Second, Count: 250}}
+	})
+}
+
+// BenchmarkLargeScale1kChurnBursts adds two correlated failure bursts.
+func BenchmarkLargeScale1kChurnBursts(b *testing.B) {
+	benchLargeScale(b, 1000, func(c *Scenario) {
+		c.ChurnBursts = []ChurnBurst{
+			{At: 7 * time.Second, Fraction: 0.05},
+			{At: 9 * time.Second, Fraction: 0.10},
+		}
+	})
 }
 
 // BenchmarkIntroStaticTree reproduces the introduction's observation: the

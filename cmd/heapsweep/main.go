@@ -12,6 +12,15 @@
 //	heapsweep -churn 0,0.2,0.5 -dists ref-691   # Figure 10's failure grid
 //	heapsweep -replicas 5 -csv out/             # 5 seeds per cell + CSV export
 //
+// With -largescale it runs the LargeScale family instead: HEAP over Cyclon
+// peer sampling on the bimodal distribution at 1k-20k nodes, with steady,
+// flash-crowd, churn-burst, and mixed variants per size (the -protocols,
+// -dists, -fanouts, -churn and -windows flags are ignored; -nodes picks the
+// sizes):
+//
+//	heapsweep -largescale                       # 1k and 5k nodes, 4 variants each
+//	heapsweep -largescale -nodes 10000          # one 10k-node grid
+//
 // With -csv DIR it writes DIR/sweep.csv (one row per cell, byte-identical
 // for a fixed grid and seed regardless of -workers) and DIR/lagcdf.csv (the
 // pooled per-cell lag CDFs in long series format for replotting).
@@ -44,16 +53,50 @@ func run() int {
 		fanoutsFlag = flag.String("fanouts", "7", "comma-separated average fanouts fbar")
 		churnFlag   = flag.String("churn", "0",
 			"comma-separated fractions of nodes crashing mid-stream (0 disables)")
-		windows  = flag.Int("windows", 93, "stream length in FEC windows (~1.93s each)")
-		replicas = flag.Int("replicas", 1, "seed replicas per cell")
-		seed     = flag.Int64("seed", 1, "base seed for deterministic per-run derivation")
-		workers  = flag.Int("workers", 0, "worker pool size (default GOMAXPROCS)")
-		lag      = flag.Duration("lag", 10*time.Second, "playback lag for stream-quality summaries")
-		csvDir   = flag.String("csv", "", "write sweep.csv and lagcdf.csv into this directory")
-		plots    = flag.Bool("plots", false, "render the pooled lag CDF of every cell as an ASCII plot")
-		quiet    = flag.Bool("q", false, "suppress per-run progress output")
+		windows    = flag.Int("windows", 93, "stream length in FEC windows (~1.93s each)")
+		replicas   = flag.Int("replicas", 1, "seed replicas per cell")
+		seed       = flag.Int64("seed", 1, "base seed for deterministic per-run derivation")
+		workers    = flag.Int("workers", 0, "worker pool size (default GOMAXPROCS)")
+		lag        = flag.Duration("lag", 10*time.Second, "playback lag for stream-quality summaries")
+		csvDir     = flag.String("csv", "", "write sweep.csv and lagcdf.csv into this directory")
+		plots      = flag.Bool("plots", false, "render the pooled lag CDF of every cell as an ASCII plot")
+		quiet      = flag.Bool("q", false, "suppress per-run progress output")
+		largeScale = flag.Bool("largescale", false,
+			"run the LargeScale family (1k-20k nodes, flash crowds, churn bursts) instead of the paper grid")
 	)
 	flag.Parse()
+
+	if *largeScale {
+		// The paper-grid -nodes default is not a large-N size; only an
+		// explicitly passed -nodes overrides the family's own defaults.
+		nodesSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "nodes" {
+				nodesSet = true
+			}
+		})
+		var sizes []int
+		if nodesSet {
+			var err error
+			if sizes, err = parseInts(*nodesFlag); err != nil {
+				fmt.Fprintf(os.Stderr, "heapsweep: -nodes: %v\n", err)
+				return 1
+			}
+		}
+		sw := scenario.LargeScaleSweep(sizes, *replicas, *seed, *workers)
+		sw.SummaryLag = *lag
+		if !*quiet {
+			sw.Progress = func(cell string, replica int, elapsed time.Duration) {
+				fmt.Fprintf(os.Stderr, "  ran %-40s rep %d in %6.1fs\n", cell, replica, elapsed.Seconds())
+			}
+		}
+		res, err := scenario.RunSweep(sw)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "heapsweep: %v\n", err)
+			return 1
+		}
+		return report(res, *replicas, *plots, *csvDir)
+	}
 
 	sw := scenario.Sweep{
 		Base: scenario.Config{
@@ -114,12 +157,17 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "heapsweep: %v\n", err)
 		return 1
 	}
+	return report(res, *replicas, *plots, *csvDir)
+}
 
+// report renders the sweep outcome: summary table, optional ASCII CDF plots,
+// optional CSV export. Returns the process exit code.
+func report(res *scenario.SweepResult, replicas int, plots bool, csvDir string) int {
 	fmt.Printf("%d cells x %d replica(s) on %d worker(s) in %.1fs (sum of runs %.1fs)\n\n",
-		len(res.Cells), *replicas, res.Workers, res.Elapsed.Seconds(), sumRunTime(res).Seconds())
+		len(res.Cells), replicas, res.Workers, res.Elapsed.Seconds(), sumRunTime(res).Seconds())
 	fmt.Print(res.Table().Render())
 
-	if *plots {
+	if plots {
 		for i := range res.Cells {
 			c := &res.Cells[i]
 			plot := metrics.Plot{
@@ -133,12 +181,12 @@ func run() int {
 		}
 	}
 
-	if *csvDir != "" {
-		if err := writeCSVs(res, *csvDir); err != nil {
+	if csvDir != "" {
+		if err := writeCSVs(res, csvDir); err != nil {
 			fmt.Fprintf(os.Stderr, "heapsweep: %v\n", err)
 			return 1
 		}
-		fmt.Printf("\nwrote %s/sweep.csv and %s/lagcdf.csv\n", *csvDir, *csvDir)
+		fmt.Printf("\nwrote %s/sweep.csv and %s/lagcdf.csv\n", csvDir, csvDir)
 	}
 	return 0
 }

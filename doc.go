@@ -76,4 +76,38 @@
 // (mean jitter-free share, merged lag CDF percentiles); cmd/heapsweep is
 // the command-line front end, and EXPERIMENTS.md maps each paper artifact
 // to the sweep that regenerates it.
+//
+// # Large-scale runs
+//
+// The paper stops at 270 nodes; the LargeScale family goes to 1k-20k with
+// the dynamics that only exist at that scale — flash-crowd join waves
+// (JoinWaves), correlated churn bursts (ChurnBursts), and a bimodal
+// capability distribution (Bimodal700):
+//
+//	res, err := heapgossip.RunScenario(heapgossip.LargeScale(10000, 1))
+//
+// or the whole grid via LargeScaleSweep / `heapsweep -largescale`. See the
+// "Large-N grid" section of EXPERIMENTS.md.
+//
+// # Capacity and determinism guarantees
+//
+// The simulator's hot path is allocation-free in steady state: events are
+// pooled through a free list, timers are recycled slots behind
+// generation-checked handles, canceled timers are removed from the indexed
+// event heap rather than tombstoned, and the dissemination engine keeps its
+// per-packet state in dense slice/bitset tables sized from the stream
+// geometry. A 10,000-node HEAP run is routine on one core (minutes of wall
+// clock, a few GB peak); the practical ceiling is memory for per-node
+// receive records, roughly O(nodes × packets). Full-membership views cost
+// O(n²) memory across the system, so past ~1k nodes use the Cyclon peer
+// sampler (UsePSS, the LargeScale default).
+//
+// Determinism: a run is a pure function of its Config — one event loop,
+// virtual time, per-node seeded rngs, (time, sequence)-ordered dispatch —
+// and a sweep's per-run seeds are derived from grid position before
+// scheduling, so results (including every CDF and exported CSV byte) are
+// identical for any worker count and across repeated runs. The
+// `go test -run Determinism ./...` layer enforces both properties, and
+// property tests cross-check the pooled heap and dense tables against
+// map-based oracles.
 package heapgossip

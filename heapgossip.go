@@ -76,13 +76,37 @@ func RunSweep(sw Sweep) (*SweepResult, error) {
 type Distribution = scenario.Distribution
 
 // The paper's capability distributions (Table 1) plus the uniform dist2 of
-// Figure 2.
+// Figure 2 and the LargeScale family's bimodal distribution.
 var (
 	Ref691     = scenario.Ref691
 	Ref724     = scenario.Ref724
 	MS691      = scenario.MS691
 	Uniform691 = scenario.Uniform691
+	Bimodal700 = scenario.Bimodal700
 )
+
+// JoinWave is one flash-crowd join: Count nodes join together at At
+// (LargeScale family).
+type JoinWave = scenario.JoinWave
+
+// ChurnBurst is one correlated failure burst: a fraction of the then-alive
+// nodes crash within a short spread (LargeScale family).
+type ChurnBurst = scenario.ChurnBurst
+
+// LargeScale builds the large-N base scenario for n nodes: HEAP over Cyclon
+// peer sampling on the bimodal distribution with fanout ln(n)+1.4. Add
+// JoinWaves / ChurnBursts for the dynamic variants.
+func LargeScale(n int, seed int64) Scenario { return scenario.LargeScaleBase(n, seed) }
+
+// LargeScaleVariants returns the family's standard sweep axis: steady,
+// flashcrowd, churnbursts, mixed.
+func LargeScaleVariants() []Variant { return scenario.LargeScaleVariants() }
+
+// LargeScaleSweep builds the large-N grid (sizes × variants); empty sizes
+// default to 1k and 5k nodes.
+func LargeScaleSweep(nodes []int, replicas int, seed int64, workers int) Sweep {
+	return scenario.LargeScaleSweep(nodes, replicas, seed, workers)
+}
 
 // Catastrophic describes the simultaneous mass-failure scenario of §3.6.
 type Catastrophic = churn.Catastrophic

@@ -63,23 +63,49 @@ func (c *Config) applyDefaults() {
 type capEntry struct {
 	capKbps uint32
 	asOf    time.Duration // local-clock time the value was measured at its owner
+	present bool
 }
 
 // Estimator is the per-node capability aggregation service. It implements
 // env.Handler for wire.Aggregate messages. Not safe for concurrent use; all
 // access happens on the node's execution context.
+//
+// Node ids are dense, so entries live in a flat slice indexed by id, and the
+// running sum/count are maintained incrementally: merging a received message
+// is O(entries in the message) and reading the estimate is O(1), regardless
+// of system size. (The previous map-backed version re-summed every known
+// entry on every receive — O(n) per message, ruinous at 10k+ nodes.)
 type Estimator struct {
-	cfg     Config
-	rt      env.Runtime
-	entries map[wire.NodeID]capEntry
-	ticker  *env.Ticker
+	cfg Config
+	rt  env.Runtime
+
+	entries []capEntry // dense by node id
+	count   int        // present entries
+	sum     uint64     // sum of present capKbps
+
+	ticker *env.Ticker
 
 	// cached estimate, refreshed on every mutation
 	estimateKbps float64
 
+	// selScratch is freshest's top-k selection scratch, reused across
+	// ticks; peerScratch the per-tick sampling buffer.
+	selScratch  []selEntry
+	peerScratch []wire.NodeID
+
 	// MessagesSent counts aggregation messages (for overhead accounting).
 	MessagesSent int
 }
+
+type selEntry struct {
+	id wire.NodeID
+	ce capEntry
+}
+
+// maxTrackedNodeID bounds the dense entry slice against hostile wire input:
+// node ids are dense, so a million-node ceiling is far beyond any deployment
+// this codebase targets while capping what one datagram can make us allocate.
+const maxTrackedNodeID = 1 << 20
 
 var _ env.Handler = (*Estimator)(nil)
 
@@ -94,15 +120,42 @@ func NewEstimator(cfg Config) *Estimator {
 	}
 	return &Estimator{
 		cfg:          cfg,
-		entries:      make(map[wire.NodeID]capEntry),
 		estimateKbps: float64(cfg.SelfCapKbps),
 	}
+}
+
+// set inserts or replaces the entry for id, keeping sum/count current.
+func (e *Estimator) set(id wire.NodeID, capKbps uint32, asOf time.Duration) {
+	for int(id) >= len(e.entries) {
+		e.entries = append(e.entries, capEntry{})
+	}
+	slot := &e.entries[id]
+	if slot.present {
+		e.sum -= uint64(slot.capKbps)
+	} else {
+		slot.present = true
+		e.count++
+	}
+	slot.capKbps = capKbps
+	slot.asOf = asOf
+	e.sum += uint64(capKbps)
+}
+
+// drop removes the entry for id, keeping sum/count current.
+func (e *Estimator) drop(id wire.NodeID) {
+	slot := &e.entries[id]
+	if !slot.present {
+		return
+	}
+	e.sum -= uint64(slot.capKbps)
+	e.count--
+	*slot = capEntry{}
 }
 
 // Start implements env.Handler.
 func (e *Estimator) Start(rt env.Runtime) {
 	e.rt = rt
-	e.entries[rt.ID()] = capEntry{capKbps: e.cfg.SelfCapKbps, asOf: rt.Now()}
+	e.set(rt.ID(), e.cfg.SelfCapKbps, rt.Now())
 	e.recompute()
 	phase := time.Duration(rt.Rand().Int63n(int64(e.cfg.Period)))
 	e.ticker = env.NewTicker(rt, phase, e.cfg.Period, e.tick)
@@ -118,7 +171,7 @@ func (e *Estimator) Stop() {
 func (e *Estimator) tick() {
 	now := e.rt.Now()
 	// Refresh own entry: it is always the freshest thing we know.
-	e.entries[e.rt.ID()] = capEntry{capKbps: e.cfg.SelfCapKbps, asOf: now}
+	e.set(e.rt.ID(), e.cfg.SelfCapKbps, now)
 	e.prune(now)
 	e.recompute()
 
@@ -126,7 +179,13 @@ func (e *Estimator) tick() {
 	if len(fresh) == 0 {
 		return
 	}
-	peers := e.cfg.Sampler.SelectPeers(e.rt.Rand(), e.cfg.Fanout)
+	var peers []wire.NodeID
+	if ap, ok := e.cfg.Sampler.(membership.PeerAppender); ok {
+		e.peerScratch = ap.AppendPeers(e.peerScratch[:0], e.rt.Rand(), e.cfg.Fanout)
+		peers = e.peerScratch
+	} else {
+		peers = e.cfg.Sampler.SelectPeers(e.rt.Rand(), e.cfg.Fanout)
+	}
 	for _, p := range peers {
 		// Each recipient gets its own message value, but entry slices are
 		// shared; receivers must not mutate (env contract).
@@ -135,7 +194,8 @@ func (e *Estimator) tick() {
 	}
 }
 
-// Receive implements env.Handler, merging entries by freshness.
+// Receive implements env.Handler, merging entries by freshness. Merging is
+// O(len(msg)); aging out stale entries stays on the tick path.
 func (e *Estimator) Receive(_ wire.NodeID, m wire.Message) {
 	agg, ok := m.(*wire.Aggregate)
 	if !ok {
@@ -143,16 +203,20 @@ func (e *Estimator) Receive(_ wire.NodeID, m wire.Message) {
 	}
 	now := e.rt.Now()
 	for _, entry := range agg.Entries {
-		if entry.Node == e.rt.ID() {
-			continue // we always know our own value best
+		if entry.Node == e.rt.ID() || entry.Node < 0 || entry.Node >= maxTrackedNodeID {
+			// Own value is always freshest; negative or absurdly large ids
+			// are hostile/corrupt wire input (ids are dense, and the dense
+			// entry slice must not grow unboundedly on a peer's say-so).
+			continue
 		}
 		asOf := now - time.Duration(entry.AgeMs)*time.Millisecond
-		if cur, ok := e.entries[entry.Node]; ok && cur.asOf >= asOf {
-			continue // ours is fresher
+		if int(entry.Node) < len(e.entries) {
+			if cur := &e.entries[entry.Node]; cur.present && cur.asOf >= asOf {
+				continue // ours is fresher
+			}
 		}
-		e.entries[entry.Node] = capEntry{capKbps: entry.CapKbps, asOf: asOf}
+		e.set(entry.Node, entry.CapKbps, asOf)
 	}
-	e.prune(now)
 	e.recompute()
 }
 
@@ -170,57 +234,56 @@ func (e *Estimator) RelativeCapability() float64 {
 }
 
 // KnownNodes returns how many nodes currently contribute to the estimate.
-func (e *Estimator) KnownNodes() int { return len(e.entries) }
+func (e *Estimator) KnownNodes() int { return e.count }
 
 func (e *Estimator) prune(now time.Duration) {
-	for id, entry := range e.entries {
-		if id == e.rt.ID() {
+	self := e.rt.ID()
+	for id := range e.entries {
+		entry := &e.entries[id]
+		if !entry.present || wire.NodeID(id) == self {
 			continue
 		}
 		if now-entry.asOf > e.cfg.EntryTTL {
-			delete(e.entries, id)
+			e.drop(wire.NodeID(id))
 		}
 	}
 }
 
 func (e *Estimator) recompute() {
-	if len(e.entries) == 0 {
+	if e.count == 0 {
 		e.estimateKbps = float64(e.cfg.SelfCapKbps)
 		return
 	}
-	// Integer summation keeps the result independent of map iteration
-	// order, which keeps whole-system runs bit-reproducible.
-	var sum uint64
-	for _, entry := range e.entries {
-		sum += uint64(entry.capKbps)
-	}
-	e.estimateKbps = float64(sum) / float64(len(e.entries))
+	// sum is maintained with integer arithmetic, so the estimate is
+	// independent of merge order — whole-system runs stay bit-reproducible.
+	e.estimateKbps = float64(e.sum) / float64(e.count)
 }
 
 // freshest returns up to k entries with the most recent asOf, encoded with
-// their current age. O(n·k) selection is fine for k=10.
+// their current age. O(n·k) selection with reusable scratch is fine for
+// k=10; only the returned slice is freshly allocated (it escapes into the
+// outgoing message).
 func (e *Estimator) freshest(k int, now time.Duration) []wire.CapEntry {
-	if k > len(e.entries) {
-		k = len(e.entries)
+	if k > e.count {
+		k = e.count
 	}
 	if k <= 0 {
 		return nil
 	}
-	type kv struct {
-		id wire.NodeID
-		ce capEntry
-	}
-	// Freshness order with an id tie-break keeps the selection independent
-	// of map iteration order (determinism).
-	fresher := func(a, b kv) bool {
+	// Freshness order with an id tie-break: a strict total order, so the
+	// selected set is unique (determinism).
+	fresher := func(a, b selEntry) bool {
 		if a.ce.asOf != b.ce.asOf {
 			return a.ce.asOf > b.ce.asOf
 		}
 		return a.id < b.id
 	}
-	best := make([]kv, 0, k)
-	for id, ce := range e.entries {
-		cand := kv{id, ce}
+	best := e.selScratch[:0]
+	for id := range e.entries {
+		if !e.entries[id].present {
+			continue
+		}
+		cand := selEntry{wire.NodeID(id), e.entries[id]}
 		pos := -1
 		for i := range best {
 			if fresher(cand, best[i]) {
@@ -231,7 +294,7 @@ func (e *Estimator) freshest(k int, now time.Duration) []wire.CapEntry {
 		switch {
 		case pos >= 0:
 			if len(best) < k {
-				best = append(best, kv{})
+				best = append(best, selEntry{})
 			}
 			copy(best[pos+1:], best[pos:])
 			best[pos] = cand
@@ -251,5 +314,6 @@ func (e *Estimator) freshest(k int, now time.Duration) []wire.CapEntry {
 			AgeMs:   uint32(age / time.Millisecond),
 		}
 	}
+	e.selScratch = best[:0]
 	return out
 }

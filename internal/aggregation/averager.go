@@ -34,6 +34,9 @@ type Averager struct {
 	value  float64
 	ticker *env.Ticker
 
+	// peerScratch is the per-tick sampling buffer (PeerAppender fast path).
+	peerScratch []wire.NodeID
+
 	// Exchanges counts completed (replied) exchanges at this node.
 	Exchanges int
 }
@@ -66,7 +69,13 @@ func (a *Averager) Stop() {
 }
 
 func (a *Averager) tick() {
-	peers := a.cfg.Sampler.SelectPeers(a.rt.Rand(), 1)
+	var peers []wire.NodeID
+	if ap, ok := a.cfg.Sampler.(membership.PeerAppender); ok {
+		a.peerScratch = ap.AppendPeers(a.peerScratch[:0], a.rt.Rand(), 1)
+		peers = a.peerScratch
+	} else {
+		peers = a.cfg.Sampler.SelectPeers(a.rt.Rand(), 1)
+	}
 	if len(peers) == 0 {
 		return
 	}

@@ -104,6 +104,12 @@ type Config struct {
 	// ServeBuffer is how long delivered events stay available for serving
 	// late requests. Default 120 s.
 	ServeBuffer time.Duration
+	// ExpectedPackets presizes the engine's per-packet tables (delivered
+	// flags, outstanding requests, serve buffer) — callers that know the
+	// stream geometry pass TotalPackets so the hot path never reallocates.
+	// 0 means grow on demand. Ids are dense, so this is a slice length, not
+	// a hash-table hint.
+	ExpectedPackets int
 	// Sampler provides uniform random peers (Algorithm 1, selectNodes).
 	Sampler membership.Sampler
 	// OnDeliver, if non-nil, receives every newly delivered event.
@@ -135,6 +141,9 @@ func (c *Config) applyDefaults() error {
 	if c.RetMaxAttempts == 0 {
 		c.RetMaxAttempts = 2
 	}
+	if c.RetMaxAttempts > math.MaxUint16 {
+		return fmt.Errorf("core: RetMaxAttempts %d exceeds %d", c.RetMaxAttempts, math.MaxUint16)
+	}
 	if c.ServeBuffer == 0 {
 		c.ServeBuffer = 120 * time.Second
 	}
@@ -159,18 +168,26 @@ type Stats struct {
 // maxProposersTracked bounds the alternate-proposer list per outstanding id.
 const maxProposersTracked = 4
 
-// pendingRequest tracks one outstanding id: who proposed it and how often we
-// asked.
-type pendingRequest struct {
-	proposers []wire.NodeID
-	attempts  int
-}
+// maxTrackedPacketID bounds the dense per-packet tables against hostile or
+// corrupt wire input: ids are assigned densely in publish order, so a
+// legitimate id beyond this (~90 days of continuous stream) cannot occur,
+// while an attacker-supplied huge id would otherwise force the dense slot
+// arrays to allocate unboundedly. Ids past the bound are simply ignored.
+const maxTrackedPacketID = 1 << 22
 
 // bufferedEvent is a delivered event kept for serving, with its receive time
 // for age-based pruning.
 type bufferedEvent struct {
 	ev     wire.Event
 	recvAt time.Duration
+}
+
+// retEntry is one armed retransmission batch: the ids requested together and
+// when their timeout expires. RetPeriod is constant, so entries are enqueued
+// in deadline order and the queue drains FIFO off a single timer.
+type retEntry struct {
+	due time.Duration
+	ids []wire.PacketID
 }
 
 // Engine is one node's dissemination protocol instance. It implements
@@ -180,14 +197,32 @@ type Engine struct {
 	cfg Config
 	rt  env.Runtime
 
-	delivered bitset                            // ids delivered (exactly-once upcall)
-	requested bitset                            // ids with an outstanding request
-	pending   map[wire.PacketID]*pendingRequest // outstanding request state
-	buffer    map[wire.PacketID]bufferedEvent   // deliverable payloads
-	toPropose []wire.PacketID                   // infect-and-die batch
+	delivered bitset          // ids delivered (exactly-once upcall)
+	pending   pendingTable    // outstanding request state (dense by id)
+	buffer    bufferTable     // deliverable payloads (dense by id)
+	toPropose []wire.PacketID // infect-and-die batch
+
+	// Retransmission runs off one fire-and-forget timer and a FIFO deadline
+	// queue instead of a closure-per-batch timer: armRetransmit appends,
+	// retFire drains everything due and re-arms for the next head.
+	retQueue  []retEntry
+	retHead   int
+	retArmed  bool   // a wakeup is pending
+	retFireFn func() // cached retFire closure, allocated once
+	retFiring bool   // suppresses re-arming from inside retFire
+
+	// retTargets/retGroups are retransmit's grouping scratch (the group id
+	// slices themselves escape into Request messages and stay fresh).
+	retTargets []wire.NodeID
+	retGroups  [][]wire.PacketID
+
+	// appendSampler is the Sampler's optional zero-alloc fast path, with
+	// peerScratch the per-round target buffer it fills.
+	appendSampler membership.PeerAppender
+	peerScratch   []wire.NodeID
 
 	gossipTicker *env.Ticker
-	roundTimer   env.Timer // period-adaptation mode
+	adaptiveFn   func() // cached adaptiveRound closure (period-adaptation mode)
 	pruneTicker  *env.Ticker
 	stopped      bool
 
@@ -201,11 +236,13 @@ func New(cfg Config) (*Engine, error) {
 	if err := cfg.applyDefaults(); err != nil {
 		return nil, err
 	}
-	return &Engine{
-		cfg:     cfg,
-		pending: make(map[wire.PacketID]*pendingRequest),
-		buffer:  make(map[wire.PacketID]bufferedEvent),
-	}, nil
+	e := &Engine{cfg: cfg}
+	if n := cfg.ExpectedPackets; n > 0 {
+		e.delivered.presize(n)
+		e.pending.presize(n)
+		e.buffer.presize(n)
+	}
+	return e, nil
 }
 
 // MustNew is New for static configurations known to be valid.
@@ -223,9 +260,12 @@ func (e *Engine) Stats() Stats { return e.stats }
 // Start implements env.Handler.
 func (e *Engine) Start(rt env.Runtime) {
 	e.rt = rt
+	e.retFireFn = e.retFire
+	e.appendSampler, _ = e.cfg.Sampler.(membership.PeerAppender)
 	phase := time.Duration(rt.Rand().Int63n(int64(e.cfg.GossipPeriod)))
 	if e.cfg.AdaptPeriod {
-		e.roundTimer = rt.After(phase, e.adaptiveRound)
+		e.adaptiveFn = e.adaptiveRound
+		rt.AfterFunc(phase, e.adaptiveFn)
 	} else {
 		e.gossipTicker = env.NewTicker(rt, phase, e.cfg.GossipPeriod, e.gossipRound)
 	}
@@ -237,9 +277,6 @@ func (e *Engine) Stop() {
 	e.stopped = true
 	if e.gossipTicker != nil {
 		e.gossipTicker.Stop()
-	}
-	if e.roundTimer != nil {
-		e.roundTimer.Stop()
 	}
 	if e.pruneTicker != nil {
 		e.pruneTicker.Stop()
@@ -264,7 +301,7 @@ func (e *Engine) adaptiveRound() {
 		}
 		period = scaled
 	}
-	e.roundTimer = e.rt.After(period, e.adaptiveRound)
+	e.rt.AfterFunc(period, e.adaptiveFn)
 }
 
 // Publish injects a locally produced event (the broadcaster path of
@@ -306,7 +343,13 @@ func (e *Engine) gossip(ids []wire.PacketID) {
 	if f <= 0 {
 		return
 	}
-	peers := e.cfg.Sampler.SelectPeers(e.rt.Rand(), f)
+	var peers []wire.NodeID
+	if e.appendSampler != nil {
+		e.peerScratch = e.appendSampler.AppendPeers(e.peerScratch[:0], e.rt.Rand(), f)
+		peers = e.peerScratch
+	} else {
+		peers = e.cfg.Sampler.SelectPeers(e.rt.Rand(), f)
+	}
 	if len(peers) == 0 {
 		return
 	}
@@ -354,27 +397,34 @@ func (e *Engine) onPropose(from wire.NodeID, msg *wire.Propose) {
 	e.stats.ProposesReceived++
 	var wanted []wire.PacketID
 	for _, id := range msg.IDs {
+		if id >= maxTrackedPacketID {
+			continue // wire-robustness bound, see maxTrackedPacketID
+		}
 		if e.delivered.contains(uint64(id)) {
 			continue
 		}
-		if e.requested.contains(uint64(id)) {
-			if p := e.pending[id]; p != nil && len(p.proposers) < maxProposersTracked {
+		if p := e.pending.get(id); p != nil {
+			// Already outstanding: remember the alternate proposer.
+			if int(p.numProposers) < maxProposersTracked {
 				seen := false
-				for _, q := range p.proposers {
+				for _, q := range p.proposers[:p.numProposers] {
 					if q == from {
 						seen = true
 						break
 					}
 				}
 				if !seen {
-					p.proposers = append(p.proposers, from)
+					p.proposers[p.numProposers] = from
+					p.numProposers++
 				}
 			}
 			continue
 		}
 		wanted = append(wanted, id)
-		e.requested.add(uint64(id))
-		e.pending[id] = &pendingRequest{proposers: []wire.NodeID{from}, attempts: 1}
+		slot := e.pending.insert(id)
+		slot.proposers[0] = from
+		slot.numProposers = 1
+		slot.attempts = 1
 	}
 	if len(wanted) == 0 {
 		return
@@ -390,50 +440,102 @@ func (e *Engine) sendRequest(to wire.NodeID, ids []wire.PacketID) {
 
 // armRetransmit schedules a timeout for a batch of just-requested ids. On
 // expiry, ids still undelivered are re-requested from alternate proposers
-// (Algorithm 2 re-injects the proposal on RetTimer expiry).
+// (Algorithm 2 re-injects the proposal on RetTimer expiry). Batches share
+// one timer: RetPeriod is constant, so the deadline queue is FIFO and the
+// timer only ever needs to cover its head.
 func (e *Engine) armRetransmit(ids []wire.PacketID) {
-	if e.cfg.RetMaxAttempts <= 1 {
+	if e.cfg.RetMaxAttempts <= 1 || len(ids) == 0 {
 		return
 	}
 	// The batch slice is owned by the wire.Request we just sent; receivers
 	// must not mutate it, and neither may we — iterate read-only.
-	e.rt.After(e.cfg.RetPeriod, func() { e.retransmit(ids) })
+	e.retQueue = append(e.retQueue, retEntry{due: e.rt.Now() + e.cfg.RetPeriod, ids: ids})
+	if !e.retArmed && !e.retFiring {
+		e.retArmed = true
+		e.rt.AfterFunc(e.cfg.RetPeriod, e.retFireFn)
+	}
+}
+
+// retFire drains every due retransmission batch, then re-arms the shared
+// timer for the next deadline (if any).
+func (e *Engine) retFire() {
+	e.retArmed = false
+	if e.stopped {
+		return
+	}
+	e.retFiring = true
+	now := e.rt.Now()
+	for e.retHead < len(e.retQueue) && e.retQueue[e.retHead].due <= now {
+		ids := e.retQueue[e.retHead].ids
+		e.retQueue[e.retHead] = retEntry{} // release the batch reference
+		e.retHead++
+		e.retransmit(ids)
+	}
+	e.retFiring = false
+	if e.retHead == len(e.retQueue) {
+		e.retQueue = e.retQueue[:0]
+		e.retHead = 0
+	} else {
+		// Under a steady request stream the queue never fully drains, so
+		// compact the consumed prefix once it dominates — otherwise the
+		// backing array grows for the lifetime of the node.
+		if e.retHead > 64 && e.retHead*2 >= len(e.retQueue) {
+			n := copy(e.retQueue, e.retQueue[e.retHead:])
+			for i := n; i < len(e.retQueue); i++ {
+				e.retQueue[i] = retEntry{}
+			}
+			e.retQueue = e.retQueue[:n]
+			e.retHead = 0
+		}
+		e.retArmed = true
+		e.rt.AfterFunc(e.retQueue[e.retHead].due-now, e.retFireFn)
+	}
 }
 
 func (e *Engine) retransmit(ids []wire.PacketID) {
 	// Group still-missing ids by the proposer to ask next. Grouping is
-	// insertion-ordered (not a bare map) so runs stay deterministic.
-	var targets []wire.NodeID
-	batches := make(map[wire.NodeID][]wire.PacketID)
+	// insertion-ordered (a linear scan over the few distinct targets, not a
+	// map) so runs stay deterministic and the scratch slices are reusable.
+	targets, groups := e.retTargets[:0], e.retGroups[:0]
 	for _, id := range ids {
-		p, ok := e.pending[id]
-		if !ok {
+		p := e.pending.get(id)
+		if p == nil {
 			continue // delivered (or already abandoned) meanwhile
 		}
-		if p.attempts >= e.cfg.RetMaxAttempts {
+		if int(p.attempts) >= e.cfg.RetMaxAttempts {
 			// Abandon: clear the outstanding flag so a future propose can
 			// trigger a fresh request (FEC may also mask the loss).
-			delete(e.pending, id)
-			e.requested.remove(uint64(id))
+			e.pending.remove(id)
 			e.stats.GiveUps++
 			continue
 		}
 		target := p.proposers[0]
 		if !e.cfg.RetSameProposer {
-			target = p.proposers[p.attempts%len(p.proposers)]
+			target = p.proposers[int(p.attempts)%int(p.numProposers)]
 		}
 		p.attempts++
-		if _, ok := batches[target]; !ok {
-			targets = append(targets, target)
+		slot := -1
+		for i, t := range targets {
+			if t == target {
+				slot = i
+				break
+			}
 		}
-		batches[target] = append(batches[target], id)
+		if slot < 0 {
+			targets = append(targets, target)
+			groups = append(groups, nil)
+			slot = len(targets) - 1
+		}
+		groups[slot] = append(groups[slot], id)
 	}
-	for _, target := range targets {
-		batch := batches[target]
+	for i, target := range targets {
+		batch := groups[i]
 		e.sendRequest(target, batch)
 		e.stats.Retransmissions++
 		e.armRetransmit(batch)
+		groups[i] = nil // the batch escaped into a Request; drop our ref
 	}
+	e.retTargets, e.retGroups = targets[:0], groups[:0]
 }
 
 // onRequest handles phase 3, server side (Algorithm 1, lines 14-17).
@@ -441,7 +543,7 @@ func (e *Engine) onRequest(from wire.NodeID, msg *wire.Request) {
 	e.stats.RequestsReceived++
 	events := make([]wire.Event, 0, len(msg.IDs))
 	for _, id := range msg.IDs {
-		if be, ok := e.buffer[id]; ok {
+		if be := e.buffer.get(id); be != nil {
 			events = append(events, be.ev)
 		} else {
 			e.stats.UnservableIDs++
@@ -458,6 +560,9 @@ func (e *Engine) onRequest(from wire.NodeID, msg *wire.Request) {
 // onServe handles phase 3, client side (Algorithm 1, lines 18-22).
 func (e *Engine) onServe(msg *wire.Serve) {
 	for _, ev := range msg.Events {
+		if ev.ID >= maxTrackedPacketID {
+			continue // wire-robustness bound, see maxTrackedPacketID
+		}
 		if e.delivered.contains(uint64(ev.ID)) {
 			e.stats.DuplicateEvents++
 			continue
@@ -472,12 +577,9 @@ func (e *Engine) onServe(msg *wire.Serve) {
 func (e *Engine) deliverLocal(ev wire.Event, propose bool) {
 	id := uint64(ev.ID)
 	e.delivered.add(id)
-	if _, ok := e.pending[ev.ID]; ok {
-		delete(e.pending, ev.ID)
-		e.requested.remove(id)
-	}
+	e.pending.remove(ev.ID)
 	now := e.rt.Now()
-	e.buffer[ev.ID] = bufferedEvent{ev: ev, recvAt: now}
+	*e.buffer.insert(ev.ID) = bufferedEvent{ev: ev, recvAt: now}
 	if propose {
 		e.toPropose = append(e.toPropose, ev.ID)
 	}
@@ -491,11 +593,7 @@ func (e *Engine) deliverLocal(ev wire.Event, propose bool) {
 // late requests for pruned ids count as UnservableIDs).
 func (e *Engine) pruneBuffer() {
 	cutoff := e.rt.Now() - e.cfg.ServeBuffer
-	for id, be := range e.buffer {
-		if be.recvAt < cutoff {
-			delete(e.buffer, id)
-		}
-	}
+	e.buffer.prune(func(be *bufferedEvent) bool { return be.recvAt < cutoff })
 }
 
 // Delivered reports whether the engine has delivered the given id.
@@ -504,33 +602,7 @@ func (e *Engine) Delivered(id wire.PacketID) bool {
 }
 
 // PendingRequests returns the number of outstanding requested ids.
-func (e *Engine) PendingRequests() int { return len(e.pending) }
+func (e *Engine) PendingRequests() int { return e.pending.len() }
 
 // BufferedEvents returns the number of payloads currently buffered.
-func (e *Engine) BufferedEvents() int { return len(e.buffer) }
-
-// bitset is a growable bitmap over dense uint64 keys (packet ids are
-// assigned densely in publish order, so this is compact and O(1)).
-type bitset struct {
-	words []uint64
-}
-
-func (b *bitset) add(i uint64) {
-	w := i >> 6
-	for uint64(len(b.words)) <= w {
-		b.words = append(b.words, 0)
-	}
-	b.words[w] |= 1 << (i & 63)
-}
-
-func (b *bitset) remove(i uint64) {
-	w := i >> 6
-	if w < uint64(len(b.words)) {
-		b.words[w] &^= 1 << (i & 63)
-	}
-}
-
-func (b *bitset) contains(i uint64) bool {
-	w := i >> 6
-	return w < uint64(len(b.words)) && b.words[w]&(1<<(i&63)) != 0
-}
+func (e *Engine) BufferedEvents() int { return e.buffer.len() }

@@ -101,6 +101,8 @@ func (p *propRuntime) After(time.Duration, func()) env.Timer {
 	return noopTimer{}
 }
 
+func (p *propRuntime) AfterFunc(time.Duration, func()) {}
+
 type noopTimer struct{}
 
 func (noopTimer) Stop() bool { return false }

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Property tests for the dense slice/bitset tables that replaced the
+// engine's maps: random operation sequences cross-checked against map-based
+// oracles over the same id space.
+
+const propIDSpace = 700 // > one bitset word, forces growth past any presize
+
+func TestPendingTableMatchesMapOracle(t *testing.T) {
+	type oracleSlot struct {
+		proposers    [maxProposersTracked]wire.NodeID
+		numProposers uint8
+		attempts     uint16
+	}
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var tab pendingTable
+		if seed%2 == 0 {
+			tab.presize(64) // half the runs start presized, half grow from zero
+		}
+		oracle := map[wire.PacketID]*oracleSlot{}
+		for op := 0; op < 2000; op++ {
+			id := wire.PacketID(rng.Intn(propIDSpace))
+			switch rng.Intn(5) {
+			case 0: // insert
+				slot := tab.insert(id)
+				slot.proposers[0] = wire.NodeID(rng.Intn(100))
+				slot.numProposers = 1
+				slot.attempts = 1
+				oracle[id] = &oracleSlot{
+					proposers:    slot.proposers,
+					numProposers: 1,
+					attempts:     1,
+				}
+			case 1: // remove
+				tab.remove(id)
+				delete(oracle, id)
+			case 2: // mutate through get, as onPropose/retransmit do
+				slot := tab.get(id)
+				o := oracle[id]
+				if (slot == nil) != (o == nil) {
+					t.Fatalf("seed %d op %d: get(%d) presence %v, oracle %v",
+						seed, op, id, slot != nil, o != nil)
+				}
+				if slot != nil {
+					if int(slot.numProposers) < maxProposersTracked {
+						p := wire.NodeID(rng.Intn(100))
+						slot.proposers[slot.numProposers] = p
+						slot.numProposers++
+						o.proposers[o.numProposers] = p
+						o.numProposers++
+					}
+					slot.attempts++
+					o.attempts++
+				}
+			case 3: // contains
+				if tab.contains(id) != (oracle[id] != nil) {
+					t.Fatalf("seed %d op %d: contains(%d) mismatch", seed, op, id)
+				}
+			case 4: // full-state audit
+				if tab.len() != len(oracle) {
+					t.Fatalf("seed %d op %d: len %d, oracle %d", seed, op, tab.len(), len(oracle))
+				}
+			}
+		}
+		for id := wire.PacketID(0); id < propIDSpace; id++ {
+			slot, o := tab.get(id), oracle[id]
+			if (slot == nil) != (o == nil) {
+				t.Fatalf("seed %d final: presence mismatch at %d", seed, id)
+			}
+			if slot != nil && (slot.proposers != o.proposers ||
+				slot.numProposers != o.numProposers || slot.attempts != o.attempts) {
+				t.Fatalf("seed %d final: slot %d differs: %+v vs %+v", seed, id, *slot, *o)
+			}
+		}
+	}
+}
+
+func TestBufferTableMatchesMapOracle(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed ^ 0xbeef))
+		var tab bufferTable
+		if seed%2 == 0 {
+			tab.presize(64)
+		}
+		oracle := map[wire.PacketID]bufferedEvent{}
+		for op := 0; op < 2000; op++ {
+			id := wire.PacketID(rng.Intn(propIDSpace))
+			switch rng.Intn(5) {
+			case 0: // insert
+				be := bufferedEvent{
+					ev:     wire.Event{ID: id, Stamp: rng.Int63()},
+					recvAt: time.Duration(rng.Intn(1000)) * time.Millisecond,
+				}
+				*tab.insert(id) = be
+				oracle[id] = be
+			case 1: // remove
+				tab.remove(id)
+				delete(oracle, id)
+			case 2: // get
+				be := tab.get(id)
+				obe, ook := oracle[id]
+				if (be != nil) != ook {
+					t.Fatalf("seed %d op %d: get(%d) presence %v, oracle %v", seed, op, id, be != nil, ook)
+				}
+				if be != nil && (be.ev.ID != obe.ev.ID || be.ev.Stamp != obe.ev.Stamp || be.recvAt != obe.recvAt) {
+					t.Fatalf("seed %d op %d: get(%d) value mismatch", seed, op, id)
+				}
+			case 3: // age-based prune, exactly as pruneBuffer applies it
+				cutoff := time.Duration(rng.Intn(1000)) * time.Millisecond
+				tab.prune(func(be *bufferedEvent) bool { return be.recvAt < cutoff })
+				for k, v := range oracle {
+					if v.recvAt < cutoff {
+						delete(oracle, k)
+					}
+				}
+			case 4:
+				if tab.len() != len(oracle) {
+					t.Fatalf("seed %d op %d: len %d, oracle %d", seed, op, tab.len(), len(oracle))
+				}
+			}
+		}
+		for id := wire.PacketID(0); id < propIDSpace; id++ {
+			be := tab.get(id)
+			obe, ook := oracle[id]
+			if (be != nil) != ook || (be != nil && be.recvAt != obe.recvAt) {
+				t.Fatalf("seed %d final: mismatch at %d", seed, id)
+			}
+		}
+	}
+}

@@ -53,6 +53,12 @@ type Runtime interface {
 	// delay d. It returns a Timer that can cancel the callback.
 	After(d time.Duration, fn func()) Timer
 
+	// AfterFunc is After without a cancel handle: fire-and-forget timers
+	// that guard themselves with a state check instead of being stopped.
+	// Hot paths prefer it — the simulator can then recycle the timer slot
+	// without minting a handle, so the call allocates nothing.
+	AfterFunc(d time.Duration, fn func())
+
 	// Rand returns this node's private deterministic random stream. The
 	// returned value is only valid for use inside handler callbacks.
 	Rand() *rand.Rand
@@ -89,14 +95,17 @@ func (HandlerFunc) Stop() {}
 var _ Handler = (HandlerFunc)(nil)
 
 // Ticker repeatedly invokes a callback with a fixed period using
-// Runtime.After, the only asynchrony primitive available to handlers. The
+// Runtime.AfterFunc, the asynchrony primitive available to handlers. The
 // first tick fires after an initial phase offset (commonly randomized so
-// node periods do not synchronize system-wide).
+// node periods do not synchronize system-wide). Ticks are fire-and-forget:
+// Stop flips a flag rather than canceling the pending timer, so a stopped
+// ticker's last timer fires once more as a no-op — and the steady-state
+// tick path allocates nothing.
 type Ticker struct {
 	rt     Runtime
 	period time.Duration
 	fn     func()
-	timer  Timer
+	tickFn func() // t.tick as a func value, bound once so ticks don't allocate
 	done   bool
 }
 
@@ -107,7 +116,8 @@ func NewTicker(rt Runtime, phase, period time.Duration, fn func()) *Ticker {
 		panic("env: ticker period must be positive")
 	}
 	t := &Ticker{rt: rt, period: period, fn: fn}
-	t.timer = rt.After(phase, t.tick)
+	t.tickFn = t.tick
+	rt.AfterFunc(phase, t.tickFn)
 	return t
 }
 
@@ -115,16 +125,13 @@ func (t *Ticker) tick() {
 	if t.done {
 		return
 	}
-	t.timer = t.rt.After(t.period, t.tick)
+	t.rt.AfterFunc(t.period, t.tickFn)
 	t.fn()
 }
 
 // Stop permanently cancels the ticker.
 func (t *Ticker) Stop() {
 	t.done = true
-	if t.timer != nil {
-		t.timer.Stop()
-	}
 }
 
 // Mux fans incoming messages out to multiple handlers by message kind, so a

@@ -44,6 +44,10 @@ func (f *fakeRuntime) After(d time.Duration, fn func()) Timer {
 	return t
 }
 
+func (f *fakeRuntime) AfterFunc(d time.Duration, fn func()) {
+	f.After(d, fn)
+}
+
 func (f *fakeRuntime) fire() bool {
 	var best *fakeTimer
 	for _, t := range f.timers {

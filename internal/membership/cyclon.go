@@ -106,22 +106,27 @@ func (c *Cyclon) PeerCount() int { return len(c.view) }
 // SelectPeers implements Sampler by sampling the partial view without
 // replacement.
 func (c *Cyclon) SelectPeers(rng *rand.Rand, k int) []wire.NodeID {
+	return c.AppendPeers(nil, rng, k)
+}
+
+// AppendPeers implements PeerAppender: SelectPeers into a caller-owned
+// buffer, consuming exactly the same rng draws.
+func (c *Cyclon) AppendPeers(dst []wire.NodeID, rng *rand.Rand, k int) []wire.NodeID {
 	n := len(c.view)
 	if k > n {
 		k = n
 	}
 	if k <= 0 {
-		return nil
+		return dst
 	}
 	for i := 0; i < k; i++ {
 		j := i + rng.Intn(n-i)
 		c.view[i], c.view[j] = c.view[j], c.view[i]
 	}
-	out := make([]wire.NodeID, k)
 	for i := 0; i < k; i++ {
-		out[i] = c.view[i].Node
+		dst = append(dst, c.view[i].Node)
 	}
-	return out
+	return dst
 }
 
 // ViewDescriptors returns a copy of the current view (for tests).

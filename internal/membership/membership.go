@@ -30,6 +30,15 @@ type Sampler interface {
 	PeerCount() int
 }
 
+// PeerAppender is an optional Sampler fast path for hot loops: AppendPeers
+// appends up to k distinct peers to dst and returns the extended slice, so
+// callers can reuse one scratch buffer per round instead of allocating a
+// fresh result per call. Samplers that cannot offer it are used through
+// SelectPeers.
+type PeerAppender interface {
+	AppendPeers(dst []wire.NodeID, rng *rand.Rand, k int) []wire.NodeID
+}
+
 // View is a mutable full-membership view for one node. It is not safe for
 // concurrent use; in the simulator all accesses happen on the event loop.
 type View struct {
@@ -38,7 +47,11 @@ type View struct {
 	index map[wire.NodeID]int // peer -> position in peers
 }
 
-var _ Sampler = (*View)(nil)
+var (
+	_ Sampler      = (*View)(nil)
+	_ PeerAppender = (*View)(nil)
+	_ PeerAppender = (*Cyclon)(nil)
+)
 
 // NewView builds a view for self containing every node in peers except self
 // itself. Duplicate entries are ignored.
@@ -96,14 +109,18 @@ func (v *View) Remove(id wire.NodeID) {
 // SelectPeers implements Sampler with a partial Fisher–Yates shuffle: O(k)
 // time, uniform without replacement.
 func (v *View) SelectPeers(rng *rand.Rand, k int) []wire.NodeID {
+	return v.AppendPeers(nil, rng, k)
+}
+
+// AppendPeers implements PeerAppender: SelectPeers into a caller-owned
+// buffer. It consumes exactly the same rng draws as SelectPeers.
+func (v *View) AppendPeers(dst []wire.NodeID, rng *rand.Rand, k int) []wire.NodeID {
 	n := len(v.peers)
 	if k >= n {
-		out := make([]wire.NodeID, n)
-		copy(out, v.peers)
-		return out
+		return append(dst, v.peers...)
 	}
 	if k <= 0 {
-		return nil
+		return dst
 	}
 	for i := 0; i < k; i++ {
 		j := i + rng.Intn(n-i)
@@ -113,9 +130,7 @@ func (v *View) SelectPeers(rng *rand.Rand, k int) []wire.NodeID {
 			v.index[v.peers[j]] = j
 		}
 	}
-	out := make([]wire.NodeID, k)
-	copy(out, v.peers[:k])
-	return out
+	return append(dst, v.peers[:k]...)
 }
 
 // Peers returns a copy of the current peer set (order unspecified).

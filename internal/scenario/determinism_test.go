@@ -1,0 +1,158 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/gob"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// These tests are the safety net for the simulator's pooled-event hot path:
+// if event recycling, the indexed heap, the dense protocol tables, or the
+// sweep scheduler ever let scheduling order or reused memory leak into
+// results, identical seeds stop producing identical bytes and these fail.
+
+// fingerprint serializes everything measurable about a run into bytes, so
+// "byte-identical results" is checked literally. Config is excluded (it
+// holds funcs); every metric — per-packet receive times, per-node counters,
+// network totals — is included.
+func fingerprint(t *testing.T, res *Result) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	for _, v := range []any{
+		res.Run, res.CapsKbps, res.AdvertisedKbps, res.Usage,
+		res.Victims, res.NodeNetStats, res.CoreStats, res.NetStats,
+		res.EstimatesKbps,
+	} {
+		if err := enc.Encode(v); err != nil {
+			t.Fatalf("fingerprint: %v", err)
+		}
+	}
+	// The derived CDFs, explicitly: the lag distribution every figure and
+	// sweep summary is built from.
+	lags := res.Run.PerNode(func(n *metrics.NodeRecord) float64 {
+		return metrics.Seconds(res.Run.LagForDeliveryRatio(n, 0.99))
+	})
+	if err := enc.Encode(metrics.NewCDF(lags).Values); err != nil {
+		t.Fatalf("fingerprint: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func deterministicBase(seed int64) Config {
+	return Config{
+		Nodes:    80,
+		Protocol: HEAP,
+		Dist:     Ref691,
+		Windows:  3,
+		Seed:     seed,
+		Drain:    20 * time.Second,
+	}
+}
+
+// TestDeterminismRepeatedRun runs the headline scenario twice with one seed
+// and requires byte-identical Result metrics, CDFs included.
+func TestDeterminismRepeatedRun(t *testing.T) {
+	a, err := Run(deterministicBase(41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(deterministicBase(41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fa, fb := fingerprint(t, a), fingerprint(t, b); !bytes.Equal(fa, fb) {
+		t.Fatalf("same seed, different results: fingerprints differ (%d vs %d bytes)", len(fa), len(fb))
+	}
+	// And a different seed must NOT collide, or the fingerprint is vacuous.
+	c, err := Run(deterministicBase(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(fingerprint(t, a), fingerprint(t, c)) {
+		t.Fatal("different seeds produced identical fingerprints; fingerprint is not sensitive")
+	}
+}
+
+// TestDeterminismLargeScaleDynamics repeats the check with the LargeScale
+// dynamics active — join waves, churn bursts, Cyclon sampling — since those
+// paths schedule work from callbacks and draw from their own rngs.
+func TestDeterminismLargeScaleDynamics(t *testing.T) {
+	cfg := LargeScaleBase(150, 7)
+	cfg.Windows = 2
+	cfg.Drain = 15 * time.Second
+	cfg.JoinWaves = []JoinWave{{At: 6 * time.Second, Count: 30}}
+	cfg.ChurnBursts = []ChurnBurst{{At: 8 * time.Second, Fraction: 0.1}}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fingerprint(t, a), fingerprint(t, b)) {
+		t.Fatal("LargeScale dynamics are not deterministic for a fixed seed")
+	}
+	if got := len(a.Run.Nodes); got != 180 {
+		t.Fatalf("collected %d node records, want 180 (150 initial + 30 joined)", got)
+	}
+}
+
+// TestDeterminismSweepWorkers runs one grid serially and on 8 workers and
+// requires identical cell summaries (and CSV bytes — the exported artifact).
+func TestDeterminismSweepWorkers(t *testing.T) {
+	grid := func(workers int) Sweep {
+		return Sweep{
+			Base:      deterministicBase(0),
+			Protocols: []Protocol{StandardGossip, HEAP},
+			Dists:     []Distribution{Ref691, MS691},
+			Replicas:  2,
+			BaseSeed:  23,
+			Workers:   workers,
+			DropRuns:  true,
+		}
+	}
+	serial, err := RunSweep(grid(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunSweep(grid(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial.Cells) != len(parallel.Cells) {
+		t.Fatalf("cell count differs: %d vs %d", len(serial.Cells), len(parallel.Cells))
+	}
+	for i := range serial.Cells {
+		s, p := serial.Cells[i], parallel.Cells[i]
+		if s.Key != p.Key {
+			t.Fatalf("cell %d key differs: %v vs %v", i, s.Key, p.Key)
+		}
+		if !reflect.DeepEqual(s.Seeds, p.Seeds) {
+			t.Fatalf("cell %s seeds differ", s.Key)
+		}
+		// Elapsed is wall clock and legitimately differs; everything else
+		// must match exactly.
+		ss, ps := s.Summary, p.Summary
+		ss.Elapsed, ps.Elapsed = 0, 0
+		if !reflect.DeepEqual(ss, ps) {
+			t.Fatalf("cell %s: summaries differ between 1 and 8 workers:\n  serial:   %+v\n  parallel: %+v",
+				s.Key, ss, ps)
+		}
+	}
+	var sc, pc bytes.Buffer
+	if err := serial.WriteCSV(&sc); err != nil {
+		t.Fatal(err)
+	}
+	if err := parallel.WriteCSV(&pc); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sc.Bytes(), pc.Bytes()) {
+		t.Fatal("sweep CSV bytes differ between 1 and 8 workers")
+	}
+}

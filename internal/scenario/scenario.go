@@ -134,6 +134,22 @@ type Config struct {
 	// Churn optionally injects a catastrophic failure (§3.6).
 	Churn *churn.Catastrophic
 
+	// JoinWaves injects flash-crowd joins (LargeScale family): at each
+	// wave's At, Count fresh nodes join the running system and start
+	// catching up on the stream. Waves must be sorted by At and finish
+	// before the run ends. Nodes is the size at time zero; capability
+	// assignment covers initial and wave nodes alike. Incompatible with
+	// StaticTree (the tree is built once, up front).
+	JoinWaves []JoinWave
+
+	// ChurnBursts injects correlated failure bursts (LargeScale family):
+	// at each burst's At, a fraction of the then-alive non-source nodes
+	// crash within a short spread. Unlike Churn (one catastrophic event
+	// with per-pair notification), bursts notify each survivor once per
+	// burst — a failure-detector sweep — which keeps the event count O(n)
+	// per burst and therefore viable at tens of thousands of nodes.
+	ChurnBursts []ChurnBurst
+
 	// VerifyPayloads makes receivers run full FEC reconstruction and check
 	// payload contents (slow; used by integration tests).
 	VerifyPayloads bool
@@ -246,7 +262,7 @@ func (c *Config) applyDefaults() error {
 	if c.FreezesPerNode < 0 {
 		return fmt.Errorf("scenario: negative freezes per node")
 	}
-	return nil
+	return c.validateDynamics()
 }
 
 // StreamDuration returns the stream's on-air time.
@@ -312,31 +328,37 @@ func Run(cfg Config) (*Result, error) {
 	}
 	setupRng := rand.New(rand.NewSource(cfg.Seed ^ 0x5ca1ab1e))
 
+	// total counts every node that will ever exist: the initial system plus
+	// all flash-crowd join waves. Capability assignment, views, and metric
+	// collection cover them all; wave nodes simply enter the simulation
+	// later. cfg.Nodes remains the size at time zero.
+	total := cfg.totalNodes()
+
 	// Capability assignment. Node 0 is the source.
-	caps := make([]uint32, cfg.Nodes)
+	caps := make([]uint32, total)
 	caps[0] = cfg.SourceCapKbps
 	if cfg.Dist != nil {
-		assigned := cfg.Dist.Assign(cfg.Nodes-1, setupRng)
+		assigned := cfg.Dist.Assign(total-1, setupRng)
 		copy(caps[1:], assigned)
 	}
 	// Degraded nodes deliver less than they advertise.
-	effective := make([]int64, cfg.Nodes)
+	effective := make([]int64, total)
 	for i, c := range caps {
 		effective[i] = int64(c) * 1000
 	}
 	if cfg.DegradedFraction > 0 {
-		for i := 1; i < cfg.Nodes; i++ {
+		for i := 1; i < total; i++ {
 			if setupRng.Float64() < cfg.DegradedFraction {
 				effective[i] = int64(float64(effective[i]) * cfg.DegradedFactor)
 			}
 		}
 	}
 	// Freeriders advertise less than they have (keeping full capacity).
-	advertised := make([]uint32, cfg.Nodes)
+	advertised := make([]uint32, total)
 	copy(advertised, caps)
-	freerider := make([]bool, cfg.Nodes)
+	freerider := make([]bool, total)
 	if cfg.FreeriderFraction > 0 {
-		for i := 1; i < cfg.Nodes; i++ {
+		for i := 1; i < total; i++ {
 			if setupRng.Float64() < cfg.FreeriderFraction {
 				freerider[i] = true
 				advertised[i] = uint32(float64(caps[i]) * cfg.FreeriderFactor)
@@ -352,13 +374,14 @@ func Run(cfg Config) (*Result, error) {
 		Latency:  simnet.NewPairwiseLatency(cfg.Seed, cfg.LatencyMin, cfg.LatencyMax, cfg.LatencyJitter),
 		LossRate: cfg.LossRate,
 	})
-	dir := membership.NewDirectory(cfg.Nodes)
+	dir := membership.NewDirectory(total)
+	allIDs := dir.IDs()
 
-	views := make([]*membership.View, cfg.Nodes)
-	engines := make([]*core.Engine, cfg.Nodes)
-	receivers := make([]*stream.Receiver, cfg.Nodes)
-	estimators := make([]*aggregation.Estimator, cfg.Nodes)
-	averagers := make([]*aggregation.Averager, cfg.Nodes)
+	views := make([]*membership.View, total)
+	engines := make([]*core.Engine, total)
+	receivers := make([]*stream.Receiver, total)
+	estimators := make([]*aggregation.Estimator, total)
+	averagers := make([]*aggregation.Averager, total)
 
 	// The static-tree baseline has a fixed topology instead of sampling.
 	var topo *tree.Topology
@@ -375,12 +398,17 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	pssRng := rand.New(rand.NewSource(cfg.Seed ^ 0x9551))
-	for i := 0; i < cfg.Nodes; i++ {
+
+	// buildNode constructs and registers node i. present is the system size
+	// the node boots into: initial nodes see the whole time-zero membership,
+	// flash-crowd joiners see everyone present when their wave lands (their
+	// own wave included).
+	buildNode := func(i, present int) error {
 		id := wire.NodeID(i)
 
 		rcv, err := stream.NewReceiver(cfg.Geometry, cfg.Windows, cfg.VerifyPayloads)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		receivers[i] = rcv
 
@@ -396,7 +424,7 @@ func Run(cfg Config) (*Result, error) {
 					Publisher: eng,
 				})
 				if err != nil {
-					return nil, err
+					return err
 				}
 				mux.Register(src)
 			}
@@ -405,9 +433,9 @@ func Run(cfg Config) (*Result, error) {
 				nodeCfg.UploadBps = effective[i]
 			}
 			if got := net.AddNode(mux, nodeCfg); got != id {
-				return nil, fmt.Errorf("scenario: node id mismatch: %d != %d", got, id)
+				return fmt.Errorf("scenario: node id mismatch: %d != %d", got, id)
 			}
-			continue
+			return nil
 		}
 
 		// Peer sampling: full view by default, Cyclon PSS as an extension.
@@ -416,7 +444,7 @@ func Run(cfg Config) (*Result, error) {
 		if cfg.UsePSS {
 			bootstrap := make([]wire.NodeID, 0, 5)
 			for len(bootstrap) < 5 {
-				p := wire.NodeID(pssRng.Intn(cfg.Nodes))
+				p := wire.NodeID(pssRng.Intn(present))
 				if p != id {
 					bootstrap = append(bootstrap, p)
 				}
@@ -429,7 +457,18 @@ func Run(cfg Config) (*Result, error) {
 			// views[i] stays nil: churn notification is organic (shuffle
 			// timeouts evict dead peers).
 		} else {
-			views[i] = dir.ViewFor(id)
+			// The bootstrap directory hands out current membership: nodes
+			// already crashed (earlier churn) are excluded, so flash-crowd
+			// joiners do not waste fanout on peers that died before they
+			// arrived. Ids at or past NumNodes are fellow wave members
+			// being built in this same callback — alive by construction.
+			peers := make([]wire.NodeID, 0, present)
+			for _, p := range allIDs[:present] {
+				if int(p) >= net.NumNodes() || net.Alive(p) {
+					peers = append(peers, p)
+				}
+			}
+			views[i] = membership.NewView(id, peers)
 			sampler = views[i]
 		}
 
@@ -440,6 +479,7 @@ func Run(cfg Config) (*Result, error) {
 			RetPeriod:       cfg.RetPeriod,
 			RetMaxAttempts:  cfg.RetMaxAttempts,
 			RetSameProposer: cfg.RetSameProposer,
+			ExpectedPackets: cfg.Geometry.TotalPackets(cfg.Windows),
 			Sampler:         sampler,
 			OnDeliver:       rcv.OnDeliver,
 		}
@@ -487,7 +527,7 @@ func Run(cfg Config) (*Result, error) {
 		}
 		eng, err := core.New(engCfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		engines[i] = eng
 		mux.Register(eng, wire.KindPropose, wire.KindRequest, wire.KindServe)
@@ -500,7 +540,7 @@ func Run(cfg Config) (*Result, error) {
 				Publisher: eng,
 			})
 			if err != nil {
-				return nil, err
+				return err
 			}
 			mux.Register(src) // lifecycle only
 		}
@@ -510,8 +550,49 @@ func Run(cfg Config) (*Result, error) {
 			nodeCfg.UploadBps = effective[i]
 		}
 		if got := net.AddNode(mux, nodeCfg); got != id {
-			return nil, fmt.Errorf("scenario: node id mismatch: %d != %d", got, id)
+			return fmt.Errorf("scenario: node id mismatch: %d != %d", got, id)
 		}
+		return nil
+	}
+
+	for i := 0; i < cfg.Nodes; i++ {
+		if err := buildNode(i, cfg.Nodes); err != nil {
+			return nil, err
+		}
+	}
+
+	// Flash-crowd join waves: each wave's nodes are built inside one
+	// scheduled callback, in id order (waves are sorted by time and ids are
+	// assigned by arrival, so the id ranges are deterministic). Newcomers
+	// boot with a view over everyone present; existing full-membership
+	// views learn the newcomers instantly (the bootstrap directory model);
+	// PSS views learn them organically through shuffles.
+	var buildErr error
+	nextID := cfg.Nodes
+	for _, wave := range cfg.JoinWaves {
+		wave := wave
+		first, count := nextID, wave.Count
+		nextID += wave.Count
+		net.Schedule(wave.At, func() {
+			if buildErr != nil {
+				return
+			}
+			present := first + count
+			for i := first; i < first+count; i++ {
+				if err := buildNode(i, present); err != nil {
+					buildErr = err
+					return
+				}
+			}
+			for j := 0; j < first; j++ {
+				if views[j] == nil {
+					continue
+				}
+				for i := first; i < first+count; i++ {
+					views[j].Add(wire.NodeID(i))
+				}
+			}
+		})
 	}
 
 	// Churn injection.
@@ -525,6 +606,7 @@ func Run(cfg Config) (*Result, error) {
 			return nil, err
 		}
 	}
+	applyChurnBursts(net, &cfg, views, &victims)
 
 	// Bandwidth-usage sampling during the streaming phase (Fig 4).
 	// SentBytes counts at enqueue time, so bytes still sitting in a
@@ -532,11 +614,12 @@ func Run(cfg Config) (*Result, error) {
 	// backlog (backlog duration × capacity) at each snapshot to obtain
 	// bytes actually transmitted.
 	streamEnd := cfg.StreamStart + cfg.StreamDuration()
-	startBytes := make([]int64, cfg.Nodes)
-	endBytes := make([]int64, cfg.Nodes)
+	startBytes := make([]int64, total)
+	endBytes := make([]int64, total)
 	snapshot := func(dst []int64) func() {
 		return func() {
-			for i := 0; i < cfg.Nodes; i++ {
+			// Wave nodes that have not joined yet stay at zero.
+			for i := 0; i < net.NumNodes(); i++ {
 				id := wire.NodeID(i)
 				sent := net.NodeStats(id).SentBytes
 				if eff := effective[i]; eff > 0 {
@@ -576,7 +659,7 @@ func Run(cfg Config) (*Result, error) {
 		probe = func() {
 			sample := BacklogSample{At: net.Now(), MeanByClass: make(map[string]float64)}
 			counts := make(map[string]int)
-			for i := 1; i < cfg.Nodes; i++ {
+			for i := 1; i < net.NumNodes(); i++ {
 				backlog := net.QueueBacklog(wire.NodeID(i)).Seconds()
 				class := "all"
 				if cfg.Dist != nil {
@@ -600,6 +683,13 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	net.Run(streamEnd + cfg.Drain)
+	if buildErr != nil {
+		return nil, buildErr
+	}
+	if net.NumNodes() != total {
+		return nil, fmt.Errorf("scenario: %d of %d nodes joined (a wave fell outside the run)",
+			net.NumNodes(), total)
+	}
 
 	res, err := collect(collectArgs{
 		cfg: cfg, net: net, caps: caps, advertised: advertised,
@@ -631,6 +721,7 @@ func collect(a collectArgs) (*Result, error) {
 	cfg, net, caps, victims := a.cfg, a.net, a.caps, a.victims
 	engines, receivers, estimators := a.engines, a.receivers, a.estimators
 	startBytes, endBytes := a.startBytes, a.endBytes
+	nodes := cfg.totalNodes()
 
 	total := cfg.Geometry.TotalPackets(cfg.Windows)
 	publishAt := make([]time.Duration, total)
@@ -654,21 +745,21 @@ func collect(a collectArgs) (*Result, error) {
 		CapsKbps:       caps,
 		AdvertisedKbps: a.advertised,
 		Freeriders:     a.freerider,
-		Usage:          make([]float64, cfg.Nodes),
+		Usage:          make([]float64, nodes),
 		Victims:        victims,
-		NodeNetStats:   make([]simnet.NodeStats, cfg.Nodes),
-		CoreStats:      make([]core.Stats, cfg.Nodes),
+		NodeNetStats:   make([]simnet.NodeStats, nodes),
+		CoreStats:      make([]core.Stats, nodes),
 		NetStats:       net.Stats(),
 	}
 	if cfg.Protocol == HEAP {
-		res.EstimatesKbps = make([]float64, cfg.Nodes)
+		res.EstimatesKbps = make([]float64, nodes)
 	}
 	if cfg.AutoFanout {
-		res.SizeEstimates = make([]float64, cfg.Nodes)
+		res.SizeEstimates = make([]float64, nodes)
 	}
 
 	streamSecs := (cfg.StreamDuration()).Seconds()
-	for i := 0; i < cfg.Nodes; i++ {
+	for i := 0; i < nodes; i++ {
 		id := wire.NodeID(i)
 		res.NodeNetStats[i] = net.NodeStats(id)
 		if engines[i] != nil {
@@ -694,7 +785,7 @@ func collect(a collectArgs) (*Result, error) {
 			CapKbps:  caps[i],
 			Recv:     receivers[i].Records(),
 			Excluded: i == 0, // the source trivially has the whole stream
-			Crashed:  victimSet[id],
+			Crashed:  victimSet[id] || res.NodeNetStats[i].Crashed,
 		})
 		res.VerifyFailures += receivers[i].VerifyFailures
 		res.DecodedWindows += receivers[i].DecodedWindows

@@ -20,10 +20,17 @@
 // The simulator runs every node's Handler inside a single event loop with
 // virtual time, so runs are deterministic given a seed and much faster than
 // real time.
+//
+// The event loop is built for scale: events live in a free-list pool and an
+// indexed binary heap, so the steady-state hot path (send, deliver, timer)
+// allocates nothing, and canceled timers are removed from the heap outright
+// instead of being tombstoned. Timer handles are generation-checked, which
+// makes a stale handle's Stop inert after its slot has been recycled.
+// Tens-of-thousands-of-node runs are bounded by per-node protocol state,
+// not by the simulator core.
 package simnet
 
 import (
-	"container/heap"
 	"fmt"
 
 	"math/rand"
@@ -114,12 +121,13 @@ type NodeConfig struct {
 
 // Stats aggregates network-wide counters.
 type Stats struct {
-	MsgsSent      int64
-	MsgsDelivered int64
-	MsgsLost      int64 // random datagram loss
-	MsgsTailDrop  int64 // uplink queue overflow (only if MaxQueueDelay > 0)
-	MsgsDeadDrop  int64 // sender crashed before transmit finished, or dead destination
-	BytesSent     int64 // includes UDP/IP overhead
+	MsgsSent        int64
+	MsgsDelivered   int64
+	MsgsLost        int64 // random datagram loss
+	MsgsTailDrop    int64 // uplink queue overflow (only if MaxQueueDelay > 0)
+	MsgsDeadDrop    int64 // sender crashed before transmit finished, or dead destination
+	BytesSent       int64 // includes UDP/IP overhead
+	EventsProcessed int64 // dispatched simulator events (deliveries, timers, funcs)
 }
 
 // NodeStats aggregates per-node counters; byte counts include the 28-byte
@@ -145,7 +153,8 @@ type Network struct {
 
 	now    time.Duration
 	seq    uint64
-	events eventHeap
+	events []*event // indexed binary heap ordered by (at, seq)
+	free   *event   // free list of recycled event slots
 
 	nodes   []*simNode
 	stats   Stats
@@ -177,10 +186,18 @@ const (
 	evStart
 )
 
+// event is one scheduled occurrence. Events are pooled: dispatched (or
+// canceled) events return to the network's free list and are reused by later
+// sends and timers, so the steady-state hot path allocates nothing. The gen
+// counter is bumped on every recycle, which lets outstanding timer handles
+// detect that their event slot has moved on (see simTimer).
 type event struct {
-	at   time.Duration
-	seq  uint64
-	kind eventKind
+	net     *Network
+	at      time.Duration
+	seq     uint64
+	kind    eventKind
+	heapIdx int32  // position in Network.events; -1 when not queued
+	gen     uint32 // recycle generation, validates timer handles
 
 	// evDeliver
 	from, to wire.NodeID
@@ -189,9 +206,47 @@ type event struct {
 	size     int           // wire size incl UDP overhead
 
 	// evTimer / evFunc / evStart
-	node     wire.NodeID // evTimer, evStart: owning node
-	fn       func()
-	canceled bool
+	node wire.NodeID // evTimer, evStart: owning node
+	fn   func()
+
+	next *event // free-list link
+}
+
+// eventBlockSize is how many event slots one pool refill allocates: big
+// enough to amortize allocation to noise, small enough not to bloat tiny
+// simulations.
+const eventBlockSize = 128
+
+// alloc takes an event slot from the free list, refilling it with a fresh
+// block when empty. Slots keep their identity (net, gen) across reuse.
+func (n *Network) alloc() *event {
+	if n.free == nil {
+		block := make([]event, eventBlockSize)
+		for i := range block {
+			block[i].net = n
+			block[i].heapIdx = -1
+			if i+1 < len(block) {
+				block[i].next = &block[i+1]
+			}
+		}
+		n.free = &block[0]
+	}
+	ev := n.free
+	n.free = ev.next
+	ev.next = nil
+	return ev
+}
+
+// recycle returns a dispatched or canceled event to the free list, dropping
+// references so the pool does not pin messages or closures, and bumping the
+// generation so stale timer handles turn inert.
+func (n *Network) recycle(ev *event) {
+	ev.gen++
+	ev.kind = 0
+	ev.msg = nil
+	ev.fn = nil
+	ev.next = n.free
+	n.free = ev
 }
 
 // New creates an empty network.
@@ -226,7 +281,11 @@ func (n *Network) AddNode(h env.Handler, cfg NodeConfig) wire.NodeID {
 		alive:   true,
 	}
 	n.nodes = append(n.nodes, node)
-	n.push(&event{at: n.now, kind: evStart, node: id})
+	ev := n.alloc()
+	ev.at = n.now
+	ev.kind = evStart
+	ev.node = id
+	n.push(ev)
 	return id
 }
 
@@ -254,7 +313,11 @@ func (n *Network) Schedule(at time.Duration, fn func()) {
 	if at < n.now {
 		at = n.now
 	}
-	n.push(&event{at: at, kind: evFunc, fn: fn})
+	ev := n.alloc()
+	ev.at = at
+	ev.kind = evFunc
+	ev.fn = fn
+	n.push(ev)
 }
 
 // Crash kills a node at the current time: its handler is stopped, pending
@@ -297,12 +360,15 @@ func (n *Network) Run(until time.Duration) {
 			n.now = until
 			return
 		}
-		heap.Pop(&n.events)
-		if ev.canceled {
-			continue
-		}
+		n.pop()
 		n.now = ev.at
+		n.stats.EventsProcessed++
 		n.dispatch(ev)
+		// dispatch may have re-queued the event (freeze deferral); only
+		// events that truly left the schedule go back to the pool.
+		if ev.heapIdx < 0 {
+			n.recycle(ev)
+		}
 	}
 	if n.now < until {
 		n.now = until
@@ -405,15 +471,15 @@ func (n *Network) send(from *simNode, to wire.NodeID, m wire.Message) {
 		return
 	}
 	lat := n.latency.Latency(from.id, to, n.rng)
-	n.push(&event{
-		at:       txFinish + lat,
-		kind:     evDeliver,
-		from:     from.id,
-		to:       to,
-		msg:      m,
-		txFinish: txFinish,
-		size:     size,
-	})
+	ev := n.alloc()
+	ev.at = txFinish + lat
+	ev.kind = evDeliver
+	ev.from = from.id
+	ev.to = to
+	ev.msg = m
+	ev.txFinish = txFinish
+	ev.size = size
+	n.push(ev)
 }
 
 // QueueBacklog returns the current uplink backlog (time until the node's
@@ -429,7 +495,9 @@ func (n *Network) QueueBacklog(id wire.NodeID) time.Duration {
 func (n *Network) push(ev *event) {
 	ev.seq = n.seq
 	n.seq++
-	heap.Push(&n.events, ev)
+	ev.heapIdx = int32(len(n.events))
+	n.events = append(n.events, ev)
+	n.siftUp(len(n.events) - 1)
 }
 
 func (n *Network) node(id wire.NodeID) *simNode {
@@ -462,39 +530,127 @@ func (rt *nodeRuntime) After(d time.Duration, fn func()) env.Timer {
 	if d < 0 {
 		d = 0
 	}
-	ev := &event{at: rt.net.now + d, kind: evTimer, node: rt.node.id, fn: fn}
-	rt.net.push(ev)
-	return (*simTimer)(ev)
+	n := rt.net
+	ev := n.alloc()
+	ev.at = n.now + d
+	ev.kind = evTimer
+	ev.node = rt.node.id
+	ev.fn = fn
+	n.push(ev)
+	return simTimer{ev: ev, gen: ev.gen}
 }
 
-// simTimer implements env.Timer by flagging the underlying event.
-type simTimer event
+// AfterFunc implements env.Runtime. With no handle to mint, the timer is
+// just a pooled event: the call allocates nothing in steady state.
+func (rt *nodeRuntime) AfterFunc(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	n := rt.net
+	ev := n.alloc()
+	ev.at = n.now + d
+	ev.kind = evTimer
+	ev.node = rt.node.id
+	ev.fn = fn
+	n.push(ev)
+}
 
-func (t *simTimer) Stop() bool {
-	if t.canceled {
+// simTimer is a generation-checked handle to a pooled timer event. Stop
+// removes the event from the schedule outright (no tombstones) and recycles
+// its slot; a handle whose generation no longer matches — the timer fired,
+// was stopped, and the slot was reused — is inert.
+type simTimer struct {
+	ev  *event
+	gen uint32
+}
+
+func (t simTimer) Stop() bool {
+	ev := t.ev
+	if ev == nil || ev.gen != t.gen || ev.heapIdx < 0 {
 		return false
 	}
-	t.canceled = true
+	ev.net.remove(ev)
+	ev.net.recycle(ev)
 	return true
 }
 
-// eventHeap orders events by (time, sequence).
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// evLess orders events by (time, sequence): virtual-time order with FIFO
+// tie-breaking, so same-instant events fire in scheduling order.
+func evLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
+
+// pop removes and returns the earliest event.
+func (n *Network) pop() *event {
+	ev := n.events[0]
+	last := len(n.events) - 1
+	moved := n.events[last]
+	n.events[last] = nil
+	n.events = n.events[:last]
+	if last > 0 {
+		n.events[0] = moved
+		moved.heapIdx = 0
+		n.siftDown(0)
+	}
+	ev.heapIdx = -1
 	return ev
+}
+
+// remove deletes an arbitrary queued event (timer cancellation), restoring
+// the heap around the slot it vacated.
+func (n *Network) remove(ev *event) {
+	i := int(ev.heapIdx)
+	last := len(n.events) - 1
+	moved := n.events[last]
+	n.events[last] = nil
+	n.events = n.events[:last]
+	if i != last {
+		n.events[i] = moved
+		moved.heapIdx = int32(i)
+		n.siftDown(i)
+		if int(moved.heapIdx) == i {
+			n.siftUp(i)
+		}
+	}
+	ev.heapIdx = -1
+}
+
+func (n *Network) siftUp(i int) {
+	ev := n.events[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !evLess(ev, n.events[parent]) {
+			break
+		}
+		n.events[i] = n.events[parent]
+		n.events[i].heapIdx = int32(i)
+		i = parent
+	}
+	n.events[i] = ev
+	ev.heapIdx = int32(i)
+}
+
+func (n *Network) siftDown(i int) {
+	ev := n.events[i]
+	size := len(n.events)
+	for {
+		child := 2*i + 1
+		if child >= size {
+			break
+		}
+		if r := child + 1; r < size && evLess(n.events[r], n.events[child]) {
+			child = r
+		}
+		if !evLess(n.events[child], ev) {
+			break
+		}
+		n.events[i] = n.events[child]
+		n.events[i].heapIdx = int32(i)
+		i = child
+	}
+	n.events[i] = ev
+	ev.heapIdx = int32(i)
 }

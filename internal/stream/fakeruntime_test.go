@@ -52,6 +52,10 @@ func (f *fakeRuntime) After(d time.Duration, fn func()) env.Timer {
 	return t
 }
 
+func (f *fakeRuntime) AfterFunc(d time.Duration, fn func()) {
+	f.After(d, fn)
+}
+
 // fire runs the earliest pending timer, advancing the clock to it. It
 // returns false when no timer is pending.
 func (f *fakeRuntime) fire() bool {

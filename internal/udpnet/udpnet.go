@@ -283,3 +283,8 @@ type wallTimer struct {
 }
 
 func (w wallTimer) Stop() bool { return w.t.Stop() }
+
+// AfterFunc implements env.Runtime: After without the cancel handle.
+func (rt *nodeRuntime) AfterFunc(d time.Duration, fn func()) {
+	rt.After(d, fn)
+}
