@@ -9,7 +9,23 @@
 //	heapnode -id 1 -peers peers.txt -cap 512
 //	heapnode -id 2 -peers peers.txt -cap 3000
 //
-// Every node prints live delivery statistics once per second.
+// With -netem PROFILE every node emulates adverse network conditions on its
+// real sockets — bursty loss, partitions with heal, latency spikes,
+// asymmetric degradation, capability traces — using the same models the
+// simulator runs (see internal/netem). Every node of the deployment must
+// use the same profile and the same -seed if any (the default already
+// materializes identical partition groups and traced node sets on every
+// node); for schedule-driven profiles (partition, spike, captrace) also
+// share one -epoch so the windows open and heal simultaneously everywhere
+// even when nodes start at different times:
+//
+//	EPOCH=$(date +%s)
+//	heapnode -id 1 -peers peers.txt -cap 512  -netem partition -epoch $EPOCH
+//	heapnode -id 2 -peers peers.txt -cap 3000 -netem partition -epoch $EPOCH
+//
+// Every node prints live delivery statistics once per second, including
+// send-queue overflow drops (qdrop) and, under -netem, the model's outbound
+// drop/delay counters.
 package main
 
 import (
@@ -41,6 +57,10 @@ func run() int {
 		isSource = flag.Bool("source", false, "act as the stream source")
 		windows  = flag.Int("windows", 10, "stream length in FEC windows (source only)")
 		duration = flag.Duration("duration", 2*time.Minute, "how long to run before exiting")
+		netemPro = flag.String("netem", "", "adverse-network profile emulated on this node's sockets "+
+			fmt.Sprintf("(%s)", strings.Join(heapgossip.NetemProfileNames(), ", ")))
+		seed  = flag.Int64("seed", 0, "protocol/netem randomness seed (default: derived from -id)")
+		epoch = flag.Int64("epoch", 0, "shared unix-seconds time base for lag stamps and netem schedules (default: node start)")
 	)
 	flag.Parse()
 	if *id < 0 || *peersPth == "" {
@@ -76,6 +96,18 @@ func run() int {
 	if *isSource {
 		cfg.Source = &heapgossip.SourceConfig{Windows: *windows}
 	}
+	cfg.Seed = *seed
+	if *epoch != 0 {
+		cfg.Epoch = time.Unix(*epoch, 0)
+	}
+	if *netemPro != "" {
+		profile, err := heapgossip.NetemProfile(*netemPro)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "heapnode: %v\n", err)
+			return 1
+		}
+		cfg.Netem = &profile
+	}
 	node, err := heapgossip.StartNode(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "heapnode: %v\n", err)
@@ -94,9 +126,18 @@ func run() int {
 		select {
 		case <-ticker.C:
 			st := node.Stats()
-			fmt.Printf("delivered=%d (%.1f MB) served=%d proposes=%d bbar=%.0f kbps\n",
+			// qdrop is the paced sender's tail-drop count: non-zero means
+			// the node is trying to send past its upload capability and the
+			// bounded application queue is shedding load.
+			line := fmt.Sprintf("delivered=%d (%.1f MB) served=%d proposes=%d bbar=%.0f kbps qdrop=%d",
 				delivered.Load(), float64(bytes.Load())/1e6,
-				st.EventsServed, st.ProposesSent, node.EstimateKbps())
+				st.EventsServed, st.ProposesSent, node.EstimateKbps(), node.SendQueueDropped())
+			if *netemPro != "" {
+				nd, nl := node.NetemCounters()
+				line += fmt.Sprintf(" netem[%s] out-drop=%d out-delay=%d adv=%d kbps",
+					*netemPro, nd, nl, node.AdvertisedKbps())
+			}
+			fmt.Println(line)
 			if *isSource && node.SourceDone() {
 				fmt.Println("stream complete")
 			}

@@ -21,6 +21,15 @@
 //	heapsweep -largescale                       # 1k and 5k nodes, 4 variants each
 //	heapsweep -largescale -nodes 10000          # one 10k-node grid
 //
+// With -netem it adds an adverse-network axis (internal/netem profiles):
+// every cell runs once per profile on top of a clean baseline cell, so the
+// summary table reads as a robustness comparison. -netem all selects every
+// stock profile; a comma list picks some:
+//
+//	heapsweep -netem all -dists ms-691                    # HEAP vs standard under adversity
+//	heapsweep -netem bursty,partition -protocols heap
+//	heapsweep -largescale -netem bursty                   # adversity at 1k-5k nodes
+//
 // With -csv DIR it writes DIR/sweep.csv (one row per cell, byte-identical
 // for a fixed grid and seed regardless of -workers) and DIR/lagcdf.csv (the
 // pooled per-cell lag CDFs in long series format for replotting).
@@ -36,6 +45,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/netem"
 	"repro/internal/scenario"
 )
 
@@ -63,8 +73,18 @@ func run() int {
 		quiet      = flag.Bool("q", false, "suppress per-run progress output")
 		largeScale = flag.Bool("largescale", false,
 			"run the LargeScale family (1k-20k nodes, flash crowds, churn bursts) instead of the paper grid")
+		netemFlag = flag.String("netem", "",
+			"adverse-network variant axis: 'all' or a comma list of netem profiles ("+
+				strings.Join(netem.ProfileNames(), ", ")+")")
 	)
 	flag.Parse()
+
+	var netemNames []string
+	if *netemFlag == "all" {
+		netemNames = []string{} // empty list = every stock profile
+	} else if *netemFlag != "" {
+		netemNames = splitList(*netemFlag)
+	}
 
 	if *largeScale {
 		// The paper-grid -nodes default is not a large-N size; only an
@@ -85,6 +105,14 @@ func run() int {
 		}
 		sw := scenario.LargeScaleSweep(sizes, *replicas, *seed, *workers)
 		sw.SummaryLag = *lag
+		if netemNames != nil {
+			adv, err := scenario.LargeScaleAdverseVariants(netemNames...)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "heapsweep: -netem: %v\n", err)
+				return 1
+			}
+			sw.Variants = append(sw.Variants, adv...)
+		}
 		if !*quiet {
 			sw.Progress = func(cell string, replica int, elapsed time.Duration) {
 				fmt.Fprintf(os.Stderr, "  ran %-40s rep %d in %6.1fs\n", cell, replica, elapsed.Seconds())
@@ -150,6 +178,14 @@ func run() int {
 	if sw.ChurnFractions, err = parseFloats(*churnFlag); err != nil {
 		fmt.Fprintf(os.Stderr, "heapsweep: -churn: %v\n", err)
 		return 1
+	}
+	if netemNames != nil {
+		adv, err := scenario.AdverseVariants(netemNames...)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "heapsweep: -netem: %v\n", err)
+			return 1
+		}
+		sw.Variants = append([]scenario.Variant{{Name: "baseline"}}, adv...)
 	}
 
 	res, err := scenario.RunSweep(sw)

@@ -89,6 +89,23 @@
 // or the whole grid via LargeScaleSweep / `heapsweep -largescale`. See the
 // "Large-N grid" section of EXPERIMENTS.md.
 //
+// # Adverse networks
+//
+// internal/netem turns the near-ideal default network hostile: a Netem
+// profile describes Gilbert-Elliott bursty loss, scheduled partitions with
+// heal, latency spikes/drift, asymmetric per-direction degradation, and
+// capability traces that rewrite advertised upload capabilities mid-run.
+// Profiles are data: the same value drives the simulator (Scenario.Netem),
+// sweep grids (AdverseVariants, `heapsweep -netem`), and real sockets
+// (NodeConfig.Netem, `heapnode -netem`), where identical models rule on
+// every datagram a node sends — the simulator's transmit-time consultation
+// point, reproduced on the wire. Model verdicts are deterministic functions of the
+// run's seed, so adverse runs keep every reproducibility guarantee below;
+// with Netem unset the plain loss path is untouched draw for draw.
+// Per-model drop/delay counters land in ScenarioResult.NetemStats, and
+// `heapbench -artifact robustness` renders the HEAP-vs-standard comparison
+// under each stock profile.
+//
 // # Capacity and determinism guarantees
 //
 // The simulator's hot path is allocation-free in steady state: events are

@@ -1,0 +1,82 @@
+// Adverse-network example: the paper evaluates gossip on a nearly ideal
+// network (independent 0.1% loss, stable latencies). This example runs the
+// same HEAP-vs-standard comparison on hostile ground instead — bursty
+// Gilbert-Elliott loss, a partition that cuts off a quarter of the system
+// mid-stream and heals, and capability traces that silently degrade nodes —
+// using the stock profiles of internal/netem as a sweep variant axis.
+//
+// The same profile data drives the real-UDP runtime: pass it as
+// NodeConfig.Netem (or `heapnode -netem bursty`) and identical models rule
+// on real datagrams.
+//
+// Run with: go run ./examples/adverse
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	heapgossip "repro"
+)
+
+func main() {
+	adverse, err := heapgossip.AdverseVariants("bursty", "partition", "captrace")
+	if err != nil {
+		log.Fatal(err)
+	}
+	variants := append([]heapgossip.Variant{{Name: "baseline"}}, adverse...)
+
+	sweep := heapgossip.Sweep{
+		Base: heapgossip.Scenario{
+			Nodes:       120,
+			Dist:        heapgossip.MS691,
+			Windows:     10, // ~19 s of stream, scaled down from the paper's 180 s
+			StreamStart: 5 * time.Second,
+			Drain:       30 * time.Second,
+		},
+		Protocols:  []heapgossip.Protocol{heapgossip.StandardGossip, heapgossip.HEAP},
+		Variants:   variants,
+		BaseSeed:   1,
+		SummaryLag: 10 * time.Second,
+	}
+
+	fmt.Printf("Sweeping 2 protocols x %d network conditions (%d runs)...\n",
+		len(variants), 2*len(variants))
+	res, err := heapgossip.RunSweep(sweep)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Table().Render())
+
+	fmt.Println()
+	fmt.Println("Reading the table: bursty loss stretches everyone's lag tail;")
+	fmt.Println("the partition shows up as nodes that never reach 99% delivery")
+	fmt.Println("(packets aired behind the split are gone for good); capability")
+	fmt.Println("traces hurt standard gossip's fixed fanout more than HEAP,")
+	fmt.Println("which re-learns the degraded capabilities through aggregation")
+	fmt.Println("and shifts serving load back onto healthy nodes.")
+
+	// Single runs expose the per-model accounting directly.
+	profile, err := heapgossip.NetemProfile("mixed")
+	if err != nil {
+		log.Fatal(err)
+	}
+	single, err := heapgossip.RunScenario(heapgossip.Scenario{
+		Nodes:    120,
+		Protocol: heapgossip.HEAP,
+		Dist:     heapgossip.MS691,
+		Windows:  10,
+		Seed:     1,
+		Netem:    &profile,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Println("netem accounting of one HEAP run under the 'mixed' profile:")
+	for _, st := range single.NetemStats {
+		fmt.Printf("  %-16s judged=%-7d dropped=%-6d delayed=%d\n",
+			st.Name, st.Judged, st.Drops, st.Delayed)
+	}
+}

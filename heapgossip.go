@@ -6,6 +6,7 @@ import (
 	"repro/internal/churn"
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/netem"
 	"repro/internal/scenario"
 	"repro/internal/stream"
 	"repro/internal/wire"
@@ -110,6 +111,32 @@ func LargeScaleSweep(nodes []int, replicas int, seed int64, workers int) Sweep {
 
 // Catastrophic describes the simultaneous mass-failure scenario of §3.6.
 type Catastrophic = churn.Catastrophic
+
+// Netem is a declarative description of adverse network conditions —
+// Gilbert-Elliott bursty loss, scheduled partitions with heal, latency
+// spikes, asymmetric per-direction degradation, and time-varying capability
+// traces. Set Scenario.Netem to run a simulation under it, or
+// NodeConfig.Netem to apply the same models to real UDP datagrams; with it
+// unset both substrates keep their near-ideal default network.
+type Netem = netem.Config
+
+// NetemModelStats counts one netem model's per-run drop/delay verdicts
+// (ScenarioResult.NetemStats).
+type NetemModelStats = netem.ModelStats
+
+// NetemProfile returns a named stock adverse profile ("bursty",
+// "partition", "spike", "asym", "captrace", "mixed").
+func NetemProfile(name string) (Netem, error) { return netem.Profile(name) }
+
+// NetemProfileNames lists the stock adverse profiles.
+func NetemProfileNames() []string { return netem.ProfileNames() }
+
+// AdverseVariants returns one sweep variant per named netem profile (all
+// stock profiles when names is empty), for grids that compare protocols
+// across network adversity.
+func AdverseVariants(names ...string) ([]Variant, error) {
+	return scenario.AdverseVariants(names...)
+}
 
 // Geometry describes stream packetization and FEC window structure.
 type Geometry = stream.Geometry

@@ -220,6 +220,22 @@ func (e *Estimator) Receive(_ wire.NodeID, m wire.Message) {
 	e.recompute()
 }
 
+// SetSelfCapKbps rewrites the node's advertised capability mid-run (netem
+// capability traces, measured-capacity drift). The new value takes effect
+// locally at once and reaches peers through the normal freshness gossip —
+// exactly how the paper expects re-measured capabilities to propagate.
+// Panics on zero, like NewEstimator.
+func (e *Estimator) SetSelfCapKbps(kbps uint32) {
+	if kbps == 0 {
+		panic("aggregation: zero self capability")
+	}
+	e.cfg.SelfCapKbps = kbps
+	if e.rt != nil {
+		e.set(e.rt.ID(), kbps, e.rt.Now())
+		e.recompute()
+	}
+}
+
 // EstimateKbps returns the current estimate of the system-wide average
 // upload capability (bbar), in kbps. Before any exchange it equals the
 // node's own capability.

@@ -1,0 +1,127 @@
+package netem
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Stock adverse profiles, keyed by the names the -netem flags accept. All
+// are n-independent data (fraction-based node selections materialize at
+// Build time), with event schedules placed shortly after the scenarios'
+// default 5 s stream start so they land mid-stream at every scale the repo
+// runs — the paper's 270x93 grid down to the test suite's scaled-down runs.
+//
+//   - bursty: Gilbert-Elliott loss with ~4-datagram bursts and a ~7% bad
+//     share (~2% average loss, arriving in clumps instead of independently).
+//   - partition: a random quarter of the system is cut off from the rest for
+//     15 s mid-stream, then the partition heals.
+//   - spike: a 400 ms latency spike ramping in and out over 3 s, followed by
+//     a smaller square 150 ms bump — spike and drift in one schedule.
+//   - asym: a fifth of the nodes degrade asymmetrically — 5% extra loss on
+//     everything they receive, 150 ms extra delay on everything they send.
+//   - captrace: 30% of the nodes lose ~2/3 of their upload capability 10 s
+//     into the run and recover 20 s later; with HEAP the drop is advertised,
+//     so adaptive fanout should reroute load around it.
+//   - mixed: mild bursty loss, the partition, and the spike together.
+var profiles = map[string]Config{
+	"bursty": {
+		Name: "bursty",
+		GE:   &GEParams{PGoodBad: 0.02, PBadGood: 0.25, LossGood: 0.0005, LossBad: 0.3},
+	},
+	"partition": {
+		Name: "partition",
+		Partitions: []PartitionSpec{
+			{From: 10 * time.Second, Until: 25 * time.Second, SplitFractions: []float64{0.25}},
+		},
+	},
+	"spike": {
+		Name: "spike",
+		Spikes: []Spike{
+			{At: 8 * time.Second, Duration: 12 * time.Second, Extra: 400 * time.Millisecond, Ramp: 3 * time.Second},
+			{At: 30 * time.Second, Duration: 10 * time.Second, Extra: 150 * time.Millisecond},
+		},
+	},
+	"asym": {
+		Name: "asym",
+		Asym: &AsymSpec{Fraction: 0.2, RxLoss: 0.05, TxDelay: 150 * time.Millisecond},
+	},
+	"captrace": {
+		Name: "captrace",
+		CapTraces: []CapTraceSpec{
+			{Fraction: 0.3, Steps: []CapStep{
+				{At: 10 * time.Second, Factor: 0.35},
+				{At: 30 * time.Second, Factor: 1},
+			}},
+		},
+	},
+	"mixed": {
+		Name: "mixed",
+		GE:   &GEParams{PGoodBad: 0.01, PBadGood: 0.3, LossGood: 0.0005, LossBad: 0.2},
+		Partitions: []PartitionSpec{
+			{From: 10 * time.Second, Until: 25 * time.Second, SplitFractions: []float64{0.25}},
+		},
+		Spikes: []Spike{
+			{At: 8 * time.Second, Duration: 12 * time.Second, Extra: 400 * time.Millisecond, Ramp: 3 * time.Second},
+		},
+	},
+}
+
+// ProfileNames lists the stock profile names, sorted.
+func ProfileNames() []string {
+	names := make([]string, 0, len(profiles))
+	for name := range profiles {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Profile returns a deep copy of the named stock profile, so callers may
+// customize the result (the schedules, the fractions) without corrupting
+// the registry for later calls in the same process.
+func Profile(name string) (Config, error) {
+	c, ok := profiles[name]
+	if !ok {
+		return Config{}, fmt.Errorf("netem: unknown profile %q (known: %v)", name, ProfileNames())
+	}
+	return c.clone(), nil
+}
+
+// clone deep-copies a Config, including every nested slice.
+func (c Config) clone() Config {
+	if c.GE != nil {
+		ge := *c.GE
+		c.GE = &ge
+	}
+	if c.Asym != nil {
+		a := *c.Asym
+		a.Nodes = append([]wire.NodeID(nil), a.Nodes...)
+		c.Asym = &a
+	}
+	if c.Partitions != nil {
+		parts := make([]PartitionSpec, len(c.Partitions))
+		for i, p := range c.Partitions {
+			p.SplitFractions = append([]float64(nil), p.SplitFractions...)
+			p.Groups = append([][]wire.NodeID(nil), p.Groups...)
+			for g := range p.Groups {
+				p.Groups[g] = append([]wire.NodeID(nil), p.Groups[g]...)
+			}
+			parts[i] = p
+		}
+		c.Partitions = parts
+	}
+	c.Spikes = append([]Spike(nil), c.Spikes...)
+	if c.CapTraces != nil {
+		traces := make([]CapTraceSpec, len(c.CapTraces))
+		for i, tr := range c.CapTraces {
+			tr.Nodes = append([]wire.NodeID(nil), tr.Nodes...)
+			tr.Steps = append([]CapStep(nil), tr.Steps...)
+			traces[i] = tr
+		}
+		c.CapTraces = traces
+	}
+	return c
+}

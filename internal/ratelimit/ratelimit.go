@@ -19,7 +19,7 @@ import (
 // Items queue FIFO; when the queue is full, Enqueue drops (tail drop) —
 // a bounded variant of the paper's unbounded application queue.
 type Sender[T any] struct {
-	rateBps int64
+	rateBps atomic.Int64
 	sizeOf  func(T) int
 	send    func(T)
 
@@ -44,16 +44,21 @@ func NewSender[T any](rateBps int64, queueCap int, sizeOf func(T) int, send func
 		return nil, fmt.Errorf("ratelimit: sizeOf and send are required")
 	}
 	s := &Sender[T]{
-		rateBps: rateBps,
-		sizeOf:  sizeOf,
-		send:    send,
-		queue:   make(chan T, queueCap),
-		stop:    make(chan struct{}),
+		sizeOf: sizeOf,
+		send:   send,
+		queue:  make(chan T, queueCap),
+		stop:   make(chan struct{}),
 	}
+	s.rateBps.Store(rateBps)
 	s.wg.Add(1)
 	go s.drain()
 	return s, nil
 }
+
+// SetRate rewrites the pacing rate (bits per second; <= 0 means unlimited),
+// taking effect for items drained after the call — capability drift and
+// netem capability traces on the real-socket path.
+func (s *Sender[T]) SetRate(rateBps int64) { s.rateBps.Store(rateBps) }
 
 // Enqueue submits an item for paced transmission. It reports false when the
 // queue is full (the item is dropped) or the sender is closed.
@@ -104,13 +109,13 @@ func (s *Sender[T]) drain() {
 		case <-s.stop:
 			return
 		case item := <-s.queue:
-			if s.rateBps > 0 {
+			if rate := s.rateBps.Load(); rate > 0 {
 				now := time.Now()
 				if txClock.Before(now) {
 					txClock = now
 				}
 				size := s.sizeOf(item)
-				ser := time.Duration(int64(size) * 8 * int64(time.Second) / s.rateBps)
+				ser := time.Duration(int64(size) * 8 * int64(time.Second) / rate)
 				txClock = txClock.Add(ser)
 				if wait := time.Until(txClock); wait > 0 {
 					timer := time.NewTimer(wait)

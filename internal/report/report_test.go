@@ -84,6 +84,27 @@ func TestFigure10Churn(t *testing.T) {
 	}
 }
 
+func TestRobustnessContent(t *testing.T) {
+	var out strings.Builder
+	s := smallSuite(&out)
+	if err := s.Robustness(); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"Robustness", "none", "bursty", "partition",
+		"spike", "captrace", "HEAP P50/P90", "netem activity", "gilbert-elliott"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("robustness output missing %q:\n%s", want, text)
+		}
+	}
+	// The clean row must reuse the Figures 3-9 runs rather than rerun them.
+	for _, name := range s.CachedRuns() {
+		if name == "robust-none-standard" || name == "robust-none-heap" {
+			t.Fatalf("clean robustness row did not share the protoRun cache: %v", s.CachedRuns())
+		}
+	}
+}
+
 func TestProgressCallback(t *testing.T) {
 	var out strings.Builder
 	s := smallSuite(&out)

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/netem"
 )
 
 // These tests are the safety net for the simulator's pooled-event hot path:
@@ -26,7 +27,7 @@ func fingerprint(t *testing.T, res *Result) []byte {
 	for _, v := range []any{
 		res.Run, res.CapsKbps, res.AdvertisedKbps, res.Usage,
 		res.Victims, res.NodeNetStats, res.CoreStats, res.NetStats,
-		res.EstimatesKbps,
+		res.EstimatesKbps, res.NetemStats,
 	} {
 		if err := enc.Encode(v); err != nil {
 			t.Fatalf("fingerprint: %v", err)
@@ -100,6 +101,124 @@ func TestDeterminismLargeScaleDynamics(t *testing.T) {
 	}
 	if got := len(a.Run.Nodes); got != 180 {
 		t.Fatalf("collected %d node records, want 180 (150 initial + 30 joined)", got)
+	}
+}
+
+// TestDeterminismNetemDynamics repeats the byte-equality check with the
+// full adverse machinery active — bursty-loss chains, a fraction-based
+// partition, a latency spike, and capability traces rewriting uplinks and
+// advertised values mid-run — since those paths add their own materialization
+// rng, per-link chain state, and scheduled callbacks.
+func TestDeterminismNetemDynamics(t *testing.T) {
+	cfg := deterministicBase(19)
+	cfg.Netem = &netem.Config{
+		Name: "determinism",
+		GE:   &netem.GEParams{PGoodBad: 0.02, PBadGood: 0.25, LossGood: 0.001, LossBad: 0.3},
+		Partitions: []netem.PartitionSpec{
+			{From: 8 * time.Second, Until: 16 * time.Second, SplitFractions: []float64{0.3}},
+		},
+		Spikes: []netem.Spike{
+			{At: 10 * time.Second, Duration: 8 * time.Second, Extra: 300 * time.Millisecond, Ramp: 2 * time.Second},
+		},
+		CapTraces: []netem.CapTraceSpec{
+			{Fraction: 0.4, Steps: []netem.CapStep{
+				{At: 9 * time.Second, Factor: 0.3},
+				{At: 20 * time.Second, Factor: 1},
+			}},
+		},
+	}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fingerprint(t, a), fingerprint(t, b)) {
+		t.Fatal("netem dynamics are not deterministic for a fixed seed")
+	}
+	if len(a.NetemStats) == 0 {
+		t.Fatal("netem stats missing from the result")
+	}
+	// The adverse run must differ from the clean run with the same seed, or
+	// the netem path silently did nothing.
+	clean, err := Run(deterministicBase(19))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(fingerprint(t, a), fingerprint(t, clean)) {
+		t.Fatal("adverse and clean runs produced identical fingerprints")
+	}
+}
+
+// TestDeterminismEmptyNetemMatchesPlain pins the zero-config guarantee from
+// inside: an *empty* netem config builds an engine holding only the base
+// Bernoulli loss stage, whose rng draw sequence must match the plain
+// LossRate path exactly — every metric byte-identical.
+func TestDeterminismEmptyNetemMatchesPlain(t *testing.T) {
+	plain, err := Run(deterministicBase(29))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := deterministicBase(29)
+	cfg.Netem = &netem.Config{Name: "empty"}
+	wrapped, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// NetemStats legitimately differ (nil vs base-loss counters); everything
+	// measurable about the protocols must not.
+	wrapped.NetemStats = nil
+	if !bytes.Equal(fingerprint(t, plain), fingerprint(t, wrapped)) {
+		t.Fatal("an empty netem config changed run results; the base-loss draw order must match the plain path")
+	}
+}
+
+// TestDeterminismNetemSweepWorkers re-checks worker-count independence with
+// the adverse variant axis active: 1 and 8 workers must produce identical
+// summaries and byte-identical CSV exports.
+func TestDeterminismNetemSweepWorkers(t *testing.T) {
+	adv, err := AdverseVariants("bursty", "captrace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := func(workers int) Sweep {
+		return Sweep{
+			Base:      deterministicBase(0),
+			Protocols: []Protocol{StandardGossip, HEAP},
+			Variants:  append([]Variant{{Name: "baseline"}}, adv...),
+			Replicas:  2,
+			BaseSeed:  31,
+			Workers:   workers,
+			DropRuns:  true,
+		}
+	}
+	serial, err := RunSweep(grid(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunSweep(grid(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sc, pc bytes.Buffer
+	if err := serial.WriteCSV(&sc); err != nil {
+		t.Fatal(err)
+	}
+	if err := parallel.WriteCSV(&pc); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sc.Bytes(), pc.Bytes()) {
+		t.Fatal("netem sweep CSV bytes differ between 1 and 8 workers")
+	}
+	for i := range serial.Cells {
+		s, p := serial.Cells[i], parallel.Cells[i]
+		ss, ps := s.Summary, p.Summary
+		ss.Elapsed, ps.Elapsed = 0, 0
+		if !reflect.DeepEqual(ss, ps) {
+			t.Fatalf("cell %s: summaries differ between 1 and 8 workers", s.Key)
+		}
 	}
 }
 

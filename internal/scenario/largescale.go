@@ -202,19 +202,22 @@ func LargeScaleBase(n int, seed int64) Config {
 	}
 }
 
+// largeScaleSizeFanout re-derives the fanout as ln(n)+1.4 from the cell's
+// node count (rounded to 0.01 so cell names stay readable), shared by every
+// LargeScale variant including the adverse-network ones.
+func largeScaleSizeFanout(c *Config) {
+	if c.Nodes > 0 {
+		c.Fanout = math.Round((math.Log(float64(c.Nodes))+1.4)*100) / 100
+	}
+}
+
 // LargeScaleVariants returns the family's sweep axis: the steady-state
 // baseline, a flash crowd joining a quarter of the system mid-stream, two
 // correlated churn bursts, and the combination. Every variant re-derives the
 // fanout as ln(n)+1.4 from the cell's node count, so a Nodes axis sweeps the
 // reliability threshold along with the size.
 func LargeScaleVariants() []Variant {
-	sizeFanout := func(c *Config) {
-		if c.Nodes > 0 {
-			// Rounded to 0.01 so cell names stay readable; stochastic
-			// rounding preserves the expectation either way.
-			c.Fanout = math.Round((math.Log(float64(c.Nodes))+1.4)*100) / 100
-		}
-	}
+	sizeFanout := largeScaleSizeFanout
 	flashCrowd := func(c *Config) {
 		// A quarter of the initial system floods in shortly after the
 		// stream starts, in two back-to-back waves.

@@ -12,6 +12,7 @@ import (
 	"repro/internal/env"
 	"repro/internal/membership"
 	"repro/internal/metrics"
+	"repro/internal/netem"
 	"repro/internal/simnet"
 	"repro/internal/stream"
 	"repro/internal/tree"
@@ -78,6 +79,14 @@ type Config struct {
 
 	// LossRate is the per-datagram loss probability. Default 0.1%.
 	LossRate float64
+	// Netem describes adverse network conditions beyond independent loss:
+	// bursty (Gilbert-Elliott) loss, scheduled partitions with heal,
+	// latency spikes, asymmetric per-direction degradation, and
+	// time-varying capability traces. Nil (the default) keeps the plain
+	// LossRate path — run metrics are then byte-identical to a build
+	// without netem at all. Stock profiles come from netem.Profile and
+	// the Adverse* sweep variants.
+	Netem *netem.Config
 	// LatencyMin/LatencyMax/LatencyJitter parameterize per-pair one-way
 	// delays. Defaults 10 ms / 100 ms / 5 ms.
 	LatencyMin, LatencyMax, LatencyJitter time.Duration
@@ -229,6 +238,15 @@ func (c *Config) applyDefaults() error {
 	if c.LatencyMin == 0 && c.LatencyMax == 0 {
 		c.LatencyMin, c.LatencyMax = 10*time.Millisecond, 100*time.Millisecond
 	}
+	if c.LatencyMax == 0 {
+		// Only Min set: a constant base latency (the behaviour this config
+		// always had, now made explicit so it passes simnet's validation).
+		c.LatencyMax = c.LatencyMin
+	}
+	if c.LatencyMin < 0 || c.LatencyMax < c.LatencyMin || c.LatencyJitter < 0 {
+		return fmt.Errorf("scenario: invalid latency range [%v, %v] jitter %v",
+			c.LatencyMin, c.LatencyMax, c.LatencyJitter)
+	}
 	if c.LatencyJitter == 0 {
 		c.LatencyJitter = 5 * time.Millisecond
 	}
@@ -261,6 +279,11 @@ func (c *Config) applyDefaults() error {
 	}
 	if c.FreezesPerNode < 0 {
 		return fmt.Errorf("scenario: negative freezes per node")
+	}
+	if c.Netem != nil {
+		if err := c.Netem.Validate(); err != nil {
+			return err
+		}
 	}
 	return c.validateDynamics()
 }
@@ -308,6 +331,9 @@ type Result struct {
 	// BacklogSamples holds the uplink-backlog time series when
 	// BacklogProbePeriod is set.
 	BacklogSamples []BacklogSample
+	// NetemStats holds the per-model drop/delay counters of the run's
+	// adverse-network engine (nil when Netem is unset).
+	NetemStats []netem.ModelStats
 }
 
 // BacklogSample is one probe of the system's uplink queues.
@@ -369,11 +395,23 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 
-	net := simnet.New(simnet.Config{
+	// Adverse network conditions: a configured netem spec materializes into
+	// a per-run engine that absorbs the base loss rate as its first model
+	// (same rng draw order, so the zero-config path is untouched).
+	var netemEngine *netem.Engine
+	netCfg := simnet.Config{
 		Seed:     cfg.Seed,
 		Latency:  simnet.NewPairwiseLatency(cfg.Seed, cfg.LatencyMin, cfg.LatencyMax, cfg.LatencyJitter),
 		LossRate: cfg.LossRate,
-	})
+	}
+	if cfg.Netem != nil {
+		var err error
+		if netemEngine, err = cfg.Netem.Build(total, cfg.Seed, cfg.LossRate); err != nil {
+			return nil, err
+		}
+		netCfg.Netem = netemEngine
+	}
+	net := simnet.New(netCfg)
 	dir := membership.NewDirectory(total)
 	allIDs := dir.IDs()
 
@@ -607,6 +645,9 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 	applyChurnBursts(net, &cfg, views, &victims)
+	if netemEngine != nil {
+		applyCapTraces(net, netemEngine, cfg.Unconstrained, effective, advertised, estimators)
+	}
 
 	// Bandwidth-usage sampling during the streaming phase (Fig 4).
 	// SentBytes counts at enqueue time, so bytes still sitting in a
@@ -701,6 +742,9 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	res.BacklogSamples = backlogSamples
+	if netemEngine != nil {
+		res.NetemStats = netemEngine.Stats()
+	}
 	return res, nil
 }
 

@@ -1,0 +1,161 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/env"
+	"repro/internal/netem"
+	"repro/internal/wire"
+)
+
+// TestNetemDefaultMatchesLossRate pins the zero-config guarantee: a network
+// with only LossRate set behaves byte-identically whether the loss comes
+// from the legacy path or from an explicitly installed netem.Bernoulli.
+func TestNetemDefaultMatchesLossRate(t *testing.T) {
+	run := func(model netem.Model) []time.Duration {
+		net := New(Config{
+			Seed:     9,
+			LossRate: 0.2,
+			Netem:    model,
+			Latency:  NewPairwiseLatency(9, time.Millisecond, 10*time.Millisecond, time.Millisecond),
+		})
+		b := &recorder{}
+		a := &recorder{onStart: func(rt env.Runtime) {
+			for i := 0; i < 500; i++ {
+				rt.Send(1, ping())
+			}
+		}}
+		net.AddNode(a, NodeConfig{})
+		net.AddNode(b, NodeConfig{})
+		net.Run(time.Second)
+		times := make([]time.Duration, len(b.got))
+		for i, g := range b.got {
+			times[i] = g.at
+		}
+		return times
+	}
+	implicit := run(nil)
+	explicit := run(netem.Bernoulli{P: 0.2})
+	if len(implicit) != len(explicit) {
+		t.Fatalf("delivery counts differ: %d vs %d", len(implicit), len(explicit))
+	}
+	for i := range implicit {
+		if implicit[i] != explicit[i] {
+			t.Fatalf("delivery %d at %v vs %v", i, implicit[i], explicit[i])
+		}
+	}
+}
+
+// TestNetemPartitionDropsAndHeals runs a partition window through the
+// simulator: sends during the split vanish (counted as MsgsLost), sends
+// after the heal arrive.
+func TestNetemPartitionDropsAndHeals(t *testing.T) {
+	model := netem.NewPartitions(netem.Partition{
+		From:   10 * time.Millisecond,
+		Until:  30 * time.Millisecond,
+		Groups: [][]wire.NodeID{{1}},
+	})
+	net := New(Config{Seed: 1, Netem: model})
+	b := &recorder{}
+	var a *recorder
+	a = &recorder{onStart: func(rt env.Runtime) {
+		for _, at := range []time.Duration{0, 15 * time.Millisecond, 40 * time.Millisecond} {
+			rt.AfterFunc(at, func() { a.rt.Send(1, ping()) })
+		}
+	}}
+	net.AddNode(a, NodeConfig{})
+	net.AddNode(b, NodeConfig{})
+	net.Run(time.Second)
+	if len(b.got) != 2 {
+		t.Fatalf("received %d messages, want 2 (one eaten by the partition)", len(b.got))
+	}
+	if st := net.Stats(); st.MsgsLost != 1 {
+		t.Fatalf("MsgsLost = %d, want 1", st.MsgsLost)
+	}
+}
+
+// TestNetemSpikeDelaysDelivery checks that extra netem delay lands on the
+// propagation time and is counted.
+func TestNetemSpikeDelaysDelivery(t *testing.T) {
+	model := netem.NewLatencySpikes(netem.Spike{
+		At: 0, Duration: time.Second, Extra: 250 * time.Millisecond,
+	})
+	net := New(Config{Seed: 1, Netem: model, Latency: ConstantLatency(10 * time.Millisecond)})
+	b := &recorder{}
+	a := &recorder{onStart: func(rt env.Runtime) { rt.Send(1, ping()) }}
+	net.AddNode(a, NodeConfig{})
+	net.AddNode(b, NodeConfig{})
+	net.Run(time.Second)
+	if len(b.got) != 1 {
+		t.Fatalf("received %d, want 1", len(b.got))
+	}
+	if want := 260 * time.Millisecond; b.got[0].at != want {
+		t.Fatalf("delivered at %v, want %v", b.got[0].at, want)
+	}
+	if st := net.Stats(); st.MsgsNetemDelay != 1 {
+		t.Fatalf("MsgsNetemDelay = %d, want 1", st.MsgsNetemDelay)
+	}
+}
+
+// TestSetUploadBps rewrites capacity mid-run and observes the serialization
+// change: the same message takes twice as long after capacity halves.
+func TestSetUploadBps(t *testing.T) {
+	net := New(Config{Seed: 1})
+	payload := make([]byte, 1316-18-3)
+	msg := &wire.Serve{Events: []wire.Event{{ID: 1, Payload: payload}}}
+	ser := time.Duration((1316 + 28) * 8 * int64(time.Second) / 1_000_000)
+	b := &recorder{}
+	var a *recorder
+	a = &recorder{onStart: func(rt env.Runtime) {
+		rt.Send(1, msg)
+		rt.AfterFunc(100*time.Millisecond, func() { a.rt.Send(1, msg) })
+	}}
+	ida := net.AddNode(a, NodeConfig{UploadBps: 1_000_000})
+	net.AddNode(b, NodeConfig{})
+	net.Schedule(50*time.Millisecond, func() { net.SetUploadBps(ida, 500_000) })
+	net.Run(time.Second)
+	if len(b.got) != 2 {
+		t.Fatalf("received %d, want 2", len(b.got))
+	}
+	if b.got[0].at != ser {
+		t.Fatalf("first delivery at %v, want %v", b.got[0].at, ser)
+	}
+	if want := 100*time.Millisecond + 2*ser; b.got[1].at != want {
+		t.Fatalf("second delivery at %v, want %v (halved capacity)", b.got[1].at, want)
+	}
+	// Negative capacity is a wiring bug.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative SetUploadBps did not panic")
+		}
+	}()
+	net.SetUploadBps(ida, -1)
+}
+
+// TestPairwiseLatencyValidation pins the constructor's panic on inverted or
+// negative parameters, in the style of the loss-rate validation.
+func TestPairwiseLatencyValidation(t *testing.T) {
+	cases := []struct{ min, max, jitter time.Duration }{
+		{-time.Millisecond, time.Millisecond, 0},                    // negative min
+		{10 * time.Millisecond, time.Millisecond, 0},                // max < min
+		{time.Millisecond, 2 * time.Millisecond, -time.Millisecond}, // negative jitter
+	}
+	for i, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: NewPairwiseLatency(%v,%v,%v) did not panic", i, c.min, c.max, c.jitter)
+				}
+			}()
+			NewPairwiseLatency(1, c.min, c.max, c.jitter)
+		}()
+	}
+	// The valid degenerate cases still construct.
+	if l := NewPairwiseLatency(1, 0, 0, 0); l == nil {
+		t.Fatal("zero latency rejected")
+	}
+	if l := NewPairwiseLatency(1, time.Millisecond, time.Millisecond, 0); l == nil {
+		t.Fatal("min == max rejected")
+	}
+}

@@ -11,7 +11,9 @@
 //   - Propagation latency is a stable per-pair base plus per-message jitter.
 //   - Datagrams are lost independently with a configurable probability
 //     (and, optionally, tail-dropped when the uplink queue exceeds a delay
-//     bound).
+//     bound). Adverse conditions beyond independent loss — bursty loss,
+//     partitions, latency spikes, asymmetric degradation — plug in through
+//     Config.Netem (internal/netem), consulted on every transmit.
 //   - Downlinks are unconstrained (the paper constrains upload only).
 //   - Nodes can crash (messages still in their uplink queue are lost, as the
 //     paper observes in §3.6) and freeze (deliveries and timers are deferred,
@@ -37,6 +39,7 @@ import (
 	"time"
 
 	"repro/internal/env"
+	"repro/internal/netem"
 	"repro/internal/wire"
 )
 
@@ -66,8 +69,13 @@ type PairwiseLatency struct {
 }
 
 // NewPairwiseLatency builds a PairwiseLatency keyed by seed, so per-pair
-// base latencies are reproducible across runs and processes.
+// base latencies are reproducible across runs and processes. An inverted
+// range or negative bound panics: that is a wiring bug, not a runtime
+// condition (matching the loss-rate validation in New).
 func NewPairwiseLatency(seed int64, min, max, jitter time.Duration) *PairwiseLatency {
+	if min < 0 || max < min || jitter < 0 {
+		panic(fmt.Sprintf("simnet: invalid pairwise latency [%v, %v] jitter %v", min, max, jitter))
+	}
 	return &PairwiseLatency{Min: min, Max: max, Jitter: jitter, Seed: uint64(seed)}
 }
 
@@ -106,6 +114,13 @@ type Config struct {
 	Latency LatencyModel
 	// LossRate is the independent per-datagram loss probability in [0, 1).
 	LossRate float64
+	// Netem is the network-condition model consulted on every transmit
+	// (after uplink serialization, before propagation). Nil installs
+	// netem.Bernoulli{P: LossRate} — the plain independent-loss path, with
+	// an identical rng draw sequence. A non-nil model replaces that path
+	// entirely, so fold the base loss into the model (netem.Config.Build
+	// does this as its "base-loss" stage); LossRate is then ignored.
+	Netem netem.Model
 	// MaxQueueDelay tail-drops a datagram when the sender's uplink queue
 	// already holds more than this much serialization time. Zero means
 	// unbounded (the paper's application-level queue is unbounded).
@@ -123,9 +138,10 @@ type NodeConfig struct {
 type Stats struct {
 	MsgsSent        int64
 	MsgsDelivered   int64
-	MsgsLost        int64 // random datagram loss
+	MsgsLost        int64 // dropped by the netem model (loss, bursts, partitions)
 	MsgsTailDrop    int64 // uplink queue overflow (only if MaxQueueDelay > 0)
 	MsgsDeadDrop    int64 // sender crashed before transmit finished, or dead destination
+	MsgsNetemDelay  int64 // delivered with extra netem delay (spikes, asym paths)
 	BytesSent       int64 // includes UDP/IP overhead
 	EventsProcessed int64 // dispatched simulator events (deliveries, timers, funcs)
 }
@@ -150,6 +166,7 @@ type Network struct {
 	cfg     Config
 	rng     *rand.Rand // network-level randomness: loss, jitter
 	latency LatencyModel
+	netem   netem.Model
 
 	now    time.Duration
 	seq    uint64
@@ -257,10 +274,14 @@ func New(cfg Config) *Network {
 	if cfg.LossRate < 0 || cfg.LossRate >= 1 {
 		panic(fmt.Sprintf("simnet: loss rate %v outside [0,1)", cfg.LossRate))
 	}
+	if cfg.Netem == nil {
+		cfg.Netem = netem.Bernoulli{P: cfg.LossRate}
+	}
 	return &Network{
 		cfg:     cfg,
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
 		latency: cfg.Latency,
+		netem:   cfg.Netem,
 	}
 }
 
@@ -464,13 +485,24 @@ func (n *Network) send(from *simNode, to wire.NodeID, m wire.Message) {
 	from.uplinkFreeAt = txFinish
 	from.stats.QueueDelay = txFinish - n.now
 
-	// Random datagram loss: the bandwidth is still consumed (the datagram
-	// left the sender), but it never arrives.
-	if n.cfg.LossRate > 0 && n.rng.Float64() < n.cfg.LossRate {
+	// The netem model rules on the datagram here — after serialization (a
+	// dropped datagram still consumed the uplink: it left the sender), before
+	// propagation. Schedule-driven models are judged at txFinish, the
+	// instant the datagram actually reaches the wire: a backlogged uplink
+	// can push a datagram into (or past) a partition or spike window that
+	// was not active when it was enqueued. The default model is plain
+	// independent loss (time-ignoring, so this choice cannot perturb the
+	// zero-config rng stream).
+	verdict := n.netem.Judge(from.id, to, size, txFinish, n.rng)
+	if verdict.Drop {
 		n.stats.MsgsLost++
 		return
 	}
 	lat := n.latency.Latency(from.id, to, n.rng)
+	if verdict.Delay > 0 {
+		lat += verdict.Delay
+		n.stats.MsgsNetemDelay++
+	}
 	ev := n.alloc()
 	ev.at = txFinish + lat
 	ev.kind = evDeliver
@@ -480,6 +512,16 @@ func (n *Network) send(from *simNode, to wire.NodeID, m wire.Message) {
 	ev.txFinish = txFinish
 	ev.size = size
 	n.push(ev)
+}
+
+// SetUploadBps rewrites a node's uplink capacity mid-run (netem capability
+// traces, measured-capacity drift). The new rate applies to datagrams sent
+// after the call; anything already serializing keeps its old schedule.
+func (n *Network) SetUploadBps(id wire.NodeID, bps int64) {
+	if bps < 0 {
+		panic("simnet: negative upload capacity")
+	}
+	n.node(id).cfg.UploadBps = bps
 }
 
 // QueueBacklog returns the current uplink backlog (time until the node's

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/env"
+	"repro/internal/netem"
 	"repro/internal/ratelimit"
 	"repro/internal/wire"
 )
@@ -42,6 +43,22 @@ type Config struct {
 	QueueCap int
 	// Seed drives the node's protocol randomness.
 	Seed int64
+	// Epoch is the time base for Runtime.Now (and therefore for packet lag
+	// stamps and netem schedules). Zero means the node's own start time.
+	// Give every node of a deployment the same epoch so that lag
+	// measurements share a clock and schedule-driven netem models
+	// (partitions, spikes) open and heal their windows simultaneously on
+	// all nodes regardless of start order.
+	Epoch time.Time
+	// Netem, if non-nil, intercepts every outbound datagram before the
+	// paced sender — the same transmit-time consultation point as the
+	// simulator, so per-sender model state (Gilbert-Elliott uplink chains)
+	// behaves identically on sockets: this node's bursts clump across all
+	// its receivers. The verdict drops the datagram or defers its enqueue
+	// by the extra delay (a tc-netem qdisc in front of the device). The
+	// model runs in the node's execution context and needs no internal
+	// locking.
+	Netem netem.Model
 }
 
 type outDatagram struct {
@@ -62,6 +79,7 @@ type Node struct {
 	rng     *rand.Rand
 	peers   map[wire.NodeID]*net.UDPAddr
 	byAddr  map[string]wire.NodeID
+	netem   netem.Model
 	started bool
 	closed  bool
 
@@ -69,6 +87,10 @@ type Node struct {
 
 	// DecodeErrors counts datagrams that failed to parse.
 	DecodeErrors int
+	// NetemDropped / NetemDelayed count outbound datagrams the netem model
+	// dropped or deferred. Guarded by mu, like DecodeErrors.
+	NetemDropped int
+	NetemDelayed int
 }
 
 var _ env.Runtime = (*nodeRuntime)(nil)
@@ -93,14 +115,18 @@ func NewNode(id wire.NodeID, handler env.Handler, cfg Config) (*Node, error) {
 	if err != nil {
 		return nil, fmt.Errorf("udpnet: listen %q: %w", cfg.Listen, err)
 	}
+	if cfg.Epoch.IsZero() {
+		cfg.Epoch = time.Now()
+	}
 	n := &Node{
 		id:      id,
 		handler: handler,
 		conn:    conn,
-		epoch:   time.Now(),
+		epoch:   cfg.Epoch,
 		rng:     rand.New(rand.NewSource(cfg.Seed ^ int64(id)<<32 ^ 0x7ee1)),
 		peers:   make(map[wire.NodeID]*net.UDPAddr),
 		byAddr:  make(map[string]wire.NodeID),
+		netem:   cfg.Netem,
 	}
 	sender, err := ratelimit.NewSender(cfg.UploadBps, cfg.QueueCap,
 		func(d outDatagram) int { return len(d.buf) + wire.UDPOverheadBytes },
@@ -181,6 +207,25 @@ func (n *Node) Close() {
 	n.mu.Unlock()
 }
 
+// SetUploadBps rewrites the paced sender's rate mid-run (capability drift,
+// netem capability traces). <= 0 means unthrottled; takes effect for
+// datagrams paced after the call.
+func (n *Node) SetUploadBps(bps int64) { n.sender.SetRate(bps) }
+
+// NetemCounters returns how many outbound datagrams the netem model dropped
+// and deferred. Unlike Execute-based reads it stays truthful after Close.
+func (n *Node) NetemCounters() (dropped, delayed int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.NetemDropped, n.NetemDelayed
+}
+
+// SendDropped returns how many outgoing datagrams the paced sender has
+// tail-dropped because its bounded queue was full — the real-socket
+// equivalent of the simulator's MsgsTailDrop, and the first symptom of a
+// node trying to send past its upload capability.
+func (n *Node) SendDropped() int64 { return n.sender.Dropped() }
+
 // Execute runs fn in the node's execution context (serialized with all
 // handler callbacks), so external code can safely touch handler state —
 // views, estimators, statistics. It reports false if the node is closed.
@@ -250,17 +295,49 @@ func (rt *nodeRuntime) Now() time.Duration { return time.Since(rt.n.epoch) }
 // which hold the node mutex, so the shared rng is safe.
 func (rt *nodeRuntime) Rand() *rand.Rand { return rt.n.rng }
 
-// Send implements env.Runtime: marshal, frame, and hand to the paced sender.
-// Unknown destinations are dropped silently (UDP semantics).
+// Send implements env.Runtime: marshal, frame, pass the netem interceptor
+// (if any), and hand to the paced sender. Unknown destinations are dropped
+// silently (UDP semantics).
 func (rt *nodeRuntime) Send(to wire.NodeID, m wire.Message) {
-	addr, ok := rt.n.peers[to]
+	n := rt.n
+	addr, ok := n.peers[to]
 	if !ok {
 		return
 	}
 	buf := make([]byte, frameHeader, frameHeader+m.WireSize())
-	binary.BigEndian.PutUint32(buf, uint32(rt.n.id))
+	binary.BigEndian.PutUint32(buf, uint32(n.id))
 	buf = m.MarshalBinary(buf)
-	rt.n.sender.Enqueue(outDatagram{buf: buf, addr: addr})
+	d := outDatagram{buf: buf, addr: addr}
+	if n.netem != nil {
+		// Send runs in the node's execution context (under mu), so the
+		// model and rng need no extra locking — the same single-threaded
+		// contract the simulator gives its models. The judged size matches
+		// the simulator's: wire size plus UDP/IP overhead, no frame header.
+		verdict := n.netem.Judge(n.id, to, len(buf)-frameHeader+wire.UDPOverheadBytes,
+			time.Since(n.epoch), n.rng)
+		switch {
+		case verdict.Drop:
+			n.NetemDropped++
+			return
+		case verdict.Delay > 0:
+			n.NetemDelayed++
+			time.AfterFunc(verdict.Delay, func() {
+				// Delayed datagrams still in flight when the node closes
+				// are discarded here rather than hitting the closed sender,
+				// which would count them as queue-overflow drops and
+				// pollute the SendDropped congestion signal. The check and
+				// the (non-blocking) enqueue stay under one mu hold so a
+				// concurrent Close cannot slip between them.
+				n.mu.Lock()
+				if !n.closed {
+					n.sender.Enqueue(d)
+				}
+				n.mu.Unlock()
+			})
+			return
+		}
+	}
+	n.sender.Enqueue(d)
 }
 
 // After implements env.Runtime with a wall-clock timer whose callback runs

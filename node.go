@@ -3,12 +3,14 @@ package heapgossip
 import (
 	"fmt"
 	"net"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/aggregation"
 	"repro/internal/core"
 	"repro/internal/env"
 	"repro/internal/membership"
+	"repro/internal/netem"
 	"repro/internal/stream"
 	"repro/internal/udpnet"
 	"repro/internal/wire"
@@ -44,6 +46,24 @@ type NodeConfig struct {
 	Source *SourceConfig
 	// Seed drives the node's protocol randomness (default: derived from ID).
 	Seed int64
+	// Epoch is the shared time base for lag stamps and netem schedules
+	// (default: this node's start time). For schedule-driven netem
+	// profiles — partitions, spikes, capability traces — give every node
+	// of a deployment the same Epoch (heapnode's -epoch flag), or start
+	// them near-simultaneously: schedules are relative to the epoch, so
+	// staggered per-node epochs would open the same window at different
+	// wall-clock times on each node.
+	Epoch time.Time
+	// Netem, if non-nil, emulates adverse network conditions on this node:
+	// every datagram it sends passes through the profile's models (bursty
+	// loss, partitions, spikes, asymmetric degradation) at the same
+	// transmit-time point the simulator consults them, and capability
+	// traces that cover this node's id rewrite its advertised capability
+	// on schedule. Give every node of a deployment the same profile, and
+	// either the same Seed or none (the engine materializes its random
+	// node sets from the configured seed before any per-ID derivation, so
+	// the zero default is already coherent across nodes).
+	Netem *Netem
 }
 
 // SourceConfig describes the stream a source node produces.
@@ -64,6 +84,8 @@ type Node struct {
 	estimator *aggregation.Estimator
 	view      *membership.View
 	source    *stream.Source
+	capKbps   atomic.Uint32
+	capTimers []*time.Timer
 }
 
 // StartNode binds a socket, wires the protocol stack (dissemination engine,
@@ -79,6 +101,12 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 	if cfg.GossipPeriod == 0 {
 		cfg.GossipPeriod = 200 * time.Millisecond
 	}
+	// Netem node-set materialization (partition groups, asym/captrace node
+	// selections) must come out identical on every node of the deployment,
+	// so the engine builds from the seed as configured — shared explicitly,
+	// or the common zero default — *before* the per-ID protocol-seed
+	// derivation below.
+	netemSeed := cfg.Seed
 	if cfg.Seed == 0 {
 		cfg.Seed = int64(cfg.ID) + 1
 	}
@@ -90,6 +118,7 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 	view := membership.NewView(cfg.ID, peerIDs)
 
 	n := &Node{view: view}
+	n.capKbps.Store(cfg.UploadKbps)
 	mux := env.NewMux()
 
 	engCfg := core.Config{
@@ -145,11 +174,36 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 		mux.Register(src)
 	}
 
-	udpNode, err := udpnet.NewNode(cfg.ID, mux, udpnet.Config{
+	if cfg.Epoch.IsZero() {
+		cfg.Epoch = time.Now()
+	}
+	udpCfg := udpnet.Config{
 		Listen:    cfg.Listen,
 		UploadBps: int64(cfg.UploadKbps) * 1000,
 		Seed:      cfg.Seed,
-	})
+		Epoch:     cfg.Epoch,
+	}
+	var capSteps []netem.CapStep
+	if cfg.Netem != nil {
+		// Materialize over the actual deployment ids (peers files need not
+		// be dense), so partition groups and traced node sets land on nodes
+		// that exist — identically on every host sharing the peers file.
+		engine, err := cfg.Netem.BuildForNodes(peerIDs, netemSeed, 0)
+		if err != nil {
+			return nil, err
+		}
+		udpCfg.Netem = engine
+		// Capability traces apply node-locally: collect the steps covering
+		// this id; they are scheduled on the wall clock once the node runs.
+		for _, tr := range engine.CapTraces() {
+			for _, id := range tr.Nodes {
+				if id == cfg.ID {
+					capSteps = append(capSteps, tr.Steps...)
+				}
+			}
+		}
+	}
+	udpNode, err := udpnet.NewNode(cfg.ID, mux, udpCfg)
 	if err != nil {
 		return nil, err
 	}
@@ -168,6 +222,40 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 	if err := udpNode.Start(); err != nil {
 		udpNode.Close()
 		return nil, err
+	}
+	// Trace steps are scheduled relative to the (possibly shared) epoch. Of
+	// the steps already in the past — a node starting or restarting late
+	// into the schedule — only the latest applies, synchronously, so racing
+	// zero-delay timers cannot leave a stale factor advertised. Each step
+	// rewrites both the advertised capability and the real pacer rate, the
+	// same pair the simulator's cap-trace application touches, so a traced
+	// deployment actually loses (and regains) throughput.
+	applyStep := func(factor float64) {
+		adv := uint32(float64(cfg.UploadKbps) * factor)
+		if adv == 0 {
+			adv = 1
+		}
+		n.SetAdvertisedKbps(adv)
+		n.udp.SetUploadBps(int64(adv) * 1000)
+	}
+	elapsed := time.Since(cfg.Epoch)
+	latestPast := -1
+	for i, step := range capSteps {
+		if step.At <= elapsed && (latestPast < 0 || step.At >= capSteps[latestPast].At) {
+			latestPast = i
+		}
+	}
+	if latestPast >= 0 {
+		applyStep(capSteps[latestPast].Factor)
+	}
+	for _, step := range capSteps {
+		if step.At <= elapsed {
+			continue
+		}
+		factor := step.Factor
+		n.capTimers = append(n.capTimers, time.AfterFunc(step.At-elapsed, func() {
+			applyStep(factor)
+		}))
 	}
 	return n, nil
 }
@@ -188,7 +276,40 @@ func (n *Node) RemovePeer(id NodeID) {
 }
 
 // Close shuts the node down.
-func (n *Node) Close() { n.udp.Close() }
+func (n *Node) Close() {
+	for _, t := range n.capTimers {
+		t.Stop()
+	}
+	n.udp.Close()
+}
+
+// SetAdvertisedKbps rewrites the capability this node advertises to the
+// aggregation protocol (capability re-measurement, netem traces). The upload
+// throttle is unchanged — advertising is a claim, not a cap. No-op for
+// standard-gossip nodes.
+func (n *Node) SetAdvertisedKbps(kbps uint32) {
+	n.capKbps.Store(kbps)
+	n.udp.Execute(func() {
+		if n.estimator != nil {
+			n.estimator.SetSelfCapKbps(kbps)
+		}
+	})
+}
+
+// AdvertisedKbps returns the capability the node currently advertises.
+// Truthful after Close, like the statistics accessors.
+func (n *Node) AdvertisedKbps() uint32 { return n.capKbps.Load() }
+
+// SendQueueDropped returns how many outgoing datagrams were tail-dropped by
+// the paced sender's bounded queue — the first symptom of this node trying
+// to send past its upload capability.
+func (n *Node) SendQueueDropped() int64 { return n.udp.SendDropped() }
+
+// NetemCounters returns how many outbound datagrams this node's netem model
+// dropped and delayed (zeros without a Netem config). Truthful after Close.
+func (n *Node) NetemCounters() (dropped, delayed int) {
+	return n.udp.NetemCounters()
+}
 
 // Stats returns the node's dissemination counters, serialized with protocol
 // activity.
