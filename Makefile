@@ -39,7 +39,8 @@ largescale:
 	$(GO) run ./cmd/heapsweep -largescale -csv out/largescale/
 
 # Brief fuzzing of the wire codec (one target per invocation is a Go
-# toolchain constraint).
+# toolchain constraint). The seed corpora cover both the legacy
+# single-stream encodings and the stream-id-tagged multi-stream forms.
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzUnmarshal$$' -fuzztime 10s ./internal/wire
 	$(GO) test -run '^$$' -fuzz '^FuzzRoundTrip$$' -fuzztime 10s ./internal/wire

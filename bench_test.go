@@ -592,6 +592,39 @@ func BenchmarkLargeScale1kChurnBursts(b *testing.B) {
 	})
 }
 
+// BenchmarkMultiStream1k runs four concurrent broadcasters over 1000 HEAP
+// nodes (Cyclon sampling, bimodal capabilities): the multi-source regime at
+// scale, where the fanout-budget allocator divides every node's uplink
+// across the competing streams. Reports simulator throughput plus the
+// pooled delivery quality across all four streams.
+func BenchmarkMultiStream1k(b *testing.B) {
+	b.ReportAllocs()
+	var events int64
+	for i := 0; i < b.N; i++ {
+		cfg := LargeScale(1000, benchSeed)
+		cfg.Windows = 2
+		cfg.Drain = 20 * time.Second
+		cfg.Streams = []StreamSpec{
+			{},
+			{Start: 6 * time.Second},
+			{Start: 7 * time.Second},
+			{Start: 8 * time.Second},
+		}
+		res := mustRun(b, cfg)
+		events = res.NetStats.EventsProcessed
+		b.ReportMetric(float64(res.NetStats.MsgsSent), "msgs/run")
+		var delivered float64
+		for _, sum := range res.StreamSummaries(20 * time.Second) {
+			delivered += sum.DeliveryMean
+		}
+		b.ReportMetric(100*delivered/4, "delivered-%")
+	}
+	b.ReportMetric(float64(events), "events/run")
+	if events > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(events), "ns/event")
+	}
+}
+
 // BenchmarkIntroStaticTree reproduces the introduction's observation: the
 // static-tree baseline trails gossip badly even among 30 nodes.
 func BenchmarkIntroStaticTree(b *testing.B) {

@@ -36,6 +36,7 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -54,7 +55,9 @@ func run() int {
 		capKbps  = flag.Uint("cap", 1000, "advertised upload capability (kbps)")
 		adaptive = flag.Bool("heap", true, "enable HEAP fanout adaptation (false = standard gossip)")
 		fanout   = flag.Float64("fanout", 7, "average fanout fbar")
-		isSource = flag.Bool("source", false, "act as the stream source")
+		isSource = flag.Bool("source", false, "act as a stream source")
+		streamID = flag.Uint("stream", 0, "stream id this source broadcasts (source only); "+
+			"multi-source deployments give every broadcaster its own id")
 		windows  = flag.Int("windows", 10, "stream length in FEC windows (source only)")
 		duration = flag.Duration("duration", 2*time.Minute, "how long to run before exiting")
 		netemPro = flag.String("netem", "", "adverse-network profile emulated on this node's sockets "+
@@ -80,7 +83,9 @@ func run() int {
 		return 1
 	}
 
-	var delivered, bytes atomic.Int64
+	var delivered, bytes, streamsSeen atomic.Int64
+	var seenMu sync.Mutex
+	seen := make(map[heapgossip.StreamID]bool) // streams observed (status line)
 	cfg := heapgossip.NodeConfig{
 		ID:         self,
 		Listen:     listen,
@@ -88,13 +93,22 @@ func run() int {
 		Adaptive:   *adaptive,
 		Fanout:     *fanout,
 		Peers:      peers,
-		OnDeliver: func(_ heapgossip.PacketID, payload []byte, lag time.Duration) {
+		OnDeliver: func(stream heapgossip.StreamID, _ heapgossip.PacketID, payload []byte, lag time.Duration) {
 			delivered.Add(1)
 			bytes.Add(int64(len(payload)))
+			seenMu.Lock()
+			if !seen[stream] {
+				seen[stream] = true
+				streamsSeen.Add(1)
+			}
+			seenMu.Unlock()
 		},
 	}
 	if *isSource {
-		cfg.Source = &heapgossip.SourceConfig{Windows: *windows}
+		cfg.Source = &heapgossip.SourceConfig{
+			Stream:  heapgossip.StreamID(*streamID),
+			Windows: *windows,
+		}
 	}
 	cfg.Seed = *seed
 	if *epoch != 0 {
@@ -129,8 +143,8 @@ func run() int {
 			// qdrop is the paced sender's tail-drop count: non-zero means
 			// the node is trying to send past its upload capability and the
 			// bounded application queue is shedding load.
-			line := fmt.Sprintf("delivered=%d (%.1f MB) served=%d proposes=%d bbar=%.0f kbps qdrop=%d",
-				delivered.Load(), float64(bytes.Load())/1e6,
+			line := fmt.Sprintf("delivered=%d (%.1f MB, %d streams) served=%d proposes=%d bbar=%.0f kbps qdrop=%d",
+				delivered.Load(), float64(bytes.Load())/1e6, streamsSeen.Load(),
 				st.EventsServed, st.ProposesSent, node.EstimateKbps(), node.SendQueueDropped())
 			if *netemPro != "" {
 				nd, nl := node.NetemCounters()

@@ -30,6 +30,14 @@
 //	heapsweep -netem bursty,partition -protocols heap
 //	heapsweep -largescale -netem bursty                   # adversity at 1k-5k nodes
 //
+// With -streams K every run carries K concurrent streams from K distinct
+// broadcasters (stream k starts k·stagger after the first), competing for
+// each node's upload budget through the fanout-budget allocator; cell
+// summaries pool node samples across all K streams. Ignored by -largescale.
+//
+//	heapsweep -streams 2 -dists ms-691 -windows 10     # 2-source contention grid
+//	heapsweep -streams 4 -stagger 1s -protocols heap   # 4 broadcasters, 1 s apart
+//
 // With -csv DIR it writes DIR/sweep.csv (one row per cell, byte-identical
 // for a fixed grid and seed regardless of -workers) and DIR/lagcdf.csv (the
 // pooled per-cell lag CDFs in long series format for replotting).
@@ -76,8 +84,16 @@ func run() int {
 		netemFlag = flag.String("netem", "",
 			"adverse-network variant axis: 'all' or a comma list of netem profiles ("+
 				strings.Join(netem.ProfileNames(), ", ")+")")
+		streams = flag.Int("streams", 1,
+			"number of concurrent broadcasters per run (multi-source: stream k starts 2s after stream k-1 "+
+				"from its own source node; cell summaries pool all streams)")
+		stagger = flag.Duration("stagger", 2*time.Second, "start offset between consecutive streams (with -streams > 1)")
 	)
 	flag.Parse()
+	if *streams < 1 {
+		fmt.Fprintln(os.Stderr, "heapsweep: -streams must be >= 1")
+		return 1
+	}
 
 	var netemNames []string
 	if *netemFlag == "all" {
@@ -131,6 +147,7 @@ func run() int {
 			Windows:     *windows,
 			StreamStart: 5 * time.Second,
 			Drain:       120 * time.Second,
+			Streams:     multiSourceSpecs(*streams, 5*time.Second, *stagger),
 		},
 		Replicas:   *replicas,
 		BaseSeed:   *seed,
@@ -262,6 +279,20 @@ func sumRunTime(res *scenario.SweepResult) time.Duration {
 		sum += res.Cells[i].Summary.Elapsed
 	}
 	return sum
+}
+
+// multiSourceSpecs builds the -streams axis: k staggered broadcasters, each
+// from its own source node (stream k from node k, starting k*stagger after
+// the first). Returns nil for k <= 1: the legacy single-stream run.
+func multiSourceSpecs(k int, start, stagger time.Duration) []scenario.StreamSpec {
+	if k <= 1 {
+		return nil
+	}
+	specs := make([]scenario.StreamSpec, k)
+	for i := range specs {
+		specs[i].Start = start + time.Duration(i)*stagger
+	}
+	return specs
 }
 
 func splitList(s string) []string {

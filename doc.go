@@ -89,6 +89,26 @@
 // or the whole grid via LargeScaleSweep / `heapsweep -largescale`. See the
 // "Large-N grid" section of EXPERIMENTS.md.
 //
+// # Multi-source streams
+//
+// Several broadcasters can stream simultaneously through one deployment.
+// Each engine keeps per-stream dissemination state (pending/buffer tables,
+// retransmission) over a single shared membership view and capability
+// aggregation layer, and a fanout-budget allocator divides every node's
+// upload capability across the active streams, weighted by stream rate, so
+// aggregate sends never exceed the node's UploadKbps — several simultaneous
+// broadcasters competing for one uplink is where HEAP's bandwidth
+// accounting gets genuinely hard. In simulation, set Scenario.Streams to a
+// list of StreamSpec (K sources, staggered starts); results then carry one
+// measurement record per stream (ScenarioResult.StreamRuns) and per-stream
+// lag summaries (StreamSummaries). Over real sockets, configure
+// NodeConfig.Source with a Stream id, or open additional streams on a
+// running node with Node.OpenStream; receivers track new streams on first
+// contact with no configuration. Stream 0 encodes exactly as the legacy
+// single-stream wire format, so multi-stream nodes interoperate with old
+// ones on the default stream. See the "Multi-source streams" section of
+// EXPERIMENTS.md and examples/multisource.
+//
 // # Adverse networks
 //
 // internal/netem turns the near-ideal default network hostile: a Netem

@@ -57,7 +57,7 @@ func main() {
 			Adaptive:     true,
 			Fanout:       5,
 			GossipPeriod: 50 * time.Millisecond,
-			OnDeliver: func(_ heapgossip.PacketID, _ []byte, lag time.Duration) {
+			OnDeliver: func(_ heapgossip.StreamID, _ heapgossip.PacketID, _ []byte, lag time.Duration) {
 				mu.Lock()
 				received[i]++
 				lagSum += lag

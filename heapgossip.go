@@ -16,8 +16,13 @@ import (
 type (
 	// NodeID identifies a node.
 	NodeID = wire.NodeID
-	// PacketID identifies one stream packet in publish order.
+	// PacketID identifies one stream packet in publish order (dense per
+	// stream).
 	PacketID = wire.PacketID
+	// StreamID identifies one dissemination stream. Stream 0 is the
+	// default single stream; multi-source deployments run several
+	// concurrent streams over one membership and aggregation layer.
+	StreamID = wire.StreamID
 )
 
 // Protocol selects the dissemination protocol.
@@ -72,6 +77,18 @@ type CellSummary = scenario.CellSummary
 func RunSweep(sw Sweep) (*SweepResult, error) {
 	return scenario.RunSweep(sw)
 }
+
+// StreamSpec describes one stream of a multi-source scenario: its id,
+// broadcasting node, (staggered) start, length, and geometry. Set
+// Scenario.Streams to run K concurrent broadcasters competing for every
+// node's upload budget; the fanout-budget allocator divides each node's
+// capability across the streams, weighted by stream rate, so aggregate
+// sends never exceed the node's capacity.
+type StreamSpec = scenario.StreamSpec
+
+// StreamSummary is one stream's headline statistics in a multi-source run
+// (per-stream lag CDF percentiles); see ScenarioResult.StreamSummaries.
+type StreamSummary = scenario.StreamSummary
 
 // Distribution assigns upload capabilities to nodes.
 type Distribution = scenario.Distribution

@@ -68,7 +68,7 @@ func TestUDPNodesStreamThroughPublicAPI(t *testing.T) {
 			Adaptive:     true,
 			Fanout:       4,
 			GossipPeriod: 30 * time.Millisecond,
-			OnDeliver: func(PacketID, []byte, time.Duration) {
+			OnDeliver: func(StreamID, PacketID, []byte, time.Duration) {
 				mu.Lock()
 				received[id]++
 				mu.Unlock()
@@ -132,6 +132,129 @@ func TestUDPNodesStreamThroughPublicAPI(t *testing.T) {
 	}
 	if est := started[1].EstimateKbps(); est <= 0 {
 		t.Fatalf("HEAP node has no capability estimate: %v", est)
+	}
+}
+
+// TestUDPMultiSourceStreams drives the multi-source public API over real
+// sockets: node 0 broadcasts stream 0 via NodeConfig.Source, node 1 opens
+// stream 1 mid-run with Node.OpenStream, and every other node must deliver
+// both streams (tracking stream 1 lazily, with no configuration).
+func TestUDPMultiSourceStreams(t *testing.T) {
+	const nodes = 5
+	geom := Geometry{RateBps: 400_000, PacketBytes: 200, DataPerWindow: 6, ParityPerWindow: 2}
+	const windows = 2
+
+	started := make([]*Node, 0, nodes)
+	defer func() {
+		for _, n := range started {
+			n.Close()
+		}
+	}()
+
+	var mu sync.Mutex
+	perStream := make(map[StreamID]map[NodeID]int)
+
+	for i := 0; i < nodes; i++ {
+		id := NodeID(i)
+		cfg := NodeConfig{
+			ID:           id,
+			UploadKbps:   5000,
+			Adaptive:     true,
+			Fanout:       3,
+			GossipPeriod: 30 * time.Millisecond,
+			OnDeliver: func(stream StreamID, _ PacketID, _ []byte, _ time.Duration) {
+				mu.Lock()
+				if perStream[stream] == nil {
+					perStream[stream] = make(map[NodeID]int)
+				}
+				perStream[stream][id]++
+				mu.Unlock()
+			},
+		}
+		if i == 0 {
+			cfg.Source = &SourceConfig{
+				Geometry:   geom,
+				Windows:    windows,
+				StartDelay: 400 * time.Millisecond,
+			}
+		}
+		n, err := StartNode(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		started = append(started, n)
+	}
+	for i, n := range started {
+		for j, m := range started {
+			if i != j {
+				n.AddPeer(NodeID(j), m.Addr())
+			}
+		}
+	}
+
+	// Node 1 becomes the second broadcaster while the deployment runs.
+	h, err := started[1].OpenStream(1, SourceConfig{
+		Geometry:   geom,
+		Windows:    windows,
+		StartDelay: 400 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.ID() != 1 {
+		t.Fatalf("handle id = %d", h.ID())
+	}
+	// A colliding stream id must be rejected.
+	if _, err := started[0].OpenStream(0, SourceConfig{Geometry: geom, Windows: 1}); err == nil {
+		t.Fatal("OpenStream accepted the id of the NodeConfig.Source stream")
+	}
+
+	total := geom.TotalPackets(windows)
+	want := func(stream StreamID, srcID NodeID) int {
+		// Every non-broadcaster node should get ~all packets of the stream.
+		return int(float64((nodes-1)*total) * 0.9)
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		s0, s1 := 0, 0
+		for nid, c := range perStream[0] {
+			if nid != 0 {
+				s0 += c
+			}
+		}
+		for nid, c := range perStream[1] {
+			if nid != 1 {
+				s1 += c
+			}
+		}
+		mu.Unlock()
+		if s0 >= want(0, 0) && s1 >= want(1, 1) {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for _, tc := range []struct {
+		stream StreamID
+		src    NodeID
+	}{{0, 0}, {1, 1}} {
+		sum := 0
+		for nid, c := range perStream[tc.stream] {
+			if nid != tc.src {
+				sum += c
+			}
+		}
+		if sum < want(tc.stream, tc.src) {
+			t.Fatalf("stream %d delivered %d of %d across receivers", tc.stream, sum, (nodes-1)*total)
+		}
+	}
+	if !h.Done() {
+		t.Fatal("stream handle not done after full delivery")
+	}
+	if h.Published() != total {
+		t.Fatalf("handle published %d of %d", h.Published(), total)
 	}
 }
 

@@ -29,6 +29,17 @@
 // not arrive within a timeout, falling back to alternate proposers. Per the
 // paper's evaluation methodology (§3.1), retransmission is part of both
 // protocols, so it lives here in the shared engine.
+//
+// # Multi-source streams
+//
+// One engine disseminates any number of concurrent streams over a single
+// membership view and capability aggregation layer. Per-stream state
+// (delivered flags, pending/buffer tables, the retransmit queue) lives in a
+// streamState per stream id (streams.go); the estimator, sampler, tickers
+// and period adaptation are engine-global. When several streams compete for
+// the node's uplink, the fanout-budget allocator (budgetScale) divides the
+// node's upload capability across them, weighted by stream rate, so
+// aggregate sends never exceed Config.UploadKbps.
 package core
 
 import (
@@ -48,7 +59,8 @@ type CapabilityEstimator interface {
 }
 
 // DeliverFunc is the application upcall for newly delivered events. Events
-// are delivered exactly once, in arrival (not publish) order.
+// are delivered exactly once per stream, in arrival (not publish) order; the
+// event's Stream field identifies which stream it belongs to.
 type DeliverFunc func(ev wire.Event, at time.Duration)
 
 // Config parameterizes a gossip engine.
@@ -104,12 +116,28 @@ type Config struct {
 	// ServeBuffer is how long delivered events stay available for serving
 	// late requests. Default 120 s.
 	ServeBuffer time.Duration
-	// ExpectedPackets presizes the engine's per-packet tables (delivered
-	// flags, outstanding requests, serve buffer) — callers that know the
-	// stream geometry pass TotalPackets so the hot path never reallocates.
-	// 0 means grow on demand. Ids are dense, so this is a slice length, not
-	// a hash-table hint.
+	// ExpectedPackets presizes the per-packet tables (delivered flags,
+	// outstanding requests, serve buffer) of the default stream 0 — callers
+	// that know the stream geometry pass TotalPackets so the hot path never
+	// reallocates. 0 means grow on demand. Ids are dense per stream, so
+	// this is a slice length, not a hash-table hint. Additional streams are
+	// presized through OpenStream.
 	ExpectedPackets int
+	// StreamRateKbps is stream 0's effective data rate for the fanout-budget
+	// allocator, used when stream 0 is opened lazily rather than through
+	// OpenStream. 0 means unknown (excluded from budget weighting).
+	StreamRateKbps float64
+	// UploadKbps is the node's upload capability in kilobits per second,
+	// the budget the fanout allocator divides across concurrent streams
+	// (see budgetScale in streams.go). 0 disables budgeting. With a single
+	// stream the budget is inert: the allocator only arbitrates competition
+	// between streams, never the paper's single-stream protocol.
+	UploadKbps uint32
+	// BudgetHeadroom is the fraction of UploadKbps handed to serve traffic
+	// by the fanout-budget allocator; the remainder absorbs control traffic
+	// (proposes, requests, aggregation) and retransmission duplicates.
+	// Default 0.8.
+	BudgetHeadroom float64
 	// Sampler provides uniform random peers (Algorithm 1, selectNodes).
 	Sampler membership.Sampler
 	// OnDeliver, if non-nil, receives every newly delivered event.
@@ -147,10 +175,19 @@ func (c *Config) applyDefaults() error {
 	if c.ServeBuffer == 0 {
 		c.ServeBuffer = 120 * time.Second
 	}
+	if c.BudgetHeadroom < 0 || c.BudgetHeadroom > 1 {
+		return fmt.Errorf("core: budget headroom %v outside [0, 1]", c.BudgetHeadroom)
+	}
+	if c.BudgetHeadroom == 0 {
+		c.BudgetHeadroom = 0.8
+	}
+	if c.StreamRateKbps < 0 {
+		return fmt.Errorf("core: stream rate %v must not be negative", c.StreamRateKbps)
+	}
 	return nil
 }
 
-// Stats counts protocol activity at one node.
+// Stats counts protocol activity at one node, aggregated over all streams.
 type Stats struct {
 	ProposesSent     int64
 	ProposesReceived int64
@@ -184,32 +221,26 @@ type bufferedEvent struct {
 
 // retEntry is one armed retransmission batch: the ids requested together and
 // when their timeout expires. RetPeriod is constant, so entries are enqueued
-// in deadline order and the queue drains FIFO off a single timer.
+// in deadline order and the queue drains FIFO off a single timer per stream.
 type retEntry struct {
 	due time.Duration
 	ids []wire.PacketID
 }
 
-// Engine is one node's dissemination protocol instance. It implements
-// env.Handler for Propose/Request/Serve messages. Not safe for concurrent
-// use; all access happens on the node's execution context.
+// Engine is one node's dissemination protocol instance: engine-global
+// machinery (sampler, capability estimator, tickers, fanout budget) over one
+// streamState per active stream. It implements env.Handler for
+// Propose/Request/Serve messages. Not safe for concurrent use; all access
+// happens on the node's execution context.
 type Engine struct {
 	cfg Config
 	rt  env.Runtime
 
-	delivered bitset          // ids delivered (exactly-once upcall)
-	pending   pendingTable    // outstanding request state (dense by id)
-	buffer    bufferTable     // deliverable payloads (dense by id)
-	toPropose []wire.PacketID // infect-and-die batch
-
-	// Retransmission runs off one fire-and-forget timer and a FIFO deadline
-	// queue instead of a closure-per-batch timer: armRetransmit appends,
-	// retFire drains everything due and re-arms for the next head.
-	retQueue  []retEntry
-	retHead   int
-	retArmed  bool   // a wakeup is pending
-	retFireFn func() // cached retFire closure, allocated once
-	retFiring bool   // suppresses re-arming from inside retFire
+	// streams holds the per-stream dissemination state, in open order (the
+	// deterministic gossip-round iteration order). totalRateKbps caches the
+	// sum of the streams' rates for the budget allocator.
+	streams       []*streamState
+	totalRateKbps float64
 
 	// retTargets/retGroups are retransmit's grouping scratch (the group id
 	// slices themselves escape into Request messages and stay fresh).
@@ -232,17 +263,14 @@ type Engine struct {
 var _ env.Handler = (*Engine)(nil)
 
 // New builds an Engine. It returns an error for invalid configurations.
+// Streams are opened through OpenStream or lazily on first contact; the
+// default stream 0 inherits ExpectedPackets/StreamRateKbps when opened
+// lazily.
 func New(cfg Config) (*Engine, error) {
 	if err := cfg.applyDefaults(); err != nil {
 		return nil, err
 	}
-	e := &Engine{cfg: cfg}
-	if n := cfg.ExpectedPackets; n > 0 {
-		e.delivered.presize(n)
-		e.pending.presize(n)
-		e.buffer.presize(n)
-	}
-	return e, nil
+	return &Engine{cfg: cfg}, nil
 }
 
 // MustNew is New for static configurations known to be valid.
@@ -260,7 +288,6 @@ func (e *Engine) Stats() Stats { return e.stats }
 // Start implements env.Handler.
 func (e *Engine) Start(rt env.Runtime) {
 	e.rt = rt
-	e.retFireFn = e.retFire
 	e.appendSampler, _ = e.cfg.Sampler.(membership.PeerAppender)
 	phase := time.Duration(rt.Rand().Int63n(int64(e.cfg.GossipPeriod)))
 	if e.cfg.AdaptPeriod {
@@ -285,6 +312,7 @@ func (e *Engine) Stop() {
 
 // adaptiveRound runs one gossip round and reschedules itself with a period
 // scaled inversely to the node's relative capability (period adaptation).
+// The period is engine-global: all streams share one round schedule.
 func (e *Engine) adaptiveRound() {
 	if e.stopped {
 		return
@@ -306,13 +334,15 @@ func (e *Engine) adaptiveRound() {
 
 // Publish injects a locally produced event (the broadcaster path of
 // Algorithm 1: deliver locally, then gossip the id immediately, without
-// waiting for the next period).
+// waiting for the next period). The event's Stream field selects the
+// stream; sources of additional streams open them first via OpenStream.
 func (e *Engine) Publish(ev wire.Event) {
-	if e.delivered.contains(uint64(ev.ID)) {
+	st := e.streamFor(ev.Stream, true)
+	if st == nil || st.delivered.contains(uint64(ev.ID)) {
 		return
 	}
-	e.deliverLocal(ev, false)
-	e.gossip([]wire.PacketID{ev.ID})
+	e.deliverLocal(st, ev, false)
+	e.gossip(st, []wire.PacketID{ev.ID})
 }
 
 // Receive implements env.Handler.
@@ -327,18 +357,22 @@ func (e *Engine) Receive(from wire.NodeID, m wire.Message) {
 	}
 }
 
-// gossipRound flushes the infect-and-die batch (Algorithm 1, lines 6-7).
+// gossipRound flushes every stream's infect-and-die batch (Algorithm 1,
+// lines 6-7). Streams flush in open order — deterministic, and each with its
+// own budget-scaled fanout draw.
 func (e *Engine) gossipRound() {
-	if len(e.toPropose) == 0 {
-		return
+	for _, st := range e.streams {
+		if len(st.toPropose) == 0 {
+			continue
+		}
+		ids := st.toPropose
+		st.toPropose = nil
+		e.gossip(st, ids)
 	}
-	ids := e.toPropose
-	e.toPropose = nil
-	e.gossip(ids)
 }
 
-// gossip sends a [Propose] for ids to getFanout() random peers.
-func (e *Engine) gossip(ids []wire.PacketID) {
+// gossip sends a [Propose] for ids to fanout() random peers.
+func (e *Engine) gossip(st *streamState, ids []wire.PacketID) {
 	f := e.fanout()
 	if f <= 0 {
 		return
@@ -353,7 +387,7 @@ func (e *Engine) gossip(ids []wire.PacketID) {
 	if len(peers) == 0 {
 		return
 	}
-	msg := &wire.Propose{IDs: ids}
+	msg := &wire.Propose{Stream: st.id, IDs: ids}
 	for _, p := range peers {
 		e.rt.Send(p, msg)
 		e.stats.ProposesSent++
@@ -361,8 +395,9 @@ func (e *Engine) gossip(ids []wire.PacketID) {
 }
 
 // fanout implements getFanout() of Algorithms 1 and 2: the configured fbar,
-// scaled by relative capability in adaptive mode, stochastically rounded so
-// the expected value is preserved, clamped to [0 or 1, MaxFanout].
+// scaled by relative capability in adaptive mode and by the multi-stream
+// budget allocator, stochastically rounded so the expected value is
+// preserved, clamped to [0 or 1, MaxFanout].
 func (e *Engine) fanout() int {
 	f := e.cfg.Fanout
 	if e.cfg.FanoutFn != nil {
@@ -373,6 +408,7 @@ func (e *Engine) fanout() int {
 	if e.cfg.Adaptive && !e.cfg.AdaptPeriod {
 		f *= e.cfg.Capabilities.RelativeCapability()
 	}
+	f *= e.budgetScale()
 	if f > float64(e.cfg.MaxFanout) {
 		f = float64(e.cfg.MaxFanout)
 	}
@@ -395,15 +431,19 @@ func (e *Engine) fanout() int {
 // bookkeeping: ids already outstanding gain an alternate proposer.
 func (e *Engine) onPropose(from wire.NodeID, msg *wire.Propose) {
 	e.stats.ProposesReceived++
+	st := e.streamFor(msg.Stream, true)
+	if st == nil {
+		return // stream bound reached, see maxTrackedStreams
+	}
 	var wanted []wire.PacketID
 	for _, id := range msg.IDs {
 		if id >= maxTrackedPacketID {
 			continue // wire-robustness bound, see maxTrackedPacketID
 		}
-		if e.delivered.contains(uint64(id)) {
+		if st.delivered.contains(uint64(id)) {
 			continue
 		}
-		if p := e.pending.get(id); p != nil {
+		if p := st.pending.get(id); p != nil {
 			// Already outstanding: remember the alternate proposer.
 			if int(p.numProposers) < maxProposersTracked {
 				seen := false
@@ -421,7 +461,7 @@ func (e *Engine) onPropose(from wire.NodeID, msg *wire.Propose) {
 			continue
 		}
 		wanted = append(wanted, id)
-		slot := e.pending.insert(id)
+		slot := st.pending.insert(id)
 		slot.proposers[0] = from
 		slot.numProposers = 1
 		slot.attempts = 1
@@ -429,83 +469,83 @@ func (e *Engine) onPropose(from wire.NodeID, msg *wire.Propose) {
 	if len(wanted) == 0 {
 		return
 	}
-	e.sendRequest(from, wanted)
-	e.armRetransmit(wanted)
+	e.sendRequest(st, from, wanted)
+	e.armRetransmit(st, wanted)
 }
 
-func (e *Engine) sendRequest(to wire.NodeID, ids []wire.PacketID) {
-	e.rt.Send(to, &wire.Request{IDs: ids})
+func (e *Engine) sendRequest(st *streamState, to wire.NodeID, ids []wire.PacketID) {
+	e.rt.Send(to, &wire.Request{Stream: st.id, IDs: ids})
 	e.stats.RequestsSent++
 }
 
 // armRetransmit schedules a timeout for a batch of just-requested ids. On
 // expiry, ids still undelivered are re-requested from alternate proposers
 // (Algorithm 2 re-injects the proposal on RetTimer expiry). Batches share
-// one timer: RetPeriod is constant, so the deadline queue is FIFO and the
-// timer only ever needs to cover its head.
-func (e *Engine) armRetransmit(ids []wire.PacketID) {
+// one timer per stream: RetPeriod is constant, so the deadline queue is FIFO
+// and the timer only ever needs to cover its head.
+func (e *Engine) armRetransmit(st *streamState, ids []wire.PacketID) {
 	if e.cfg.RetMaxAttempts <= 1 || len(ids) == 0 {
 		return
 	}
 	// The batch slice is owned by the wire.Request we just sent; receivers
 	// must not mutate it, and neither may we — iterate read-only.
-	e.retQueue = append(e.retQueue, retEntry{due: e.rt.Now() + e.cfg.RetPeriod, ids: ids})
-	if !e.retArmed && !e.retFiring {
-		e.retArmed = true
-		e.rt.AfterFunc(e.cfg.RetPeriod, e.retFireFn)
+	st.retQueue = append(st.retQueue, retEntry{due: e.rt.Now() + e.cfg.RetPeriod, ids: ids})
+	if !st.retArmed && !st.retFiring {
+		st.retArmed = true
+		e.rt.AfterFunc(e.cfg.RetPeriod, st.retFireFn)
 	}
 }
 
-// retFire drains every due retransmission batch, then re-arms the shared
-// timer for the next deadline (if any).
-func (e *Engine) retFire() {
-	e.retArmed = false
+// retFire drains every due retransmission batch of one stream, then re-arms
+// the stream's timer for the next deadline (if any).
+func (e *Engine) retFire(st *streamState) {
+	st.retArmed = false
 	if e.stopped {
 		return
 	}
-	e.retFiring = true
+	st.retFiring = true
 	now := e.rt.Now()
-	for e.retHead < len(e.retQueue) && e.retQueue[e.retHead].due <= now {
-		ids := e.retQueue[e.retHead].ids
-		e.retQueue[e.retHead] = retEntry{} // release the batch reference
-		e.retHead++
-		e.retransmit(ids)
+	for st.retHead < len(st.retQueue) && st.retQueue[st.retHead].due <= now {
+		ids := st.retQueue[st.retHead].ids
+		st.retQueue[st.retHead] = retEntry{} // release the batch reference
+		st.retHead++
+		e.retransmit(st, ids)
 	}
-	e.retFiring = false
-	if e.retHead == len(e.retQueue) {
-		e.retQueue = e.retQueue[:0]
-		e.retHead = 0
+	st.retFiring = false
+	if st.retHead == len(st.retQueue) {
+		st.retQueue = st.retQueue[:0]
+		st.retHead = 0
 	} else {
 		// Under a steady request stream the queue never fully drains, so
 		// compact the consumed prefix once it dominates — otherwise the
 		// backing array grows for the lifetime of the node.
-		if e.retHead > 64 && e.retHead*2 >= len(e.retQueue) {
-			n := copy(e.retQueue, e.retQueue[e.retHead:])
-			for i := n; i < len(e.retQueue); i++ {
-				e.retQueue[i] = retEntry{}
+		if st.retHead > 64 && st.retHead*2 >= len(st.retQueue) {
+			n := copy(st.retQueue, st.retQueue[st.retHead:])
+			for i := n; i < len(st.retQueue); i++ {
+				st.retQueue[i] = retEntry{}
 			}
-			e.retQueue = e.retQueue[:n]
-			e.retHead = 0
+			st.retQueue = st.retQueue[:n]
+			st.retHead = 0
 		}
-		e.retArmed = true
-		e.rt.AfterFunc(e.retQueue[e.retHead].due-now, e.retFireFn)
+		st.retArmed = true
+		e.rt.AfterFunc(st.retQueue[st.retHead].due-now, st.retFireFn)
 	}
 }
 
-func (e *Engine) retransmit(ids []wire.PacketID) {
+func (e *Engine) retransmit(st *streamState, ids []wire.PacketID) {
 	// Group still-missing ids by the proposer to ask next. Grouping is
 	// insertion-ordered (a linear scan over the few distinct targets, not a
 	// map) so runs stay deterministic and the scratch slices are reusable.
 	targets, groups := e.retTargets[:0], e.retGroups[:0]
 	for _, id := range ids {
-		p := e.pending.get(id)
+		p := st.pending.get(id)
 		if p == nil {
 			continue // delivered (or already abandoned) meanwhile
 		}
 		if int(p.attempts) >= e.cfg.RetMaxAttempts {
 			// Abandon: clear the outstanding flag so a future propose can
 			// trigger a fresh request (FEC may also mask the loss).
-			e.pending.remove(id)
+			st.pending.remove(id)
 			e.stats.GiveUps++
 			continue
 		}
@@ -530,9 +570,9 @@ func (e *Engine) retransmit(ids []wire.PacketID) {
 	}
 	for i, target := range targets {
 		batch := groups[i]
-		e.sendRequest(target, batch)
+		e.sendRequest(st, target, batch)
 		e.stats.Retransmissions++
-		e.armRetransmit(batch)
+		e.armRetransmit(st, batch)
 		groups[i] = nil // the batch escaped into a Request; drop our ref
 	}
 	e.retTargets, e.retGroups = targets[:0], groups[:0]
@@ -541,9 +581,15 @@ func (e *Engine) retransmit(ids []wire.PacketID) {
 // onRequest handles phase 3, server side (Algorithm 1, lines 14-17).
 func (e *Engine) onRequest(from wire.NodeID, msg *wire.Request) {
 	e.stats.RequestsReceived++
+	st := e.lookupStream(msg.Stream)
+	if st == nil {
+		// Requests never open streams: nothing of this stream is buffered.
+		e.stats.UnservableIDs += int64(len(msg.IDs))
+		return
+	}
 	events := make([]wire.Event, 0, len(msg.IDs))
 	for _, id := range msg.IDs {
-		if be := e.buffer.get(id); be != nil {
+		if be := st.buffer.get(id); be != nil {
 			events = append(events, be.ev)
 		} else {
 			e.stats.UnservableIDs++
@@ -552,36 +598,41 @@ func (e *Engine) onRequest(from wire.NodeID, msg *wire.Request) {
 	if len(events) == 0 {
 		return
 	}
-	e.rt.Send(from, &wire.Serve{Events: events})
+	e.rt.Send(from, &wire.Serve{Stream: st.id, Events: events})
 	e.stats.ServesSent++
 	e.stats.EventsServed += int64(len(events))
 }
 
 // onServe handles phase 3, client side (Algorithm 1, lines 18-22).
 func (e *Engine) onServe(msg *wire.Serve) {
+	st := e.streamFor(msg.Stream, true)
+	if st == nil {
+		return // stream bound reached, see maxTrackedStreams
+	}
 	for _, ev := range msg.Events {
 		if ev.ID >= maxTrackedPacketID {
 			continue // wire-robustness bound, see maxTrackedPacketID
 		}
-		if e.delivered.contains(uint64(ev.ID)) {
+		if st.delivered.contains(uint64(ev.ID)) {
 			e.stats.DuplicateEvents++
 			continue
 		}
-		e.deliverLocal(ev, true)
+		e.deliverLocal(st, ev, true)
 	}
 }
 
 // deliverLocal marks ev delivered, buffers it for serving, and fires the
 // application upcall. With propose set, the id joins the next infect-and-die
 // batch (Publish gossips immediately instead).
-func (e *Engine) deliverLocal(ev wire.Event, propose bool) {
+func (e *Engine) deliverLocal(st *streamState, ev wire.Event, propose bool) {
+	ev.Stream = st.id // normalize: the stream state is authoritative
 	id := uint64(ev.ID)
-	e.delivered.add(id)
-	e.pending.remove(ev.ID)
+	st.delivered.add(id)
+	st.pending.remove(ev.ID)
 	now := e.rt.Now()
-	*e.buffer.insert(ev.ID) = bufferedEvent{ev: ev, recvAt: now}
+	*st.buffer.insert(ev.ID) = bufferedEvent{ev: ev, recvAt: now}
 	if propose {
-		e.toPropose = append(e.toPropose, ev.ID)
+		st.toPropose = append(st.toPropose, ev.ID)
 	}
 	e.stats.EventsDelivered++
 	if e.cfg.OnDeliver != nil {
@@ -593,16 +644,40 @@ func (e *Engine) deliverLocal(ev wire.Event, propose bool) {
 // late requests for pruned ids count as UnservableIDs).
 func (e *Engine) pruneBuffer() {
 	cutoff := e.rt.Now() - e.cfg.ServeBuffer
-	e.buffer.prune(func(be *bufferedEvent) bool { return be.recvAt < cutoff })
+	for _, st := range e.streams {
+		st.buffer.prune(func(be *bufferedEvent) bool { return be.recvAt < cutoff })
+	}
 }
 
-// Delivered reports whether the engine has delivered the given id.
+// Delivered reports whether the engine has delivered the given id on the
+// default stream 0.
 func (e *Engine) Delivered(id wire.PacketID) bool {
-	return e.delivered.contains(uint64(id))
+	return e.StreamDelivered(0, id)
 }
 
-// PendingRequests returns the number of outstanding requested ids.
-func (e *Engine) PendingRequests() int { return e.pending.len() }
+// StreamDelivered reports whether the engine has delivered the given id on
+// the given stream.
+func (e *Engine) StreamDelivered(stream wire.StreamID, id wire.PacketID) bool {
+	st := e.lookupStream(stream)
+	return st != nil && st.delivered.contains(uint64(id))
+}
 
-// BufferedEvents returns the number of payloads currently buffered.
-func (e *Engine) BufferedEvents() int { return e.buffer.len() }
+// PendingRequests returns the number of outstanding requested ids across all
+// streams.
+func (e *Engine) PendingRequests() int {
+	n := 0
+	for _, st := range e.streams {
+		n += st.pending.len()
+	}
+	return n
+}
+
+// BufferedEvents returns the number of payloads currently buffered across
+// all streams.
+func (e *Engine) BufferedEvents() int {
+	n := 0
+	for _, st := range e.streams {
+		n += st.buffer.len()
+	}
+	return n
+}

@@ -27,6 +27,11 @@ type Sender[T any] struct {
 	wg    sync.WaitGroup
 	stop  chan struct{}
 	once  sync.Once
+	// rateChanged wakes a drain loop sleeping on the old rate so SetRate
+	// takes effect immediately, not after the current item finishes pacing.
+	// Buffered with one slot: coalescing rapid rewrites is fine, the loop
+	// always reloads the latest rate.
+	rateChanged chan struct{}
 
 	sent    atomic.Int64
 	dropped atomic.Int64
@@ -44,10 +49,11 @@ func NewSender[T any](rateBps int64, queueCap int, sizeOf func(T) int, send func
 		return nil, fmt.Errorf("ratelimit: sizeOf and send are required")
 	}
 	s := &Sender[T]{
-		sizeOf: sizeOf,
-		send:   send,
-		queue:  make(chan T, queueCap),
-		stop:   make(chan struct{}),
+		sizeOf:      sizeOf,
+		send:        send,
+		queue:       make(chan T, queueCap),
+		stop:        make(chan struct{}),
+		rateChanged: make(chan struct{}, 1),
 	}
 	s.rateBps.Store(rateBps)
 	s.wg.Add(1)
@@ -55,10 +61,19 @@ func NewSender[T any](rateBps int64, queueCap int, sizeOf func(T) int, send func
 	return s, nil
 }
 
-// SetRate rewrites the pacing rate (bits per second; <= 0 means unlimited),
-// taking effect for items drained after the call — capability drift and
-// netem capability traces on the real-socket path.
-func (s *Sender[T]) SetRate(rateBps int64) { s.rateBps.Store(rateBps) }
+// SetRate rewrites the pacing rate (bits per second; <= 0 means unlimited)
+// — capability drift and netem capability traces on the real-socket path.
+// Safe to call concurrently with Enqueue, Close, and the drain loop; the
+// new rate applies immediately, re-pacing even an item the loop is currently
+// sleeping on (a trace that unthrottles the node must not stay stuck behind
+// a multi-second wait computed from the old rate).
+func (s *Sender[T]) SetRate(rateBps int64) {
+	s.rateBps.Store(rateBps)
+	select {
+	case s.rateChanged <- struct{}{}:
+	default: // a wakeup is already pending; the loop reloads the latest rate
+	}
+}
 
 // Enqueue submits an item for paced transmission. It reports false when the
 // queue is full (the item is dropped) or the sender is closed.
@@ -100,7 +115,10 @@ func (s *Sender[T]) QueueLen() int { return len(s.queue) }
 // drain is the pacing loop: a virtual transmission clock advances by each
 // item's serialization time; the loop sleeps whenever the clock runs ahead
 // of real time. This is equivalent to a token bucket with zero burst, which
-// is what "never exceed the upload capability" requires.
+// is what "never exceed the upload capability" requires. A SetRate during
+// the sleep re-paces the item: the waited time counts against the new
+// serialization time, so rate increases release the item early and
+// decreases extend the wait.
 func (s *Sender[T]) drain() {
 	defer s.wg.Done()
 	var txClock time.Time // when the uplink becomes free
@@ -109,27 +127,39 @@ func (s *Sender[T]) drain() {
 		case <-s.stop:
 			return
 		case item := <-s.queue:
-			if rate := s.rateBps.Load(); rate > 0 {
-				now := time.Now()
-				if txClock.Before(now) {
-					txClock = now
-				}
-				size := s.sizeOf(item)
-				ser := time.Duration(int64(size) * 8 * int64(time.Second) / rate)
-				txClock = txClock.Add(ser)
-				if wait := time.Until(txClock); wait > 0 {
-					timer := time.NewTimer(wait)
-					select {
-					case <-timer.C:
-					case <-s.stop:
-						timer.Stop()
-						return
-					}
-				}
-				s.bytes.Add(int64(size))
-			} else {
-				s.bytes.Add(int64(s.sizeOf(item)))
+			size := s.sizeOf(item)
+			now := time.Now()
+			if txClock.Before(now) {
+				txClock = now
 			}
+		pace:
+			for {
+				rate := s.rateBps.Load()
+				if rate <= 0 {
+					break // unlimited: send immediately
+				}
+				ser := time.Duration(int64(size) * 8 * int64(time.Second) / rate)
+				deadline := txClock.Add(ser)
+				wait := time.Until(deadline)
+				if wait <= 0 {
+					txClock = deadline
+					break
+				}
+				timer := time.NewTimer(wait)
+				select {
+				case <-timer.C:
+					txClock = deadline
+					break pace
+				case <-s.rateChanged:
+					timer.Stop()
+					// Recompute the deadline from the same clock base with
+					// the new rate; time already waited is not re-charged.
+				case <-s.stop:
+					timer.Stop()
+					return
+				}
+			}
+			s.bytes.Add(int64(size))
 			s.send(item)
 			s.sent.Add(1)
 		}

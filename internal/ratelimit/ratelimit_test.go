@@ -1,6 +1,7 @@
 package ratelimit
 
 import (
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -127,6 +128,90 @@ func TestCloseUnblocksPacedWait(t *testing.T) {
 	case <-done:
 	case <-time.After(2 * time.Second):
 		t.Fatal("Close blocked on paced wait")
+	}
+}
+
+func TestSetRateUnblocksPacedWait(t *testing.T) {
+	// An item stuck behind a multi-second wait at 8 bps must be released
+	// promptly when a capability-trace rewrite unthrottles the sender —
+	// SetRate may not wait for the old pacing deadline.
+	var got atomic.Int64
+	s, err := NewSender(8, 10, func(int) int { return 1 << 20 }, func(int) { got.Add(1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Enqueue(1)
+	time.Sleep(20 * time.Millisecond) // the drain loop is now paced on item 1
+	s.SetRate(0)                      // unthrottle
+	deadline := time.Now().Add(2 * time.Second)
+	for got.Load() < 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got.Load() != 1 {
+		t.Fatal("SetRate(0) did not release the item the loop was pacing")
+	}
+}
+
+// TestConcurrentSetRateRace is the -race regression test for concurrent
+// trace rewrites: SetRate storms from several goroutines race against
+// Enqueue, the drain loop, the statistics accessors, and finally Close.
+// It passes when the race detector stays silent and every accepted item is
+// eventually sent exactly once.
+func TestConcurrentSetRateRace(t *testing.T) {
+	var sent atomic.Int64
+	s, err := NewSender(64_000_000, 1024, func(int) int { return 100 }, func(int) { sent.Add(1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		writers  = 4
+		rewrites = 200
+		items    = 400
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rates := []int64{0, 8_000, 1_000_000, 64_000_000, -1}
+			for i := 0; i < rewrites; i++ {
+				s.SetRate(rates[(w+i)%len(rates)])
+			}
+		}()
+	}
+	accepted := int64(0)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < items; i++ {
+			if s.Enqueue(i) {
+				atomic.AddInt64(&accepted, 1)
+			}
+			if i%16 == 0 {
+				_ = s.Sent()
+				_ = s.Bytes()
+				_ = s.QueueLen()
+			}
+		}
+	}()
+	wg.Wait()
+
+	// Leave the sender unthrottled so the queue drains, then require every
+	// accepted item to be sent exactly once.
+	s.SetRate(0)
+	deadline := time.Now().Add(5 * time.Second)
+	for sent.Load() < atomic.LoadInt64(&accepted) && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got, want := sent.Load(), atomic.LoadInt64(&accepted); got != want {
+		t.Fatalf("sent %d of %d accepted items", got, want)
+	}
+	s.Close()
+	if s.Sent() != atomic.LoadInt64(&accepted) {
+		t.Fatalf("Sent() = %d after close, want %d", s.Sent(), accepted)
 	}
 }
 

@@ -34,12 +34,24 @@ func fingerprint(t *testing.T, res *Result) []byte {
 		}
 	}
 	// The derived CDFs, explicitly: the lag distribution every figure and
-	// sweep summary is built from.
+	// sweep summary is built from — one per stream (StreamRuns[0] is Run,
+	// already encoded above; its CDF anchors the legacy fingerprint bytes).
 	lags := res.Run.PerNode(func(n *metrics.NodeRecord) float64 {
 		return metrics.Seconds(res.Run.LagForDeliveryRatio(n, 0.99))
 	})
 	if err := enc.Encode(metrics.NewCDF(lags).Values); err != nil {
 		t.Fatalf("fingerprint: %v", err)
+	}
+	for _, run := range res.StreamRuns[1:] {
+		if err := enc.Encode(run); err != nil {
+			t.Fatalf("fingerprint: %v", err)
+		}
+		lags := run.PerNode(func(n *metrics.NodeRecord) float64 {
+			return metrics.Seconds(run.LagForDeliveryRatio(n, 0.99))
+		})
+		if err := enc.Encode(metrics.NewCDF(lags).Values); err != nil {
+			t.Fatalf("fingerprint: %v", err)
+		}
 	}
 	return buf.Bytes()
 }
@@ -218,6 +230,98 @@ func TestDeterminismNetemSweepWorkers(t *testing.T) {
 		ss.Elapsed, ps.Elapsed = 0, 0
 		if !reflect.DeepEqual(ss, ps) {
 			t.Fatalf("cell %s: summaries differ between 1 and 8 workers", s.Key)
+		}
+	}
+}
+
+// multiSourceBase is the determinism suite's multi-source configuration:
+// two staggered broadcasters competing for the shared upload budget, small
+// enough to run many times.
+func multiSourceBase(seed int64) Config {
+	cfg := deterministicBase(seed)
+	cfg.Streams = []StreamSpec{
+		{},
+		{Start: 7 * time.Second},
+	}
+	return cfg
+}
+
+// TestDeterminismMultiSourceRepeatedRun extends the byte-equality check to
+// multi-source runs: per-stream engine states, the fanout-budget allocator,
+// and the per-stream collection must all be schedule-independent. The
+// fingerprint covers every stream's records and lag CDF.
+func TestDeterminismMultiSourceRepeatedRun(t *testing.T) {
+	a, err := Run(multiSourceBase(43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(multiSourceBase(43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fingerprint(t, a), fingerprint(t, b)) {
+		t.Fatal("multi-source run is not deterministic for a fixed seed")
+	}
+	if len(a.StreamRuns) != 2 {
+		t.Fatalf("StreamRuns = %d, want 2", len(a.StreamRuns))
+	}
+	// The second stream's records must be load-bearing in the fingerprint:
+	// a run with a different second-stream stagger must not collide.
+	cfg := multiSourceBase(43)
+	cfg.Streams[1].Start = 9 * time.Second
+	c, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(fingerprint(t, a), fingerprint(t, c)) {
+		t.Fatal("fingerprint is insensitive to the second stream")
+	}
+}
+
+// TestDeterminismMultiSourceSweepWorkers fingerprints a multi-source sweep
+// byte-for-byte across 1 vs 8 workers: the multi-stream collection path
+// (per-stream runs pooled into cell summaries) must not let scheduling
+// order leak into the exported bytes.
+func TestDeterminismMultiSourceSweepWorkers(t *testing.T) {
+	grid := func(workers int) Sweep {
+		return Sweep{
+			Base:      multiSourceBase(0),
+			Protocols: []Protocol{StandardGossip, HEAP},
+			Replicas:  2,
+			BaseSeed:  37,
+			Workers:   workers,
+			DropRuns:  true,
+		}
+	}
+	serial, err := RunSweep(grid(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunSweep(grid(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sc, pc bytes.Buffer
+	if err := serial.WriteCSV(&sc); err != nil {
+		t.Fatal(err)
+	}
+	if err := parallel.WriteCSV(&pc); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sc.Bytes(), pc.Bytes()) {
+		t.Fatal("multi-source sweep CSV bytes differ between 1 and 8 workers")
+	}
+	for i := range serial.Cells {
+		s, p := serial.Cells[i], parallel.Cells[i]
+		ss, ps := s.Summary, p.Summary
+		ss.Elapsed, ps.Elapsed = 0, 0
+		if !reflect.DeepEqual(ss, ps) {
+			t.Fatalf("cell %s: summaries differ between 1 and 8 workers", s.Key)
+		}
+		// Multi-source cells pool both streams' node samples.
+		if want := (s.Key.Nodes - 1) * 2 * 2; ss.MeasuredNodes != want {
+			t.Fatalf("cell %s pooled %d node samples, want %d (nodes-1 x 2 streams x 2 replicas)",
+				s.Key, ss.MeasuredNodes, want)
 		}
 	}
 }

@@ -54,7 +54,8 @@ func (c *Config) totalNodes() int {
 // validateDynamics checks the LargeScale dynamics fields; called from
 // applyDefaults.
 func (c *Config) validateDynamics() error {
-	horizon := c.StreamStart + c.StreamDuration() + c.Drain
+	_, streamsEnd := c.streamsSpan()
+	horizon := streamsEnd + c.Drain
 	var prev time.Duration
 	for i, w := range c.JoinWaves {
 		if w.Count <= 0 {
@@ -113,12 +114,16 @@ func applyChurnBursts(net *simnet.Network, cfg *Config, views []*membership.View
 		return
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed ^ 0xb0057))
+	sources := make(map[wire.NodeID]bool)
+	for _, sp := range cfg.effectiveStreams() {
+		sources[sp.Source] = true
+	}
 	for _, burst := range cfg.ChurnBursts {
 		b := burst.withDefaults()
 		net.Schedule(b.At, func() {
 			candidates := make([]wire.NodeID, 0, net.NumNodes())
 			for i := 1; i < net.NumNodes(); i++ {
-				if id := wire.NodeID(i); net.Alive(id) {
+				if id := wire.NodeID(i); !sources[id] && net.Alive(id) {
 					candidates = append(candidates, id)
 				}
 			}

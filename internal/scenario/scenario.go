@@ -51,6 +51,15 @@ type Config struct {
 	Windows int
 	// Geometry is the stream geometry. Default stream.PaperGeometry().
 	Geometry stream.Geometry
+	// Streams configures multi-source operation: K concurrent broadcasters
+	// sharing one membership view, one capability aggregation layer, and
+	// each node's upload budget. Empty (the default) runs the paper's
+	// single stream (stream 0 from node 0). See StreamSpec for per-stream
+	// defaults; Windows/Geometry/StreamStart act as the specs' fallbacks.
+	// Source nodes get SourceCapKbps and do not adapt their fanout (they
+	// are the paper's well-provisioned broadcasters). Incompatible with
+	// StaticTree.
+	Streams []StreamSpec
 	// Seed drives all randomness.
 	Seed int64
 	// StreamStart delays the source, letting aggregation warm up.
@@ -285,6 +294,9 @@ func (c *Config) applyDefaults() error {
 			return err
 		}
 	}
+	if err := c.applyStreamDefaults(); err != nil {
+		return err
+	}
 	return c.validateDynamics()
 }
 
@@ -297,8 +309,13 @@ func (c *Config) StreamDuration() time.Duration {
 // Result carries everything measured during one run.
 type Result struct {
 	Config Config
-	// Run holds the delivery records that feed every paper metric.
+	// Run holds the delivery records that feed every paper metric; in
+	// multi-source runs it is the first stream's record (Run aliases
+	// StreamRuns[0]).
 	Run *metrics.Run
+	// StreamRuns holds one measurement record per stream, in
+	// Config.Streams order. Single-stream runs have exactly one entry.
+	StreamRuns []*metrics.Run
 	// CapsKbps is the true capability per node (source included).
 	CapsKbps []uint32
 	// AdvertisedKbps is what each node told the aggregation protocol; it
@@ -360,12 +377,37 @@ func Run(cfg Config) (*Result, error) {
 	// later. cfg.Nodes remains the size at time zero.
 	total := cfg.totalNodes()
 
-	// Capability assignment. Node 0 is the source.
+	// Stream layout: the configured multi-source specs, or the implicit
+	// single stream 0 broadcast by node 0. Source nodes are the paper's
+	// well-provisioned broadcasters: they get SourceCapKbps, never degrade,
+	// freeride, or adapt their fanout.
+	specs := cfg.effectiveStreams()
+	sourceNode := make([]bool, total)
+	numSources := 0
+	for _, sp := range specs {
+		if !sourceNode[sp.Source] {
+			sourceNode[sp.Source] = true
+			numSources++
+		}
+	}
+
+	// Capability assignment.
 	caps := make([]uint32, total)
-	caps[0] = cfg.SourceCapKbps
 	if cfg.Dist != nil {
-		assigned := cfg.Dist.Assign(total-1, setupRng)
-		copy(caps[1:], assigned)
+		assigned := cfg.Dist.Assign(total-numSources, setupRng)
+		j := 0
+		for i := range caps {
+			if sourceNode[i] {
+				continue
+			}
+			caps[i] = assigned[j]
+			j++
+		}
+	}
+	for i := range caps {
+		if sourceNode[i] {
+			caps[i] = cfg.SourceCapKbps
+		}
 	}
 	// Degraded nodes deliver less than they advertise.
 	effective := make([]int64, total)
@@ -374,6 +416,9 @@ func Run(cfg Config) (*Result, error) {
 	}
 	if cfg.DegradedFraction > 0 {
 		for i := 1; i < total; i++ {
+			if sourceNode[i] {
+				continue
+			}
 			if setupRng.Float64() < cfg.DegradedFraction {
 				effective[i] = int64(float64(effective[i]) * cfg.DegradedFactor)
 			}
@@ -385,6 +430,9 @@ func Run(cfg Config) (*Result, error) {
 	freerider := make([]bool, total)
 	if cfg.FreeriderFraction > 0 {
 		for i := 1; i < total; i++ {
+			if sourceNode[i] {
+				continue
+			}
 			if setupRng.Float64() < cfg.FreeriderFraction {
 				freerider[i] = true
 				advertised[i] = uint32(float64(caps[i]) * cfg.FreeriderFactor)
@@ -417,9 +465,18 @@ func Run(cfg Config) (*Result, error) {
 
 	views := make([]*membership.View, total)
 	engines := make([]*core.Engine, total)
-	receivers := make([]*stream.Receiver, total)
+	receivers := make([][]*stream.Receiver, total) // [node][spec index]
 	estimators := make([]*aggregation.Estimator, total)
 	averagers := make([]*aggregation.Averager, total)
+
+	// specIdx maps wire-level stream ids to spec indices for the per-node
+	// delivery dispatch; singleStream keeps the legacy direct upcall (and
+	// its zero indirection) when there is nothing to dispatch between.
+	specIdx := make(map[wire.StreamID]int, len(specs))
+	for k, sp := range specs {
+		specIdx[sp.ID] = k
+	}
+	singleStream := len(specs) == 1 && specs[0].ID == 0
 
 	// The static-tree baseline has a fixed topology instead of sampling.
 	var topo *tree.Topology
@@ -444,14 +501,26 @@ func Run(cfg Config) (*Result, error) {
 	buildNode := func(i, present int) error {
 		id := wire.NodeID(i)
 
-		rcv, err := stream.NewReceiver(cfg.Geometry, cfg.Windows, cfg.VerifyPayloads)
-		if err != nil {
-			return err
+		rcvs := make([]*stream.Receiver, len(specs))
+		for k, sp := range specs {
+			rcv, err := stream.NewReceiver(sp.Geometry, sp.Windows, cfg.VerifyPayloads)
+			if err != nil {
+				return err
+			}
+			rcvs[k] = rcv
 		}
-		receivers[i] = rcv
+		receivers[i] = rcvs
+		onDeliver := rcvs[0].OnDeliver
+		if !singleStream {
+			onDeliver = func(ev wire.Event, at time.Duration) {
+				if k, ok := specIdx[ev.Stream]; ok {
+					rcvs[k].OnDeliver(ev, at)
+				}
+			}
+		}
 
 		if cfg.Protocol == StaticTree {
-			eng := tree.NewEngine(topo, tree.DeliverFunc(rcv.OnDeliver))
+			eng := tree.NewEngine(topo, tree.DeliverFunc(onDeliver))
 			mux := env.NewMux()
 			mux.Register(eng, wire.KindServe)
 			if i == 0 {
@@ -519,14 +588,21 @@ func Run(cfg Config) (*Result, error) {
 			RetSameProposer: cfg.RetSameProposer,
 			ExpectedPackets: cfg.Geometry.TotalPackets(cfg.Windows),
 			Sampler:         sampler,
-			OnDeliver:       rcv.OnDeliver,
+			OnDeliver:       onDeliver,
 		}
-		isSource := i == 0
+		if !cfg.Unconstrained {
+			// The fanout-budget allocator's upload budget; inert with a
+			// single stream (see core.Config.UploadKbps). Degraded nodes
+			// budget what they actually deliver, not what they advertise.
+			engCfg.UploadKbps = uint32(effective[i] / 1000)
+		}
+		isSource := sourceNode[i]
 		if cfg.AutoFanout {
-			// Continuous size estimation: the source seeds the average at 1,
-			// everyone else at 0; the mean converges to 1/n.
+			// Continuous size estimation: the first stream's source seeds
+			// the average at 1, everyone else at 0; the mean converges
+			// to 1/n.
 			initial := 0.0
-			if isSource {
+			if id == specs[0].Source {
 				initial = 1.0
 			}
 			avg := aggregation.NewAverager(aggregation.AveragerConfig{
@@ -567,14 +643,29 @@ func Run(cfg Config) (*Result, error) {
 		if err != nil {
 			return err
 		}
+		// Every node opens every configured stream up front: tables are
+		// presized and the budget allocator sees the full competing rate
+		// from the first round.
+		for _, sp := range specs {
+			if err := eng.OpenStream(sp.ID, core.StreamConfig{
+				ExpectedPackets: sp.Geometry.TotalPackets(sp.Windows),
+				RateKbps:        float64(sp.Geometry.EffectiveRateBps()) / 1000,
+			}); err != nil {
+				return err
+			}
+		}
 		engines[i] = eng
 		mux.Register(eng, wire.KindPropose, wire.KindRequest, wire.KindServe)
 
-		if isSource {
+		for _, sp := range specs {
+			if sp.Source != id {
+				continue
+			}
 			src, err := stream.NewSource(stream.SourceConfig{
-				Geometry:  cfg.Geometry,
-				Windows:   cfg.Windows,
-				StartAt:   cfg.StreamStart,
+				Stream:    sp.ID,
+				Geometry:  sp.Geometry,
+				Windows:   sp.Windows,
+				StartAt:   sp.Start,
 				Publisher: eng,
 			})
 			if err != nil {
@@ -637,7 +728,11 @@ func Run(cfg Config) (*Result, error) {
 	var victims []wire.NodeID
 	if cfg.Churn != nil {
 		ch := *cfg.Churn
-		ch.Protect = append(append([]wire.NodeID{}, ch.Protect...), 0) // never kill the source
+		// Never kill a broadcaster.
+		ch.Protect = append([]wire.NodeID{}, ch.Protect...)
+		for _, sp := range specs {
+			ch.Protect = append(ch.Protect, sp.Source)
+		}
 		var err error
 		victims, err = ch.Apply(net, views, rand.New(rand.NewSource(cfg.Seed^0x0ddba11)))
 		if err != nil {
@@ -653,8 +748,9 @@ func Run(cfg Config) (*Result, error) {
 	// SentBytes counts at enqueue time, so bytes still sitting in a
 	// congested uplink queue would inflate utilization past 1; subtract the
 	// backlog (backlog duration × capacity) at each snapshot to obtain
-	// bytes actually transmitted.
-	streamEnd := cfg.StreamStart + cfg.StreamDuration()
+	// bytes actually transmitted. The sampling window spans all streams
+	// (earliest start to latest last packet).
+	streamsStart, streamEnd := cfg.streamsSpan()
 	startBytes := make([]int64, total)
 	endBytes := make([]int64, total)
 	snapshot := func(dst []int64) func() {
@@ -671,7 +767,7 @@ func Run(cfg Config) (*Result, error) {
 			}
 		}
 	}
-	net.Schedule(cfg.StreamStart, snapshot(startBytes))
+	net.Schedule(streamsStart, snapshot(startBytes))
 	net.Schedule(streamEnd, snapshot(endBytes))
 
 	// Sporadic freezes (§3.5 PlanetLab noise).
@@ -720,7 +816,7 @@ func Run(cfg Config) (*Result, error) {
 				net.Schedule(net.Now()+cfg.BacklogProbePeriod, probe)
 			}
 		}
-		net.Schedule(cfg.StreamStart, probe)
+		net.Schedule(streamsStart, probe)
 	}
 
 	net.Run(streamEnd + cfg.Drain)
@@ -755,7 +851,7 @@ type collectArgs struct {
 	freerider            []bool
 	victims              []wire.NodeID
 	engines              []*core.Engine
-	receivers            []*stream.Receiver
+	receivers            [][]*stream.Receiver // [node][spec index]
 	estimators           []*aggregation.Estimator
 	averagers            []*aggregation.Averager
 	startBytes, endBytes []int64
@@ -766,26 +862,15 @@ func collect(a collectArgs) (*Result, error) {
 	engines, receivers, estimators := a.engines, a.receivers, a.estimators
 	startBytes, endBytes := a.startBytes, a.endBytes
 	nodes := cfg.totalNodes()
-
-	total := cfg.Geometry.TotalPackets(cfg.Windows)
-	publishAt := make([]time.Duration, total)
-	for id := 0; id < total; id++ {
-		publishAt[id] = cfg.StreamStart + cfg.Geometry.PublishOffset(wire.PacketID(id))
-	}
+	specs := cfg.effectiveStreams()
 
 	victimSet := make(map[wire.NodeID]bool, len(victims))
 	for _, v := range victims {
 		victimSet[v] = true
 	}
 
-	run := &metrics.Run{
-		Geometry:  cfg.Geometry,
-		Windows:   cfg.Windows,
-		PublishAt: publishAt,
-	}
 	res := &Result{
 		Config:         cfg,
-		Run:            run,
 		CapsKbps:       caps,
 		AdvertisedKbps: a.advertised,
 		Freeriders:     a.freerider,
@@ -802,7 +887,8 @@ func collect(a collectArgs) (*Result, error) {
 		res.SizeEstimates = make([]float64, nodes)
 	}
 
-	streamSecs := (cfg.StreamDuration()).Seconds()
+	streamsStart, streamsEnd := cfg.streamsSpan()
+	streamSecs := (streamsEnd - streamsStart).Seconds()
 	for i := 0; i < nodes; i++ {
 		id := wire.NodeID(i)
 		res.NodeNetStats[i] = net.NodeStats(id)
@@ -819,24 +905,47 @@ func collect(a collectArgs) (*Result, error) {
 			sentBits := float64(endBytes[i]-startBytes[i]) * 8
 			res.Usage[i] = sentBits / (float64(caps[i]) * 1000 * streamSecs)
 		}
-		className := "all"
-		if cfg.Dist != nil {
-			className = cfg.Dist.ClassOf(caps[i])
+		for _, rcv := range receivers[i] {
+			res.VerifyFailures += rcv.VerifyFailures
+			res.DecodedWindows += rcv.DecodedWindows
 		}
-		run.Nodes = append(run.Nodes, metrics.NodeRecord{
-			Node:     id,
-			Class:    className,
-			CapKbps:  caps[i],
-			Recv:     receivers[i].Records(),
-			Excluded: i == 0, // the source trivially has the whole stream
-			Crashed:  victimSet[id] || res.NodeNetStats[i].Crashed,
-		})
-		res.VerifyFailures += receivers[i].VerifyFailures
-		res.DecodedWindows += receivers[i].DecodedWindows
 	}
-	if err := run.Validate(); err != nil {
-		return nil, err
+
+	// One measurement record per stream; each stream excludes its own
+	// broadcaster (which trivially has the whole stream) and includes every
+	// other node, other streams' sources included.
+	for k, sp := range specs {
+		totalPkts := sp.Geometry.TotalPackets(sp.Windows)
+		publishAt := make([]time.Duration, totalPkts)
+		for id := 0; id < totalPkts; id++ {
+			publishAt[id] = sp.Start + sp.Geometry.PublishOffset(wire.PacketID(id))
+		}
+		run := &metrics.Run{
+			Geometry:  sp.Geometry,
+			Windows:   sp.Windows,
+			PublishAt: publishAt,
+		}
+		for i := 0; i < nodes; i++ {
+			id := wire.NodeID(i)
+			className := "all"
+			if cfg.Dist != nil {
+				className = cfg.Dist.ClassOf(caps[i])
+			}
+			run.Nodes = append(run.Nodes, metrics.NodeRecord{
+				Node:     id,
+				Class:    className,
+				CapKbps:  caps[i],
+				Recv:     receivers[i][k].Records(),
+				Excluded: id == sp.Source,
+				Crashed:  victimSet[id] || res.NodeNetStats[i].Crashed,
+			})
+		}
+		if err := run.Validate(); err != nil {
+			return nil, err
+		}
+		res.StreamRuns = append(res.StreamRuns, run)
 	}
+	res.Run = res.StreamRuns[0]
 	return res, nil
 }
 

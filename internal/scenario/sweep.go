@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/churn"
 	"repro/internal/metrics"
+	"repro/internal/wire"
 )
 
 // Sweep describes a grid of scenarios: the cross product of the axis slices
@@ -474,22 +475,37 @@ func summarizeCell(s *CellSummary, runs []*Result, lag time.Duration) {
 	var usageN int
 	var msgs float64
 	for _, res := range runs {
-		run := res.Run
-		jf = append(jf, run.PerNode(func(n *metrics.NodeRecord) float64 {
-			return run.JitterFreeShare(n, lag)
-		})...)
-		lagCDFs = append(lagCDFs, metrics.NewCDF(run.PerNode(func(n *metrics.NodeRecord) float64 {
-			return metrics.Seconds(run.LagForDeliveryRatio(n, 0.99))
-		})))
-		minLags = append(minLags, run.PerNode(func(n *metrics.NodeRecord) float64 {
-			return metrics.Seconds(run.MinLagForJitterFree(n, 0))
-		})...)
+		// Multi-source cells pool node samples across their streams, so the
+		// summary reflects every stream's dissemination (single-stream runs
+		// have exactly one entry aliasing res.Run).
+		streamRuns := res.StreamRuns
+		if len(streamRuns) == 0 {
+			streamRuns = []*metrics.Run{res.Run}
+		}
+		for _, run := range streamRuns {
+			jf = append(jf, run.PerNode(func(n *metrics.NodeRecord) float64 {
+				return run.JitterFreeShare(n, lag)
+			})...)
+			lagCDFs = append(lagCDFs, metrics.NewCDF(run.PerNode(func(n *metrics.NodeRecord) float64 {
+				return metrics.Seconds(run.LagForDeliveryRatio(n, 0.99))
+			})))
+			minLags = append(minLags, run.PerNode(func(n *metrics.NodeRecord) float64 {
+				return metrics.Seconds(run.MinLagForJitterFree(n, 0))
+			})...)
+		}
 		if !res.Config.Unconstrained {
 			// Skip crashed nodes, as every other pooled statistic does:
 			// their Usage is pre-crash bytes over the full stream span,
-			// which would drag churned cells' utilization down.
+			// which would drag churned cells' utilization down. Skip every
+			// broadcaster too (single-stream cells skip node 0; multi-source
+			// cells have K well-provisioned sources whose 10 Mbps caps would
+			// dilute the mean).
+			sources := make(map[wire.NodeID]bool)
+			for _, sp := range res.Config.effectiveStreams() {
+				sources[sp.Source] = true
+			}
 			for i := 1; i < len(res.Usage); i++ {
-				if run.Nodes[i].Crashed {
+				if res.Run.Nodes[i].Crashed || sources[wire.NodeID(i)] {
 					continue
 				}
 				usageSum += res.Usage[i]

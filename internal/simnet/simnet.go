@@ -146,6 +146,12 @@ type Stats struct {
 	EventsProcessed int64 // dispatched simulator events (deliveries, timers, funcs)
 }
 
+// streamStatSlots bounds the per-stream sent-byte accounting: streams 0
+// through streamStatSlots-2 get their own slot, everything beyond folds into
+// the last slot. Matches the handful of concurrent streams multi-source runs
+// use in practice.
+const streamStatSlots = 8
+
 // NodeStats aggregates per-node counters; byte counts include the 28-byte
 // per-datagram UDP/IP overhead so that utilization can be compared against
 // the node's capacity exactly as the paper's rate limiter does.
@@ -153,11 +159,15 @@ type NodeStats struct {
 	SentBytes  int64
 	RecvBytes  int64
 	SentByKind [16]int64 // indexed by wire.Kind
-	SentMsgs   int64
-	RecvMsgs   int64
-	QueueDelay time.Duration // instantaneous uplink backlog at last send
-	Crashed    bool
-	CrashedAt  time.Duration
+	// SentByStream breaks dissemination bytes (Propose/Request/Serve) down
+	// by stream id; streams >= streamStatSlots-1 share the last slot.
+	// Non-dissemination traffic (aggregation, shuffles) is not counted here.
+	SentByStream [streamStatSlots]int64
+	SentMsgs     int64
+	RecvMsgs     int64
+	QueueDelay   time.Duration // instantaneous uplink backlog at last send
+	Crashed      bool
+	CrashedAt    time.Duration
 }
 
 // Network is a simulated network of nodes. It is not safe for concurrent
@@ -464,6 +474,13 @@ func (n *Network) send(from *simNode, to wire.NodeID, m wire.Message) {
 	from.stats.SentBytes += int64(size)
 	if k := int(m.Kind()); k >= 0 && k < len(from.stats.SentByKind) {
 		from.stats.SentByKind[k] += int64(size)
+	}
+	if sm, ok := m.(wire.Streamed); ok {
+		slot := int(sm.StreamOf())
+		if slot >= streamStatSlots {
+			slot = streamStatSlots - 1
+		}
+		from.stats.SentByStream[slot] += int64(size)
 	}
 
 	// Uplink serialization: the message transmits after everything already

@@ -17,6 +17,10 @@ type Publisher interface {
 
 // SourceConfig parameterizes a stream source.
 type SourceConfig struct {
+	// Stream is the dissemination stream this source broadcasts on.
+	// Multi-source deployments give every broadcaster its own stream id;
+	// the zero value is the legacy single stream.
+	Stream wire.StreamID
 	// Geometry of the stream. Must validate.
 	Geometry Geometry
 	// Windows is how many complete FEC windows to stream.
@@ -26,6 +30,10 @@ type SourceConfig struct {
 	StartAt time.Duration
 	// Publisher receives the produced events.
 	Publisher Publisher
+	// OnDone, if non-nil, fires once in the node's execution context when
+	// the last packet has been published (e.g. to release the stream's
+	// fanout-budget weight).
+	OnDone func()
 }
 
 // Source produces the stream: one source packet per production tick, the
@@ -107,6 +115,9 @@ func (s *Source) tick() {
 		if w == s.cfg.Windows-1 {
 			s.Done = true
 			s.ticker.Stop()
+			if s.cfg.OnDone != nil {
+				s.cfg.OnDone()
+			}
 		}
 	}
 }
@@ -127,6 +138,7 @@ func (s *Source) emitParity(w int) {
 func (s *Source) publish(id wire.PacketID, payload []byte) {
 	s.cfg.Publisher.Publish(wire.Event{
 		ID:      id,
+		Stream:  s.cfg.Stream,
 		Stamp:   int64(s.rt.Now()),
 		Payload: payload,
 	})

@@ -226,6 +226,23 @@ func (n *Node) NetemCounters() (dropped, delayed int) {
 // node trying to send past its upload capability.
 func (n *Node) SendDropped() int64 { return n.sender.Dropped() }
 
+// Attach starts an additional lifecycle-only handler on a running node (one
+// that receives no messages, like a stream source: its activity is all
+// timers). The handler's Start runs in the node's execution context; its
+// timers are silenced by Close like every other callback, but its Stop is
+// NOT invoked on Close — attached handlers must tolerate that (env.Handler
+// already requires timers to guard themselves). Reports false if the node
+// is not started or already closed.
+func (n *Node) Attach(h env.Handler) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.started || n.closed {
+		return false
+	}
+	h.Start(&nodeRuntime{n: n})
+	return true
+}
+
 // Execute runs fn in the node's execution context (serialized with all
 // handler callbacks), so external code can safely touch handler state —
 // views, estimators, statistics. It reports false if the node is closed.

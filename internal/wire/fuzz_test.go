@@ -14,6 +14,11 @@ func FuzzUnmarshal(f *testing.F) {
 		&Propose{IDs: []PacketID{1, 2, 3}},
 		&Request{IDs: []PacketID{42}},
 		&Serve{Events: []Event{{ID: 7, Stamp: 99, Payload: []byte("payload")}}},
+		// Multi-stream corpus: the same dissemination messages carrying
+		// non-zero stream ids (the flagged count + 4-byte field encoding).
+		&Propose{Stream: 1, IDs: []PacketID{1, 2, 3}},
+		&Request{Stream: 3, IDs: []PacketID{42}},
+		&Serve{Stream: 0xffffffff, Events: []Event{{ID: 7, Stream: 0xffffffff, Stamp: 99, Payload: []byte("payload")}}},
 		&Aggregate{Entries: []CapEntry{{Node: 3, CapKbps: 512, AgeMs: 100}}},
 		&ShuffleReq{Descriptors: []PeerDescriptor{{Node: 1, Age: 2}}},
 		&ShuffleReply{Descriptors: []PeerDescriptor{{Node: 9, Age: 0}}},
@@ -49,31 +54,35 @@ func FuzzUnmarshal(f *testing.F) {
 // pins the codec from both directions.
 func FuzzRoundTrip(f *testing.F) {
 	// One seed per message kind, so the corpus reaches every branch of the
-	// builder immediately.
+	// builder immediately — once on the legacy stream 0 and once on a
+	// non-zero stream (the multi-stream corpus for the dissemination kinds).
 	for kind := uint8(1); kind <= 8; kind++ {
-		f.Add(kind, uint16(3), uint64(0x0123456789abcdef), uint32(512), []byte("payload"))
+		f.Add(kind, uint16(3), uint64(0x0123456789abcdef), uint32(512), uint32(0), []byte("payload"))
+		f.Add(kind, uint16(3), uint64(0x0123456789abcdef), uint32(512), uint32(kind), []byte("payload"))
 	}
 
-	f.Fuzz(func(t *testing.T, kindSel uint8, count uint16, base uint64, v uint32, payload []byte) {
+	f.Fuzz(func(t *testing.T, kindSel uint8, count uint16, base uint64, v uint32, streamSel uint32, payload []byte) {
 		if len(payload) > 256 {
 			payload = payload[:256]
 		}
+		stream := StreamID(streamSel)
 		var m Message
 		switch Kind(kindSel%8 + 1) {
 		case KindPropose:
-			m = &Propose{IDs: fuzzIDs(count%64, base)}
+			m = &Propose{Stream: stream, IDs: fuzzIDs(count%64, base)}
 		case KindRequest:
-			m = &Request{IDs: fuzzIDs(count%64, base)}
+			m = &Request{Stream: stream, IDs: fuzzIDs(count%64, base)}
 		case KindServe:
 			events := make([]Event, count%8)
 			for i := range events {
 				events[i] = Event{
 					ID:      PacketID(base + uint64(i)),
+					Stream:  stream,
 					Stamp:   int64(base ^ uint64(v)),
 					Payload: payload,
 				}
 			}
-			m = &Serve{Events: events}
+			m = &Serve{Stream: stream, Events: events}
 		case KindAggregate:
 			entries := make([]CapEntry, count%32)
 			for i := range entries {

@@ -1,0 +1,138 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// legacyPropose hand-encodes the pre-multi-stream Propose format: kind, a
+// bare u16 count, and the ids — no stream field.
+func legacyPropose(ids []PacketID) []byte {
+	buf := []byte{byte(KindPropose)}
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(ids)))
+	for _, id := range ids {
+		buf = binary.BigEndian.AppendUint64(buf, uint64(id))
+	}
+	return buf
+}
+
+// TestLegacyEncodingsDecodeAsStreamZero pins backward compatibility: byte
+// sequences produced by the single-stream codec decode as stream 0, and
+// stream-0 messages re-encode to exactly the legacy bytes.
+func TestLegacyEncodingsDecodeAsStreamZero(t *testing.T) {
+	legacy := legacyPropose([]PacketID{1, 2, 3})
+	m, err := Unmarshal(legacy)
+	if err != nil {
+		t.Fatalf("legacy encoding rejected: %v", err)
+	}
+	p, ok := m.(*Propose)
+	if !ok {
+		t.Fatalf("decoded %T, want *Propose", m)
+	}
+	if p.Stream != 0 {
+		t.Fatalf("legacy encoding decoded as stream %d, want 0", p.Stream)
+	}
+	if !reflect.DeepEqual(p.IDs, []PacketID{1, 2, 3}) {
+		t.Fatalf("ids %v", p.IDs)
+	}
+	// Stream-0 messages must emit the legacy bytes unchanged (new nodes
+	// stay wire-compatible with old ones on the default stream).
+	if out := Marshal(p); !bytes.Equal(out, legacy) {
+		t.Fatalf("stream-0 encoding diverged from legacy:\nlegacy: %x\n   new: %x", legacy, out)
+	}
+
+	// Same for Request and Serve: the stream-0 wire size must not grow.
+	req := &Request{IDs: []PacketID{9}}
+	if req.WireSize() != 1+2+8 {
+		t.Fatalf("stream-0 Request wire size %d, want legacy 11", req.WireSize())
+	}
+	srv := &Serve{Events: []Event{{ID: 4, Stamp: 5, Payload: []byte("x")}}}
+	if srv.WireSize() != 1+2+(8+8+2)+1 {
+		t.Fatalf("stream-0 Serve wire size %d, want legacy 22", srv.WireSize())
+	}
+}
+
+// TestStreamTaggedRoundTrip checks non-zero streams across all three
+// dissemination messages: the stream survives the round trip, costs exactly
+// 4 bytes, and Serve stamps it onto every decoded event.
+func TestStreamTaggedRoundTrip(t *testing.T) {
+	p := &Propose{Stream: 5, IDs: []PacketID{1, 2}}
+	got := roundTrip(t, p).(*Propose)
+	if got.Stream != 5 || !reflect.DeepEqual(got.IDs, p.IDs) {
+		t.Fatalf("got stream %d ids %v", got.Stream, got.IDs)
+	}
+	if p.WireSize() != (&Propose{IDs: p.IDs}).WireSize()+4 {
+		t.Fatal("non-zero stream must cost exactly 4 bytes")
+	}
+
+	r := &Request{Stream: 1 << 30, IDs: []PacketID{7}}
+	if got := roundTrip(t, r).(*Request); got.Stream != r.Stream {
+		t.Fatalf("request stream %d, want %d", got.Stream, r.Stream)
+	}
+
+	s := &Serve{Stream: 3, Events: []Event{
+		{ID: 1, Stream: 3, Stamp: 10, Payload: []byte("a")},
+		{ID: 2, Stream: 3, Stamp: 20, Payload: []byte("bb")},
+	}}
+	gotS := roundTrip(t, s).(*Serve)
+	if gotS.Stream != 3 {
+		t.Fatalf("serve stream %d, want 3", gotS.Stream)
+	}
+	for i, ev := range gotS.Events {
+		if ev.Stream != 3 {
+			t.Fatalf("event %d stream %d, want the message's 3", i, ev.Stream)
+		}
+	}
+}
+
+// TestExplicitZeroStreamRejected: an explicit stream field holding 0 is
+// non-canonical (stream 0 encodes field-free) and must be rejected, keeping
+// the codec's encode→decode→encode identity.
+func TestExplicitZeroStreamRejected(t *testing.T) {
+	buf := []byte{byte(KindRequest)}
+	buf = binary.BigEndian.AppendUint16(buf, 1|streamFlag)
+	buf = binary.BigEndian.AppendUint32(buf, 0) // explicit stream 0
+	buf = binary.BigEndian.AppendUint64(buf, 42)
+	if _, err := Unmarshal(buf); !errors.Is(err, ErrZeroStream) {
+		t.Fatalf("explicit zero stream: err = %v, want ErrZeroStream", err)
+	}
+}
+
+// TestOversizedCountPanics: item counts that would collide with the
+// streamFlag bit must refuse to encode (they would decode as garbage), on
+// the legacy and the stream-tagged path alike.
+func TestOversizedCountPanics(t *testing.T) {
+	for _, m := range []Message{
+		&Propose{IDs: make([]PacketID, maxCountItems+1)},
+		&Request{Stream: 2, IDs: make([]PacketID, maxCountItems+1)},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s with %d items marshaled without panic", m.Kind(), maxCountItems+1)
+				}
+			}()
+			Marshal(m)
+		}()
+	}
+	// The limit itself still round-trips.
+	m := &Propose{IDs: make([]PacketID, maxCountItems)}
+	got := roundTrip(t, m).(*Propose)
+	if len(got.IDs) != maxCountItems {
+		t.Fatalf("decoded %d ids, want %d", len(got.IDs), maxCountItems)
+	}
+}
+
+// TestTruncatedStreamFieldRejected: a flagged count with fewer than 4 bytes
+// of stream id must fail cleanly.
+func TestTruncatedStreamFieldRejected(t *testing.T) {
+	buf := []byte{byte(KindPropose)}
+	buf = binary.BigEndian.AppendUint16(buf, streamFlag)
+	buf = append(buf, 0x01, 0x02) // half a stream id
+	if _, err := Unmarshal(buf); !errors.Is(err, ErrShortBuffer) {
+		t.Fatalf("truncated stream field: err = %v, want ErrShortBuffer", err)
+	}
+}

@@ -24,9 +24,30 @@ type NodeID int32
 // NodeNone is the zero-value "no node" sentinel.
 const NodeNone NodeID = -1
 
-// PacketID identifies one stream packet (source or FEC parity) globally and
-// monotonically in publish order.
+// PacketID identifies one stream packet (source or FEC parity) within its
+// stream, monotonically in publish order. Packet ids are dense per stream;
+// the (StreamID, PacketID) pair is globally unique.
 type PacketID uint64
+
+// StreamID identifies one dissemination stream. A process historically
+// carried exactly one stream; multi-source deployments run several
+// concurrent streams over one membership and aggregation layer. Stream 0 is
+// the default stream: its messages encode exactly as the legacy single-stream
+// wire format, and legacy encodings decode as stream 0.
+type StreamID uint32
+
+// streamFlag marks, in the item-count field of Propose/Request/Serve, that a
+// 4-byte stream id follows the count. Legacy encodings (stream 0) never set
+// it, so pre-multi-stream bytes decode unchanged; the flag caps item counts
+// at 32767, far above any protocol batch.
+const streamFlag = 0x8000
+
+// Streamed is implemented by dissemination messages that belong to one
+// stream (Propose, Request, Serve); the simulator uses it for per-stream
+// bandwidth accounting.
+type Streamed interface {
+	StreamOf() StreamID
+}
 
 // UDPOverheadBytes is the per-datagram UDP/IPv4 header overhead charged by
 // the bandwidth model on top of WireSize.
@@ -77,6 +98,10 @@ var (
 	ErrUnknownKind   = errors.New("wire: unknown message kind")
 	ErrTrailingBytes = errors.New("wire: trailing bytes after message")
 	ErrTooManyItems  = errors.New("wire: item count exceeds encoding limit")
+	// ErrZeroStream rejects an explicit stream-id field holding 0: stream 0
+	// always encodes in the legacy field-free form, so an explicit zero is
+	// non-canonical and would break the encode→decode→encode identity.
+	ErrZeroStream = errors.New("wire: explicit stream id 0 (non-canonical)")
 )
 
 // Message is implemented by every protocol message.
@@ -94,8 +119,13 @@ type Message interface {
 }
 
 // Event is one stream packet in flight inside a [Serve] message.
+//
+// Stream is carried once per Serve message, not per event: MarshalBinary
+// writes the enclosing message's Stream, and Unmarshal stamps it onto every
+// decoded event, so all events of one Serve share one stream by construction.
 type Event struct {
 	ID      PacketID
+	Stream  StreamID
 	Stamp   int64  // publish time, nanoseconds since the run epoch
 	Payload []byte // packet content; len must fit in uint16
 }
@@ -106,39 +136,61 @@ const eventWireSize = 8 + 8 + 2
 // WireSize returns the encoded size of the event.
 func (e Event) WireSize() int { return eventWireSize + len(e.Payload) }
 
+// streamWireSize is the encoded size of a non-zero stream id (zero encodes
+// as nothing: the legacy format).
+func streamWireSize(s StreamID) int {
+	if s == 0 {
+		return 0
+	}
+	return 4
+}
+
 // Propose carries the identifiers a node offers to serve (Alg. 1 phase 1).
 type Propose struct {
-	IDs []PacketID
+	Stream StreamID
+	IDs    []PacketID
 }
 
 // Kind implements Message.
 func (*Propose) Kind() Kind { return KindPropose }
 
+// StreamOf implements Streamed.
+func (m *Propose) StreamOf() StreamID { return m.Stream }
+
 // WireSize implements Message.
-func (m *Propose) WireSize() int { return 1 + 2 + 8*len(m.IDs) }
+func (m *Propose) WireSize() int { return 1 + 2 + streamWireSize(m.Stream) + 8*len(m.IDs) }
 
 // Request asks the proposing peer for the listed ids (Alg. 1 phase 2).
 type Request struct {
-	IDs []PacketID
+	Stream StreamID
+	IDs    []PacketID
 }
 
 // Kind implements Message.
 func (*Request) Kind() Kind { return KindRequest }
 
-// WireSize implements Message.
-func (m *Request) WireSize() int { return 1 + 2 + 8*len(m.IDs) }
+// StreamOf implements Streamed.
+func (m *Request) StreamOf() StreamID { return m.Stream }
 
-// Serve delivers the requested payloads (Alg. 1 phase 3).
+// WireSize implements Message.
+func (m *Request) WireSize() int { return 1 + 2 + streamWireSize(m.Stream) + 8*len(m.IDs) }
+
+// Serve delivers the requested payloads (Alg. 1 phase 3). All events belong
+// to Stream (see Event).
 type Serve struct {
+	Stream StreamID
 	Events []Event
 }
 
 // Kind implements Message.
 func (*Serve) Kind() Kind { return KindServe }
 
+// StreamOf implements Streamed.
+func (m *Serve) StreamOf() StreamID { return m.Stream }
+
 // WireSize implements Message.
 func (m *Serve) WireSize() int {
-	n := 1 + 2
+	n := 1 + 2 + streamWireSize(m.Stream)
 	for _, e := range m.Events {
 		n += e.WireSize()
 	}
@@ -226,6 +278,10 @@ func (m *AvgReply) WireSize() int { return 1 + 8 + 8 }
 
 // Compile-time interface checks.
 var (
+	_ Streamed = (*Propose)(nil)
+	_ Streamed = (*Request)(nil)
+	_ Streamed = (*Serve)(nil)
+
 	_ Message = (*Propose)(nil)
 	_ Message = (*Request)(nil)
 	_ Message = (*Serve)(nil)
@@ -236,22 +292,47 @@ var (
 	_ Message = (*AvgReply)(nil)
 )
 
+// maxCountItems is the largest item count the flagged header can carry.
+// The protocol never approaches it: dissemination batches are bounded by
+// the stream rate times the gossip period (tens of ids), and a maximal
+// count would not fit a UDP datagram anyway.
+const maxCountItems = streamFlag - 1
+
+// appendCountStream encodes the shared item-count header of the
+// dissemination messages: the count with the streamFlag bit set and a 4-byte
+// stream id when the stream is non-zero, the bare legacy count otherwise.
+// Counts past maxCountItems would collide with the flag bit and decode as
+// garbage, so they panic — building such a message is a protocol bug
+// (ErrTooManyItems is its decode-side counterpart), never a wire input.
+func appendCountStream(dst []byte, count int, stream StreamID) []byte {
+	if count > maxCountItems {
+		panic(fmt.Sprintf("wire: %d items exceed the %d encoding limit", count, maxCountItems))
+	}
+	if stream == 0 {
+		return binary.BigEndian.AppendUint16(dst, uint16(count))
+	}
+	dst = binary.BigEndian.AppendUint16(dst, uint16(count)|streamFlag)
+	return binary.BigEndian.AppendUint32(dst, uint32(stream))
+}
+
 // MarshalBinary implements Message.
 func (m *Propose) MarshalBinary(dst []byte) []byte {
 	dst = append(dst, byte(KindPropose))
+	dst = appendCountStream(dst, len(m.IDs), m.Stream)
 	return appendIDs(dst, m.IDs)
 }
 
 // MarshalBinary implements Message.
 func (m *Request) MarshalBinary(dst []byte) []byte {
 	dst = append(dst, byte(KindRequest))
+	dst = appendCountStream(dst, len(m.IDs), m.Stream)
 	return appendIDs(dst, m.IDs)
 }
 
 // MarshalBinary implements Message.
 func (m *Serve) MarshalBinary(dst []byte) []byte {
 	dst = append(dst, byte(KindServe))
-	dst = binary.BigEndian.AppendUint16(dst, uint16(len(m.Events)))
+	dst = appendCountStream(dst, len(m.Events), m.Stream)
 	for _, e := range m.Events {
 		dst = binary.BigEndian.AppendUint64(dst, uint64(e.ID))
 		dst = binary.BigEndian.AppendUint64(dst, uint64(e.Stamp))
@@ -300,7 +381,6 @@ func (m *AvgReply) MarshalBinary(dst []byte) []byte {
 }
 
 func appendIDs(dst []byte, ids []PacketID) []byte {
-	dst = binary.BigEndian.AppendUint16(dst, uint16(len(ids)))
 	for _, id := range ids {
 		dst = binary.BigEndian.AppendUint64(dst, uint64(id))
 	}
@@ -335,14 +415,14 @@ func Unmarshal(buf []byte) (Message, error) {
 	var err error
 	switch kind {
 	case KindPropose:
-		ids, e := r.ids()
-		m, err = &Propose{IDs: ids}, e
+		stream, ids, e := r.streamIDs()
+		m, err = &Propose{Stream: stream, IDs: ids}, e
 	case KindRequest:
-		ids, e := r.ids()
-		m, err = &Request{IDs: ids}, e
+		stream, ids, e := r.streamIDs()
+		m, err = &Request{Stream: stream, IDs: ids}, e
 	case KindServe:
-		evs, e := r.events()
-		m, err = &Serve{Events: evs}, e
+		stream, evs, e := r.streamEvents()
+		m, err = &Serve{Stream: stream, Events: evs}, e
 	case KindAggregate:
 		entries, e := r.capEntries()
 		m, err = &Aggregate{Entries: entries}, e
@@ -420,54 +500,76 @@ func (r *reader) take(n int) ([]byte, error) {
 	return v, nil
 }
 
-func (r *reader) ids() ([]PacketID, error) {
-	n, err := r.u16()
+// countStream decodes the shared item-count header of the dissemination
+// messages: a bare count means the legacy stream 0; the streamFlag bit marks
+// a 4-byte stream id following the count.
+func (r *reader) countStream() (int, StreamID, error) {
+	raw, err := r.u16()
 	if err != nil {
-		return nil, err
+		return 0, 0, err
 	}
-	if int(n)*8 > len(r.buf) {
-		return nil, ErrShortBuffer
+	n := int(raw &^ streamFlag)
+	if raw&streamFlag == 0 {
+		return n, 0, nil
+	}
+	s, err := r.u32()
+	if err != nil {
+		return 0, 0, err
+	}
+	if s == 0 {
+		return 0, 0, ErrZeroStream
+	}
+	return n, StreamID(s), nil
+}
+
+func (r *reader) streamIDs() (StreamID, []PacketID, error) {
+	n, stream, err := r.countStream()
+	if err != nil {
+		return 0, nil, err
+	}
+	if n*8 > len(r.buf) {
+		return 0, nil, ErrShortBuffer
 	}
 	ids := make([]PacketID, n)
 	for i := range ids {
 		v, err := r.u64()
 		if err != nil {
-			return nil, err
+			return 0, nil, err
 		}
 		ids[i] = PacketID(v)
 	}
-	return ids, nil
+	return stream, ids, nil
 }
 
-func (r *reader) events() ([]Event, error) {
-	n, err := r.u16()
+func (r *reader) streamEvents() (StreamID, []Event, error) {
+	n, stream, err := r.countStream()
 	if err != nil {
-		return nil, err
+		return 0, nil, err
 	}
-	if int(n)*eventWireSize > len(r.buf) {
-		return nil, ErrShortBuffer
+	if n*eventWireSize > len(r.buf) {
+		return 0, nil, ErrShortBuffer
 	}
 	evs := make([]Event, n)
 	for i := range evs {
 		id, err := r.u64()
 		if err != nil {
-			return nil, err
+			return 0, nil, err
 		}
 		stamp, err := r.u64()
 		if err != nil {
-			return nil, err
+			return 0, nil, err
 		}
 		plen, err := r.u16()
 		if err != nil {
-			return nil, err
+			return 0, nil, err
 		}
 		payload, err := r.take(int(plen))
 		if err != nil {
-			return nil, err
+			return 0, nil, err
 		}
-		evs[i] = Event{ID: PacketID(id), Stamp: int64(stamp), Payload: payload}
+		evs[i] = Event{ID: PacketID(id), Stream: stream, Stamp: int64(stamp), Payload: payload}
 	}
-	return evs, nil
+	return stream, evs, nil
 }
 
 func (r *reader) capEntries() ([]CapEntry, error) {

@@ -17,9 +17,11 @@ import (
 )
 
 // DeliverFunc receives every stream packet exactly once as it is delivered.
-// lag is the time between the packet's publication (per its stamp) and its
-// local delivery, assuming loosely synchronized clocks across nodes.
-type DeliverFunc func(id PacketID, payload []byte, lag time.Duration)
+// stream identifies which of the node's concurrent streams the packet
+// belongs to (0 for single-stream deployments); lag is the time between the
+// packet's publication (per its stamp) and its local delivery, assuming
+// loosely synchronized clocks across nodes.
+type DeliverFunc func(stream StreamID, id PacketID, payload []byte, lag time.Duration)
 
 // NodeConfig assembles one real-UDP HEAP node.
 type NodeConfig struct {
@@ -66,8 +68,12 @@ type NodeConfig struct {
 	Netem *Netem
 }
 
-// SourceConfig describes the stream a source node produces.
+// SourceConfig describes one stream a node broadcasts.
 type SourceConfig struct {
+	// Stream is the dissemination stream id this source broadcasts on.
+	// Single-stream deployments use the default 0; multi-source
+	// deployments give every broadcaster its own id (Node.OpenStream).
+	Stream StreamID
 	// Geometry of the stream. Default PaperGeometry().
 	Geometry Geometry
 	// Windows is the stream length in FEC windows. Required.
@@ -86,6 +92,32 @@ type Node struct {
 	source    *stream.Source
 	capKbps   atomic.Uint32
 	capTimers []*time.Timer
+}
+
+// StreamHandle controls one locally sourced stream on a running Node,
+// opened with Node.OpenStream (or implicitly for NodeConfig.Source).
+type StreamHandle struct {
+	node *Node
+	id   StreamID
+	src  *stream.Source
+}
+
+// ID returns the handle's stream id.
+func (h *StreamHandle) ID() StreamID { return h.id }
+
+// Done reports whether the stream's last packet has been published.
+func (h *StreamHandle) Done() bool {
+	done := false
+	h.node.udp.Execute(func() { done = h.src.Done })
+	return done
+}
+
+// Published returns how many packets (source + parity) the stream has
+// handed to the dissemination engine so far.
+func (h *StreamHandle) Published() int {
+	n := 0
+	h.node.udp.Execute(func() { n = h.src.Published })
+	return n
 }
 
 // StartNode binds a socket, wires the protocol stack (dissemination engine,
@@ -124,7 +156,10 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 	engCfg := core.Config{
 		Fanout:       cfg.Fanout,
 		GossipPeriod: cfg.GossipPeriod,
-		Sampler:      view,
+		// The fanout-budget allocator divides this across concurrent
+		// streams; with a single stream it is inert.
+		UploadKbps: cfg.UploadKbps,
+		Sampler:    view,
 	}
 	if cfg.OnDeliver != nil {
 		deliver := cfg.OnDeliver
@@ -133,7 +168,7 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 			if lag < 0 {
 				lag = 0
 			}
-			deliver(ev.ID, ev.Payload, lag)
+			deliver(ev.Stream, ev.ID, ev.Payload, lag)
 		}
 	}
 	if cfg.Adaptive {
@@ -155,19 +190,26 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 
 	if cfg.Source != nil {
 		sc := *cfg.Source
-		if sc.Geometry == (Geometry{}) {
-			sc.Geometry = PaperGeometry()
-		}
-		if sc.StartDelay == 0 {
-			sc.StartDelay = 2 * time.Second
-		}
+		applySourceDefaults(&sc)
 		src, err := stream.NewSource(stream.SourceConfig{
+			Stream:    sc.Stream,
 			Geometry:  sc.Geometry,
 			Windows:   sc.Windows,
 			StartAt:   sc.StartDelay,
 			Publisher: eng,
+			// Release the budget weight when production ends, so a
+			// long-lived node's past broadcasts stop throttling future ones.
+			OnDone: func() { eng.RetireStream(sc.Stream) },
 		})
 		if err != nil {
+			return nil, err
+		}
+		// Register the stream with its rate so the fanout-budget allocator
+		// weighs it when further streams open alongside.
+		if err := eng.OpenStream(sc.Stream, core.StreamConfig{
+			ExpectedPackets: sc.Geometry.TotalPackets(sc.Windows),
+			RateKbps:        float64(sc.Geometry.EffectiveRateBps()) / 1000,
+		}); err != nil {
 			return nil, err
 		}
 		n.source = src
@@ -336,4 +378,58 @@ func (n *Node) SourceDone() bool {
 	done := false
 	n.udp.Execute(func() { done = n.source != nil && n.source.Done })
 	return done
+}
+
+func applySourceDefaults(sc *SourceConfig) {
+	if sc.Geometry == (Geometry{}) {
+		sc.Geometry = PaperGeometry()
+	}
+	if sc.StartDelay == 0 {
+		sc.StartDelay = 2 * time.Second
+	}
+}
+
+// OpenStream starts broadcasting an additional stream from this running
+// node: the stream is registered with the dissemination engine (its rate
+// joins the fanout-budget competition for the node's uplink) and a source
+// begins publishing after cfg.StartDelay. The stream id must not collide
+// with a stream the engine already carries (including a NodeConfig.Source
+// stream). Receiving nodes need no configuration — they track new streams
+// on first contact.
+func (n *Node) OpenStream(id StreamID, cfg SourceConfig) (*StreamHandle, error) {
+	cfg.Stream = id
+	applySourceDefaults(&cfg)
+	var (
+		src    *stream.Source
+		srcErr error
+	)
+	ok := n.udp.Execute(func() {
+		src, srcErr = stream.NewSource(stream.SourceConfig{
+			Stream:    cfg.Stream,
+			Geometry:  cfg.Geometry,
+			Windows:   cfg.Windows,
+			StartAt:   cfg.StartDelay,
+			Publisher: n.engine,
+			// Sequential broadcasts on one node must not accumulate budget
+			// weight: retire the stream when its production finishes.
+			OnDone: func() { n.engine.RetireStream(id) },
+		})
+		if srcErr != nil {
+			return
+		}
+		srcErr = n.engine.OpenStream(id, core.StreamConfig{
+			ExpectedPackets: cfg.Geometry.TotalPackets(cfg.Windows),
+			RateKbps:        float64(cfg.Geometry.EffectiveRateBps()) / 1000,
+		})
+	})
+	if !ok {
+		return nil, fmt.Errorf("heapgossip: node is closed")
+	}
+	if srcErr != nil {
+		return nil, srcErr
+	}
+	if !n.udp.Attach(src) {
+		return nil, fmt.Errorf("heapgossip: node is closed")
+	}
+	return &StreamHandle{node: n, id: id, src: src}, nil
 }
