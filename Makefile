@@ -1,19 +1,24 @@
-# Development entry points. `make check` is the CI gate: vet, the race
-# detector over the short suite, and the plain short suite. `make test` adds
-# the full-scale experiments (the ~1 min TestFullScaleHeadline); `make full`
-# chains everything and briefly runs the wire-codec fuzzers.
+# Development entry points. `make check` is the CI gate: vet, the docs
+# link-checker, the race detector over the short suite, and the plain short
+# suite. `make test` adds the full-scale experiments (the ~1 min
+# TestFullScaleHeadline); `make full` chains everything and briefly runs the
+# wire-codec fuzzers.
 
 GO ?= go
 
-.PHONY: check vet build race test-short test bench sweep largescale fuzz full fmt
+.PHONY: check vet build linkcheck race test-short test bench sweep largescale fuzz full fmt
 
-check: vet build race test-short
+check: vet build linkcheck race test-short
 
 vet:
 	$(GO) vet ./...
 
 build:
 	$(GO) build ./...
+
+# Every relative link in README/EXPERIMENTS/ROADMAP/docs must resolve.
+linkcheck:
+	$(GO) test -run '^TestDocsRelativeLinks$$' .
 
 # Race-detect the short suite: the sweep engine is the only concurrent code,
 # but pooled-event regressions would also surface here first.

@@ -9,6 +9,14 @@
 //	heapnode -id 1 -peers peers.txt -cap 512
 //	heapnode -id 2 -peers peers.txt -cap 3000
 //
+// With -adapt the node runs congestion-driven capability re-estimation: a
+// controller watches the paced sender's real pressure (queue backlog, tail
+// drops, achieved throughput) and re-advertises an effective capability when
+// the node cannot sustain its configured -cap — fanout sheds load before the
+// queue sheds packets. Pair it with -netem captrace-silent, whose traced
+// nodes lose real capacity while their advertisement goes stale, to watch
+// the loop close on live sockets (the adv= field of the status line).
+//
 // With -netem PROFILE every node emulates adverse network conditions on its
 // real sockets — bursty loss, partitions with heal, latency spikes,
 // asymmetric degradation, capability traces — using the same models the
@@ -54,6 +62,8 @@ func run() int {
 		peersPth = flag.String("peers", "", "peers file: one 'id host:port' per line")
 		capKbps  = flag.Uint("cap", 1000, "advertised upload capability (kbps)")
 		adaptive = flag.Bool("heap", true, "enable HEAP fanout adaptation (false = standard gossip)")
+		adaptCap = flag.Bool("adapt", false,
+			"re-estimate the advertised capability from real send-queue pressure (requires -heap)")
 		fanout   = flag.Float64("fanout", 7, "average fanout fbar")
 		isSource = flag.Bool("source", false, "act as a stream source")
 		streamID = flag.Uint("stream", 0, "stream id this source broadcasts (source only); "+
@@ -111,6 +121,9 @@ func run() int {
 		}
 	}
 	cfg.Seed = *seed
+	if *adaptCap {
+		cfg.Adapt = &heapgossip.AdaptConfig{}
+	}
 	if *epoch != 0 {
 		cfg.Epoch = time.Unix(*epoch, 0)
 	}
@@ -146,6 +159,10 @@ func run() int {
 			line := fmt.Sprintf("delivered=%d (%.1f MB, %d streams) served=%d proposes=%d bbar=%.0f kbps qdrop=%d",
 				delivered.Load(), float64(bytes.Load())/1e6, streamsSeen.Load(),
 				st.EventsServed, st.ProposesSent, node.EstimateKbps(), node.SendQueueDropped())
+			if *adaptCap {
+				line += fmt.Sprintf(" adv=%d/%d kbps (%d re-adv)",
+					node.AdvertisedKbps(), *capKbps, node.AdaptReadvertisements())
+			}
 			if *netemPro != "" {
 				nd, nl := node.NetemCounters()
 				line += fmt.Sprintf(" netem[%s] out-drop=%d out-delay=%d adv=%d kbps",

@@ -38,6 +38,14 @@
 //	heapsweep -streams 2 -dists ms-691 -windows 10     # 2-source contention grid
 //	heapsweep -streams 4 -stagger 1s -protocols heap   # 4 broadcasters, 1 s apart
 //
+// With -adapt every constrained node runs the congestion-driven capability
+// re-estimation controller (internal/adapt): real uplink pressure rewrites
+// the advertised capability with hysteresis. Pair it with degraded nodes or
+// the captrace-silent netem profile for the A/B the adapt report artifact
+// renders:
+//
+//	heapsweep -adapt -netem captrace-silent -protocols heap -dists ms-691
+//
 // With -csv DIR it writes DIR/sweep.csv (one row per cell, byte-identical
 // for a fixed grid and seed regardless of -workers) and DIR/lagcdf.csv (the
 // pooled per-cell lag CDFs in long series format for replotting).
@@ -52,6 +60,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/adapt"
 	"repro/internal/metrics"
 	"repro/internal/netem"
 	"repro/internal/scenario"
@@ -87,7 +96,9 @@ func run() int {
 		streams = flag.Int("streams", 1,
 			"number of concurrent broadcasters per run (multi-source: stream k starts 2s after stream k-1 "+
 				"from its own source node; cell summaries pool all streams)")
-		stagger = flag.Duration("stagger", 2*time.Second, "start offset between consecutive streams (with -streams > 1)")
+		stagger   = flag.Duration("stagger", 2*time.Second, "start offset between consecutive streams (with -streams > 1)")
+		adaptFlag = flag.Bool("adapt", false,
+			"enable congestion-driven capability re-estimation on every constrained node (internal/adapt)")
 	)
 	flag.Parse()
 	if *streams < 1 {
@@ -100,6 +111,10 @@ func run() int {
 		netemNames = []string{} // empty list = every stock profile
 	} else if *netemFlag != "" {
 		netemNames = splitList(*netemFlag)
+	}
+	var adaptCfg *adapt.Config
+	if *adaptFlag {
+		adaptCfg = &adapt.Config{}
 	}
 
 	if *largeScale {
@@ -120,6 +135,7 @@ func run() int {
 			}
 		}
 		sw := scenario.LargeScaleSweep(sizes, *replicas, *seed, *workers)
+		sw.Base.Adapt = adaptCfg
 		sw.SummaryLag = *lag
 		if netemNames != nil {
 			adv, err := scenario.LargeScaleAdverseVariants(netemNames...)
@@ -148,6 +164,7 @@ func run() int {
 			StreamStart: 5 * time.Second,
 			Drain:       120 * time.Second,
 			Streams:     multiSourceSpecs(*streams, 5*time.Second, *stagger),
+			Adapt:       adaptCfg,
 		},
 		Replicas:   *replicas,
 		BaseSeed:   *seed,

@@ -34,6 +34,7 @@
 //     a stream source) on a real UDP socket.
 //   - internal/core: the dissemination engine (Algorithms 1 and 2).
 //   - internal/aggregation: capability aggregation and push-pull averaging.
+//   - internal/adapt: congestion-driven capability re-estimation.
 //   - internal/fec, internal/gf256: systematic Reed-Solomon erasure coding.
 //   - internal/simnet: the discrete-event network simulator.
 //   - internal/udpnet, internal/ratelimit: the real-UDP runtime with
@@ -108,6 +109,31 @@
 // single-stream wire format, so multi-stream nodes interoperate with old
 // ones on the default stream. See the "Multi-source streams" section of
 // EXPERIMENTS.md and examples/multisource.
+//
+// # Adaptive capability re-estimation
+//
+// The paper assumes capabilities are "user-provided or measured at join
+// time" and trusts them for the rest of the run — the degraded-node
+// sensitivity study shows how a few percent of nodes silently delivering
+// less than they advertise absorb the whole capability margin. internal/adapt
+// closes that loop: a per-node controller observes real transmit pressure
+// (uplink queue backlog, tail drops, achieved throughput over a sliding
+// window) and re-advertises an effective capability with hysteresis —
+// multiplicative decrease under sustained backlog (cutting straight to the
+// measured throughput when that is lower), slow additive probing back up
+// once the queue drains, always clamped to [floor, configured]. The adapted
+// value feeds both HEAP's aggregation (fanout tracks the measured
+// capability) and the multi-stream fanout-budget allocator. Enable it with
+// Scenario.Adapt (simulation; results in ScenarioResult.AdaptStats with
+// per-node re-advertisement traces), NodeConfig.Adapt (real sockets,
+// `heapnode -adapt`), or `heapsweep -adapt`. The zero AdaptConfig selects
+// the stock policy. The controller runs on the engine's existing gossip
+// ticker, draws no randomness, and with Adapt unset the whole path is a
+// single nil check, so the determinism guarantees below hold byte-for-byte
+// either way. The netem profile "captrace-silent" is its natural sparring
+// partner: traced nodes lose real capacity while their advertisement goes
+// stale, and only the controller can discover the gap (`heapbench -artifact
+// adapt` renders the on/off comparison).
 //
 // # Adverse networks
 //

@@ -1,0 +1,49 @@
+package heapgossip
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestDocsRelativeLinks is the docs link-checker `make check` runs: every
+// relative link in the repo's markdown files must resolve to a file that
+// exists, so the README / EXPERIMENTS / ARCHITECTURE cross-reference web
+// cannot rot silently. External (http/https/mailto) links and pure anchors
+// are out of scope.
+func TestDocsRelativeLinks(t *testing.T) {
+	docs := []string{
+		"README.md",
+		"EXPERIMENTS.md",
+		"ROADMAP.md",
+		filepath.Join("docs", "ARCHITECTURE.md"),
+	}
+	linkRe := regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+	for _, doc := range docs {
+		data, err := os.ReadFile(doc)
+		if err != nil {
+			t.Errorf("%s: %v", doc, err)
+			continue
+		}
+		for _, m := range linkRe.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+				continue
+			}
+			// Strip a trailing anchor: FILE.md#section checks FILE.md.
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(doc), filepath.FromSlash(target))
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s links to %q, which does not resolve (%v)", doc, m[1], err)
+			}
+		}
+	}
+}

@@ -3,6 +3,7 @@ package heapgossip
 import (
 	"time"
 
+	"repro/internal/adapt"
 	"repro/internal/churn"
 	"repro/internal/core"
 	"repro/internal/metrics"
@@ -154,6 +155,25 @@ func NetemProfileNames() []string { return netem.ProfileNames() }
 func AdverseVariants(names ...string) ([]Variant, error) {
 	return scenario.AdverseVariants(names...)
 }
+
+// AdaptConfig parameterizes congestion-driven capability re-estimation
+// (internal/adapt): a per-node controller that observes real transmit
+// pressure — uplink queue backlog, tail drops, achieved throughput — and
+// re-advertises an effective capability with hysteresis (multiplicative
+// decrease under sustained backlog, slow additive probe upward when
+// drained). The zero value selects the stock policy. Set Scenario.Adapt to
+// run simulations with the loop closed, or NodeConfig.Adapt to run it on a
+// real socket's paced sender.
+type AdaptConfig = adapt.Config
+
+// AdaptReadvertisement is one effective-capability change in an adaptation
+// trace (ScenarioResult.AdaptStats, Node.AdaptTrace).
+type AdaptReadvertisement = adapt.Readvertisement
+
+// AdaptStats carries a simulated run's adaptation outcomes: per-node
+// re-advertisement traces, final effective capabilities, and the
+// effective-to-configured ratio CDF (CapRatioCDF).
+type AdaptStats = scenario.AdaptStats
 
 // Geometry describes stream packetization and FEC window structure.
 type Geometry = stream.Geometry

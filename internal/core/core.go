@@ -47,6 +47,7 @@ import (
 	"math"
 	"time"
 
+	"repro/internal/adapt"
 	"repro/internal/env"
 	"repro/internal/membership"
 	"repro/internal/wire"
@@ -56,6 +57,14 @@ import (
 // aggregation package's Estimator implements it.
 type CapabilityEstimator interface {
 	RelativeCapability() float64
+}
+
+// CapabilityAdvertiser rewrites the capability a node advertises to the
+// aggregation protocol. The aggregation package's Estimator implements it;
+// the engine discovers it by type assertion on Config.Capabilities, so the
+// adaptation loop needs no extra wiring on HEAP nodes.
+type CapabilityAdvertiser interface {
+	SetSelfCapKbps(kbps uint32)
 }
 
 // DeliverFunc is the application upcall for newly delivered events. Events
@@ -142,6 +151,25 @@ type Config struct {
 	Sampler membership.Sampler
 	// OnDeliver, if non-nil, receives every newly delivered event.
 	OnDeliver DeliverFunc
+
+	// Adapt, when non-nil, closes the congestion feedback loop: the engine
+	// samples AdaptSignal on its gossip rounds (quantized to the
+	// controller's interval) and, when the controller re-estimates the
+	// node's effective capability, re-advertises it through Capabilities
+	// (when that implements CapabilityAdvertiser — HEAP's estimator does)
+	// and rebalances the fanout-budget allocator off the adapted value.
+	// Nil keeps the engine byte-identical to a build without adaptation.
+	// Requires AdaptSignal.
+	Adapt *adapt.Controller
+	// AdaptSignal supplies the transmit-pressure sample for Adapt: uplink
+	// backlog, monotonic sent bytes, queued bytes, tail drops. The substrate
+	// provides it (simnet queue probes, ratelimit.Sender accessors); the
+	// engine fills in the sample time. Required with Adapt, ignored without.
+	AdaptSignal func() adapt.Sample
+	// OnAdapt, if non-nil, observes every effective-capability change the
+	// controller makes (after it is advertised) — deployment surfaces keep
+	// their own advertised-value mirrors current through it.
+	OnAdapt func(effKbps uint32)
 }
 
 func (c *Config) applyDefaults() error {
@@ -183,6 +211,9 @@ func (c *Config) applyDefaults() error {
 	}
 	if c.StreamRateKbps < 0 {
 		return fmt.Errorf("core: stream rate %v must not be negative", c.StreamRateKbps)
+	}
+	if (c.Adapt == nil) != (c.AdaptSignal == nil) {
+		return fmt.Errorf("core: Adapt and AdaptSignal must be set together")
 	}
 	return nil
 }
@@ -257,6 +288,14 @@ type Engine struct {
 	pruneTicker  *env.Ticker
 	stopped      bool
 
+	// Congestion-driven capability re-estimation (Config.Adapt): the budget
+	// allocator divides effUploadKbps — the configured budget, lowered to
+	// the controller's estimate while congestion persists — and advertiser
+	// is Capabilities' optional re-advertisement hook.
+	effUploadKbps uint32
+	advertiser    CapabilityAdvertiser
+	lastAdaptAt   time.Duration
+
 	stats Stats
 }
 
@@ -270,7 +309,7 @@ func New(cfg Config) (*Engine, error) {
 	if err := cfg.applyDefaults(); err != nil {
 		return nil, err
 	}
-	return &Engine{cfg: cfg}, nil
+	return &Engine{cfg: cfg, effUploadKbps: cfg.UploadKbps}, nil
 }
 
 // MustNew is New for static configurations known to be valid.
@@ -289,6 +328,9 @@ func (e *Engine) Stats() Stats { return e.stats }
 func (e *Engine) Start(rt env.Runtime) {
 	e.rt = rt
 	e.appendSampler, _ = e.cfg.Sampler.(membership.PeerAppender)
+	if e.cfg.Adapt != nil {
+		e.advertiser, _ = e.cfg.Capabilities.(CapabilityAdvertiser)
+	}
 	phase := time.Duration(rt.Rand().Int63n(int64(e.cfg.GossipPeriod)))
 	if e.cfg.AdaptPeriod {
 		e.adaptiveFn = e.adaptiveRound
@@ -359,8 +401,11 @@ func (e *Engine) Receive(from wire.NodeID, m wire.Message) {
 
 // gossipRound flushes every stream's infect-and-die batch (Algorithm 1,
 // lines 6-7). Streams flush in open order — deterministic, and each with its
-// own budget-scaled fanout draw.
+// own budget-scaled fanout draw. The adaptation controller piggybacks on
+// this ticker: it observes transmit pressure before the round's fanout
+// draws, so a re-estimate takes effect in the very round that detected it.
 func (e *Engine) gossipRound() {
+	e.adaptTick()
 	for _, st := range e.streams {
 		if len(st.toPropose) == 0 {
 			continue
@@ -391,6 +436,48 @@ func (e *Engine) gossip(st *streamState, ids []wire.PacketID) {
 	for _, p := range peers {
 		e.rt.Send(p, msg)
 		e.stats.ProposesSent++
+	}
+}
+
+// adaptTick runs the congestion-feedback loop on the engine's existing round
+// schedule: every Adapt.Interval (quantized to gossip rounds) it feeds one
+// pressure sample to the controller; on a re-estimate it shrinks or restores
+// the budget allocator's upload budget and re-advertises through the
+// capability estimator, which propagates the new value by the normal
+// freshness gossip — fanout sheds load before the queue sheds packets. The
+// controller is deterministic and rng-free, so adapt-enabled runs keep every
+// reproducibility guarantee; with Adapt nil this is a single branch.
+func (e *Engine) adaptTick() {
+	ctrl := e.cfg.Adapt
+	if ctrl == nil {
+		return
+	}
+	now := e.rt.Now()
+	if now-e.lastAdaptAt < ctrl.Interval() {
+		return
+	}
+	e.lastAdaptAt = now
+	s := e.cfg.AdaptSignal()
+	s.At = now
+	eff, changed := ctrl.Observe(s)
+	if !changed {
+		return
+	}
+	if e.cfg.UploadKbps > 0 {
+		// The budget never exceeds the configured physical capability: the
+		// controller's ceiling is the *advertised* value, which freeriders
+		// and degraded nodes set apart from the real uplink.
+		if eff < e.cfg.UploadKbps {
+			e.effUploadKbps = eff
+		} else {
+			e.effUploadKbps = e.cfg.UploadKbps
+		}
+	}
+	if e.advertiser != nil {
+		e.advertiser.SetSelfCapKbps(eff)
+	}
+	if e.cfg.OnAdapt != nil {
+		e.cfg.OnAdapt(eff)
 	}
 }
 

@@ -163,7 +163,11 @@ func (e *Engine) Streams() []wire.StreamID {
 // paper's — a lone overloaded stream behaves as the paper's CSR accounting
 // describes, it is several broadcasters that must share the uplink fairly.
 func (e *Engine) budgetScale() float64 {
-	if e.cfg.UploadKbps == 0 || len(e.streams) < 2 || e.totalRateKbps <= 0 {
+	// effUploadKbps is the configured budget, lowered to the adaptation
+	// controller's estimate while congestion persists (adaptTick): a node
+	// whose real capacity fell below its configured value rebalances its
+	// streams off what it can actually push.
+	if e.effUploadKbps == 0 || len(e.streams) < 2 || e.totalRateKbps <= 0 {
 		return 1
 	}
 	rel := 1.0
@@ -173,7 +177,7 @@ func (e *Engine) budgetScale() float64 {
 		}
 	}
 	predicted := rel * e.totalRateKbps
-	budget := float64(e.cfg.UploadKbps) * e.cfg.BudgetHeadroom
+	budget := float64(e.effUploadKbps) * e.cfg.BudgetHeadroom
 	if predicted <= budget {
 		return 1
 	}

@@ -66,11 +66,17 @@ type AsymSpec struct {
 
 // CapTraceSpec describes one capability trace applied to the listed nodes
 // (or an rng-chosen Fraction of the system). Steps must be sorted by At and
-// carry positive factors; a final Factor of 1 models recovery.
+// carry positive factors; a final Factor of 1 models recovery. A Silent
+// trace rewrites only the node's *real* capacity, not its advertised
+// capability: the node keeps claiming full capability while delivering a
+// fraction of it — the unnoticed-degradation regime whose discovery is the
+// adaptation layer's job (internal/adapt). Non-silent traces model a node
+// that re-measures and honestly re-advertises.
 type CapTraceSpec struct {
 	Nodes    []wire.NodeID
 	Fraction float64
 	Steps    []CapStep
+	Silent   bool
 }
 
 // Validate checks the whole description without materializing it.
@@ -246,8 +252,9 @@ func (c *Config) buildPool(pool []wire.NodeID, seed int64, baseLoss float64) (*E
 		steps := make([]CapStep, len(spec.Steps))
 		copy(steps, spec.Steps)
 		e.AddCapTrace(CapTrace{
-			Nodes: pickNodes(rng, pool, spec.Nodes, spec.Fraction),
-			Steps: steps,
+			Nodes:  pickNodes(rng, pool, spec.Nodes, spec.Fraction),
+			Steps:  steps,
+			Silent: spec.Silent,
 		})
 	}
 	return e, nil

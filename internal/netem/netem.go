@@ -404,9 +404,12 @@ type CapStep struct {
 // Nodes walks the same Steps (relative to its own base capability). The
 // substrate applies it — the simulator rewrites the uplink capacity and the
 // HEAP estimator's advertised value; heapnode rewrites its advertisement.
+// Silent traces touch only the real capacity and leave the advertisement
+// alone (see CapTraceSpec.Silent).
 type CapTrace struct {
-	Nodes []wire.NodeID
-	Steps []CapStep
+	Nodes  []wire.NodeID
+	Steps  []CapStep
+	Silent bool
 }
 
 // Engine is a per-run composition of named models with verdict counters,

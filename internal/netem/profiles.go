@@ -25,6 +25,10 @@ import (
 //   - captrace: 30% of the nodes lose ~2/3 of their upload capability 10 s
 //     into the run and recover 20 s later; with HEAP the drop is advertised,
 //     so adaptive fanout should reroute load around it.
+//   - captrace-silent: the same capacity schedule, but the traced nodes keep
+//     advertising full capability — the unnoticed-degradation knife-edge
+//     that only the adaptation layer (Scenario.Adapt, internal/adapt) can
+//     neutralize by measuring the real throughput and re-advertising it.
 //   - mixed: mild bursty loss, the partition, and the spike together.
 var profiles = map[string]Config{
 	"bursty": {
@@ -52,6 +56,15 @@ var profiles = map[string]Config{
 		Name: "captrace",
 		CapTraces: []CapTraceSpec{
 			{Fraction: 0.3, Steps: []CapStep{
+				{At: 10 * time.Second, Factor: 0.35},
+				{At: 30 * time.Second, Factor: 1},
+			}},
+		},
+	},
+	"captrace-silent": {
+		Name: "captrace-silent",
+		CapTraces: []CapTraceSpec{
+			{Fraction: 0.3, Silent: true, Steps: []CapStep{
 				{At: 10 * time.Second, Factor: 0.35},
 				{At: 30 * time.Second, Factor: 1},
 			}},

@@ -33,9 +33,11 @@ type Sender[T any] struct {
 	// always reloads the latest rate.
 	rateChanged chan struct{}
 
-	sent    atomic.Int64
-	dropped atomic.Int64
-	bytes   atomic.Int64
+	sent     atomic.Int64
+	dropped  atomic.Int64
+	bytes    atomic.Int64
+	queued   atomic.Int64 // bytes accepted but not yet transmitted
+	accepted atomic.Int64 // bytes ever accepted (enqueue-counted, monotonic)
 }
 
 // NewSender builds and starts a paced sender. rateBps <= 0 means unlimited.
@@ -84,10 +86,18 @@ func (s *Sender[T]) Enqueue(item T) bool {
 		return false
 	default:
 	}
+	// Charge the queue gauge before the channel send: an observer must never
+	// see an accepted item missing from QueuedBytes (the drain loop debits
+	// only after transmission, so the gauge errs toward over-reporting
+	// pressure, never under-reporting it).
+	size := int64(s.sizeOf(item))
+	s.queued.Add(size)
 	select {
 	case s.queue <- item:
+		s.accepted.Add(size)
 		return true
 	default:
+		s.queued.Add(-size)
 		s.dropped.Add(1)
 		return false
 	}
@@ -109,8 +119,40 @@ func (s *Sender[T]) Dropped() int64 { return s.dropped.Load() }
 // Bytes returns the total bytes transmitted.
 func (s *Sender[T]) Bytes() int64 { return s.bytes.Load() }
 
+// BytesSent is Bytes under an explicit name: a monotonic count of bytes
+// that actually left the sender (counted at transmit, not enqueue), so
+// ΔBytesSent over a window is achieved throughput directly, without racing
+// QueueLen polls. NOT the adapt.Sample.SentBytes signal — that field wants
+// the enqueue-counted AcceptedBytes (the controller subtracts ΔQueuedBytes
+// itself; feeding it transmit-counted bytes double-counts queue movement).
+func (s *Sender[T]) BytesSent() int64 { return s.bytes.Load() }
+
+// AcceptedBytes returns the monotonic count of bytes ever accepted into the
+// queue (enqueue-counted; drops excluded). This is the adapt.Sample
+// convention for SentBytes — the controller derives the drained bytes as
+// ΔAcceptedBytes − ΔQueuedBytes, so the enqueue- and transmit-side counters
+// must not be mixed.
+func (s *Sender[T]) AcceptedBytes() int64 { return s.accepted.Load() }
+
 // QueueLen returns the instantaneous queue length.
 func (s *Sender[T]) QueueLen() int { return len(s.queue) }
+
+// QueuedBytes returns the bytes accepted for transmission but not yet sent
+// (the item currently pacing included). Together with BytesSent it gives a
+// race-free window-drain signal: bytes drained = ΔBytesSent, backlog =
+// QueuedBytes — both single atomic loads.
+func (s *Sender[T]) QueuedBytes() int64 { return s.queued.Load() }
+
+// QueueBacklog converts the queued bytes into drain time at the current
+// rate — the paced-sender analogue of the simulator's uplink backlog, the
+// congestion signal the adaptation layer watches. 0 when unlimited.
+func (s *Sender[T]) QueueBacklog() time.Duration {
+	rate := s.rateBps.Load()
+	if rate <= 0 {
+		return 0
+	}
+	return time.Duration(s.queued.Load() * 8 * int64(time.Second) / rate)
+}
 
 // drain is the pacing loop: a virtual transmission clock advances by each
 // item's serialization time; the loop sleeps whenever the clock runs ahead
@@ -162,6 +204,7 @@ func (s *Sender[T]) drain() {
 			s.bytes.Add(int64(size))
 			s.send(item)
 			s.sent.Add(1)
+			s.queued.Add(-int64(size))
 		}
 	}
 }

@@ -1,0 +1,207 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/adapt"
+	"repro/internal/netem"
+)
+
+func TestAdaptConfigValidation(t *testing.T) {
+	base := func() Config {
+		cfg := deterministicBase(1)
+		cfg.Adapt = &adapt.Config{}
+		return cfg
+	}
+	cfg := base()
+	cfg.Unconstrained, cfg.Dist = true, nil
+	if _, err := Run(cfg); err == nil {
+		t.Error("Adapt with unconstrained uploads accepted")
+	}
+	cfg = base()
+	cfg.Protocol = StaticTree
+	if _, err := Run(cfg); err == nil {
+		t.Error("Adapt with the static tree accepted")
+	}
+	cfg = base()
+	cfg.Adapt = &adapt.Config{Beta: 2}
+	if _, err := Run(cfg); err == nil {
+		t.Error("invalid adapt policy accepted")
+	}
+}
+
+// adaptDegradedBase is the reduced-scale knife-edge configuration: HEAP on
+// the most skewed distribution with a fifth of the nodes silently
+// delivering just 35% of their advertised capability. (The full-scale
+// version of this A/B is the `adapt` report artifact; at 120 nodes the
+// symptom is queue creep and jitter, not outright collapse.)
+func adaptDegradedBase(seed int64) Config {
+	return Config{
+		Nodes:              120,
+		Protocol:           HEAP,
+		Dist:               MS691,
+		Windows:            24,
+		Seed:               seed,
+		Drain:              40 * time.Second,
+		DegradedFraction:   0.2,
+		DegradedFactor:     0.35,
+		BacklogProbePeriod: time.Second,
+	}
+}
+
+// maxDegradedBacklog returns the worst probe of the degraded cohort's mean
+// uplink backlog, in seconds.
+func maxDegradedBacklog(res *Result) float64 {
+	worst := 0.0
+	for _, s := range res.BacklogSamples {
+		if b := s.MeanByClass["degraded"]; b > worst {
+			worst = b
+		}
+	}
+	return worst
+}
+
+func meanDelivery(res *Result) float64 {
+	return res.StreamSummaries(10 * time.Second)[0].DeliveryMean
+}
+
+// TestAdaptNeutralizesDegradedKnifeEdge is the scenario-level acceptance
+// check (the committed artifact repeats it at paper scale): with adaptation
+// on, the degraded cohort's send queues stay bounded where the trusting
+// baseline lets them creep, and overall delivery does not get worse.
+func TestAdaptNeutralizesDegradedKnifeEdge(t *testing.T) {
+	off, err := Run(adaptDegradedBase(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgOn := adaptDegradedBase(3)
+	cfgOn.Adapt = &adapt.Config{}
+	on, err := Run(cfgOn)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	offWorst, onWorst := maxDegradedBacklog(off), maxDegradedBacklog(on)
+	if onWorst > 3 {
+		t.Errorf("adapt on: degraded-cohort backlog peaked at %.1fs, want <= 3s", onWorst)
+	}
+	if onWorst >= offWorst {
+		t.Errorf("adapt on backlog %.1fs did not improve on baseline %.1fs", onWorst, offWorst)
+	}
+	// Shedding fanout trades a sliver of raw delivery for timeliness: the
+	// jitter-free share must not get worse, and raw delivery must stay
+	// within noise of the baseline.
+	offJF := off.StreamSummaries(10 * time.Second)[0].JFMean
+	onJF := on.StreamSummaries(10 * time.Second)[0].JFMean
+	if onJF < offJF {
+		t.Errorf("adapt on jitter-free share %.4f fell below baseline %.4f", onJF, offJF)
+	}
+	if offDel, onDel := meanDelivery(off), meanDelivery(on); onDel < offDel-0.005 {
+		t.Errorf("adapt on delivery %.4f fell more than noise below baseline %.4f", onDel, offDel)
+	}
+
+	stats := on.AdaptStats
+	if stats == nil {
+		t.Fatal("adapt-enabled run returned no AdaptStats")
+	}
+	if stats.Readvertisements == 0 {
+		t.Error("no re-advertisements despite degraded nodes riding their capacity limit")
+	}
+	if off.AdaptStats != nil {
+		t.Error("adapt-off run returned AdaptStats")
+	}
+	// Some degraded node must actually have shed advertisement mid-run (it
+	// may have probed back to the ceiling by run end, so check the traces).
+	shed := false
+	for i, tr := range stats.Traces {
+		for _, re := range tr {
+			if re.EffKbps < stats.ConfiguredKbps[i] {
+				shed = true
+			}
+		}
+	}
+	if !shed {
+		t.Error("no controller ever held a node below its configured advertisement")
+	}
+}
+
+// TestAdaptPropertyEstimateBounds runs adaptation under the silent
+// capability trace (real capacity drops, advertisement does not follow) and
+// asserts the satellite's invariant end to end: every controller's final
+// estimate sits within [floor, configured], and every trace entry does too.
+func TestAdaptPropertyEstimateBounds(t *testing.T) {
+	// ms-691 with a mid-length stream, so the 10-30 s trace window overlaps
+	// real traffic and the traced nodes genuinely saturate.
+	cfg := adaptDegradedBase(11)
+	cfg.DegradedFraction = 0
+	cfg.Windows = 12
+	p, err := netem.Profile("captrace-silent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Netem = &p
+	cfg.Adapt = &adapt.Config{}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := res.AdaptStats
+	if stats == nil {
+		t.Fatal("no AdaptStats")
+	}
+	if stats.AdaptedNodes() == 0 {
+		t.Fatal("no node ran a controller")
+	}
+	const floorFraction = 0.1 // the stock policy's FloorFraction
+	for i, eff := range stats.EffectiveKbps {
+		if eff == 0 {
+			continue
+		}
+		configured := stats.ConfiguredKbps[i]
+		floor := uint32(floorFraction * float64(configured))
+		if floor == 0 {
+			floor = 1
+		}
+		if eff > configured || eff < floor {
+			t.Fatalf("node %d: final estimate %d outside [%d, %d]", i, eff, floor, configured)
+		}
+		for _, re := range stats.Traces[i] {
+			if re.EffKbps > configured || re.EffKbps < floor {
+				t.Fatalf("node %d: trace entry %d kbps outside [%d, %d]", i, re.EffKbps, floor, configured)
+			}
+		}
+	}
+	// The silent trace must actually provoke adaptation on the traced nodes.
+	if stats.Readvertisements == 0 {
+		t.Error("silent capability trace provoked no re-advertisements")
+	}
+}
+
+// TestAdaptSweepTravel pins that the adapt axis travels through the sweep
+// engine: an adapt-enabled grid runs, keeps its Results, and every cell's
+// runs carry AdaptStats.
+func TestAdaptSweepTravel(t *testing.T) {
+	cfg := adaptDegradedBase(5)
+	cfg.Adapt = &adapt.Config{}
+	sw := Sweep{Base: cfg, BaseSeed: cfg.Seed, Workers: 2,
+		Variants: []Variant{
+			{Name: "adapt-off", Mutate: func(c *Config) { c.Adapt = nil }},
+			{Name: "adapt-on"},
+		}}
+	res, err := RunSweep(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 2 {
+		t.Fatalf("%d cells, want 2", len(res.Cells))
+	}
+	offRun := res.CellByVariant("adapt-off").Runs[0]
+	onRun := res.CellByVariant("adapt-on").Runs[0]
+	if offRun.AdaptStats != nil {
+		t.Error("adapt-off cell carries AdaptStats")
+	}
+	if onRun.AdaptStats == nil || onRun.AdaptStats.AdaptedNodes() == 0 {
+		t.Error("adapt-on cell missing AdaptStats")
+	}
+}

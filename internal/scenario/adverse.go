@@ -18,7 +18,9 @@ import (
 // unconstrained) and its advertised capability (HEAP) are rewritten to
 // Factor times their base values. The base is captured before any step
 // fires, so factors never compound; a final factor of 1 restores the
-// original capability exactly.
+// original capability exactly. Silent traces skip the advertisement — the
+// node's claim goes stale against its real capacity, the regime the
+// adaptation layer (Config.Adapt) exists to detect.
 func applyCapTraces(net *simnet.Network, eng *netem.Engine, unconstrained bool,
 	effective []int64, advertised []uint32, estimators []*aggregation.Estimator) {
 	for _, tr := range eng.CapTraces() {
@@ -28,6 +30,7 @@ func applyCapTraces(net *simnet.Network, eng *netem.Engine, unconstrained bool,
 			}
 			baseBps := effective[id]
 			baseAdv := advertised[id]
+			silent := tr.Silent
 			for _, step := range tr.Steps {
 				id, step := id, step
 				net.Schedule(step.At, func() {
@@ -45,7 +48,7 @@ func applyCapTraces(net *simnet.Network, eng *netem.Engine, unconstrained bool,
 						}
 						net.SetUploadBps(id, bps)
 					}
-					if est := estimators[id]; est != nil {
+					if est := estimators[id]; est != nil && !silent {
 						adv := uint32(float64(baseAdv) * step.Factor)
 						if adv == 0 {
 							adv = 1

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/adapt"
 	"repro/internal/metrics"
 	"repro/internal/netem"
 )
@@ -30,6 +31,13 @@ func fingerprint(t *testing.T, res *Result) []byte {
 		res.EstimatesKbps, res.NetemStats,
 	} {
 		if err := enc.Encode(v); err != nil {
+			t.Fatalf("fingerprint: %v", err)
+		}
+	}
+	if res.AdaptStats != nil {
+		// Adapt-enabled runs fingerprint the full re-advertisement traces:
+		// a controller decision leaking scheduling order would show here.
+		if err := enc.Encode(res.AdaptStats); err != nil {
 			t.Fatalf("fingerprint: %v", err)
 		}
 	}
@@ -223,6 +231,94 @@ func TestDeterminismNetemSweepWorkers(t *testing.T) {
 	}
 	if !bytes.Equal(sc.Bytes(), pc.Bytes()) {
 		t.Fatal("netem sweep CSV bytes differ between 1 and 8 workers")
+	}
+	for i := range serial.Cells {
+		s, p := serial.Cells[i], parallel.Cells[i]
+		ss, ps := s.Summary, p.Summary
+		ss.Elapsed, ps.Elapsed = 0, 0
+		if !reflect.DeepEqual(ss, ps) {
+			t.Fatalf("cell %s: summaries differ between 1 and 8 workers", s.Key)
+		}
+	}
+}
+
+// adaptBase is the determinism suite's adaptation configuration: degraded
+// nodes under closed-loop re-estimation, so controller decisions (cut,
+// cooldown, probe) are all exercised.
+func adaptBase(seed int64) Config {
+	cfg := adaptDegradedBase(seed)
+	cfg.Windows = 8
+	cfg.Adapt = &adapt.Config{}
+	return cfg
+}
+
+// TestDeterminismAdaptRepeatedRun extends the byte-equality check to
+// adapt-enabled runs: the controller samples the simulator's queue state on
+// the engine's tickers, and its verdicts (including every re-advertisement
+// trace entry) must be a pure function of the seed.
+func TestDeterminismAdaptRepeatedRun(t *testing.T) {
+	a, err := Run(adaptBase(47))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(adaptBase(47))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fingerprint(t, a), fingerprint(t, b)) {
+		t.Fatal("adapt-enabled run is not deterministic for a fixed seed")
+	}
+	if a.AdaptStats == nil || a.AdaptStats.Readvertisements == 0 {
+		t.Fatal("adaptation never engaged; the fingerprint check is vacuous")
+	}
+	// And adaptation must be load-bearing: the same seed without Adapt must
+	// not collide (the controller actually changed the run).
+	off := adaptBase(47)
+	off.Adapt = nil
+	c, err := Run(off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(fingerprint(t, a), fingerprint(t, c)) {
+		t.Fatal("adapt-on and adapt-off runs produced identical fingerprints")
+	}
+}
+
+// TestDeterminismAdaptSweepWorkers re-checks worker-count independence with
+// the adaptation axis active: 1 and 8 workers must export byte-identical
+// CSV for an adapt-on/adapt-off grid.
+func TestDeterminismAdaptSweepWorkers(t *testing.T) {
+	grid := func(workers int) Sweep {
+		return Sweep{
+			Base:      adaptBase(0),
+			Protocols: []Protocol{StandardGossip, HEAP},
+			Variants: []Variant{
+				{Name: "adapt-off", Mutate: func(c *Config) { c.Adapt = nil }},
+				{Name: "adapt-on"},
+			},
+			Replicas: 2,
+			BaseSeed: 53,
+			Workers:  workers,
+			DropRuns: true,
+		}
+	}
+	serial, err := RunSweep(grid(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunSweep(grid(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sc, pc bytes.Buffer
+	if err := serial.WriteCSV(&sc); err != nil {
+		t.Fatal(err)
+	}
+	if err := parallel.WriteCSV(&pc); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sc.Bytes(), pc.Bytes()) {
+		t.Fatal("adapt sweep CSV bytes differ between 1 and 8 workers")
 	}
 	for i := range serial.Cells {
 		s, p := serial.Cells[i], parallel.Cells[i]

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"time"
 
+	"repro/internal/adapt"
 	"repro/internal/aggregation"
 	"repro/internal/churn"
 	"repro/internal/core"
@@ -126,6 +127,20 @@ type Config struct {
 	// AdaptPeriod switches HEAP's knob from fanout to gossip period
 	// (§5 alternative; ablation). Requires Protocol == HEAP.
 	AdaptPeriod bool
+
+	// Adapt enables congestion-driven capability re-estimation
+	// (internal/adapt): every constrained non-source node runs a controller
+	// that observes its real uplink pressure — queue backlog and achieved
+	// throughput — and re-advertises an effective capability with
+	// hysteresis, closing the loop that netem capability traces only script
+	// from the outside. The zero adapt.Config selects the stock policy.
+	// Under HEAP the re-advertisement reshapes fanout through the normal
+	// aggregation gossip; under standard gossip it only rebalances the
+	// multi-stream fanout budget (there is no advertisement to adapt). Nil
+	// disables adaptation entirely — runs are then byte-identical to a
+	// build without the adapt package. Requires constrained uploads and a
+	// gossip protocol. Results land in Result.AdaptStats.
+	Adapt *adapt.Config
 
 	// AutoFanout removes the paper's "n known in advance" simplification:
 	// every node runs the push-pull averaging protocol ([13], §2.2) to
@@ -294,6 +309,9 @@ func (c *Config) applyDefaults() error {
 			return err
 		}
 	}
+	if err := c.validateAdapt(); err != nil {
+		return err
+	}
 	if err := c.applyStreamDefaults(); err != nil {
 		return err
 	}
@@ -351,6 +369,9 @@ type Result struct {
 	// NetemStats holds the per-model drop/delay counters of the run's
 	// adverse-network engine (nil when Netem is unset).
 	NetemStats []netem.ModelStats
+	// AdaptStats holds the re-advertisement traces and final effective
+	// capabilities of the adaptation controllers (nil when Adapt is unset).
+	AdaptStats *AdaptStats
 }
 
 // BacklogSample is one probe of the system's uplink queues.
@@ -468,6 +489,7 @@ func Run(cfg Config) (*Result, error) {
 	receivers := make([][]*stream.Receiver, total) // [node][spec index]
 	estimators := make([]*aggregation.Estimator, total)
 	averagers := make([]*aggregation.Averager, total)
+	controllers := make([]*adapt.Controller, total)
 
 	// specIdx maps wire-level stream ids to spec indices for the per-node
 	// delivery dispatch; singleStream keeps the legacy direct upcall (and
@@ -639,6 +661,26 @@ func Run(cfg Config) (*Result, error) {
 			// §5 extension: bias the source's first hop toward rich nodes.
 			engCfg.Sampler = newBiasedSampler(views[i], caps)
 		}
+		if cfg.Adapt != nil && !isSource {
+			// Congestion feedback: the controller's ceiling is the node's
+			// *advertised* capability (its claim), and its signal is the real
+			// uplink queue the simulator maintains — backlog, enqueue-side
+			// bytes, queued bytes. Sources never adapt: they are the paper's
+			// well-provisioned broadcasters, like every other knob here.
+			ctrl, err := adapt.NewController(*cfg.Adapt, advertised[i])
+			if err != nil {
+				return err
+			}
+			controllers[i] = ctrl
+			engCfg.Adapt = ctrl
+			engCfg.AdaptSignal = func() adapt.Sample {
+				return adapt.Sample{
+					Backlog:     net.QueueBacklog(id),
+					SentBytes:   net.NodeStats(id).SentBytes,
+					QueuedBytes: net.QueueBacklogBytes(id),
+				}
+			}
+		}
 		eng, err := core.New(engCfg)
 		if err != nil {
 			return err
@@ -804,6 +846,14 @@ func Run(cfg Config) (*Result, error) {
 				}
 				sample.MeanByClass[class] += backlog
 				counts[class]++
+				if effective[i] < int64(caps[i])*1000 {
+					// Degraded nodes additionally pool under the "degraded"
+					// pseudo-class: the knife-edge studies (sens-degraded,
+					// the adaptation artifact) track exactly this cohort's
+					// queues, which the capability classes average away.
+					sample.MeanByClass["degraded"] += backlog
+					counts["degraded"]++
+				}
 				if backlog > sample.Max {
 					sample.Max = backlog
 				}
@@ -840,6 +890,9 @@ func Run(cfg Config) (*Result, error) {
 	res.BacklogSamples = backlogSamples
 	if netemEngine != nil {
 		res.NetemStats = netemEngine.Stats()
+	}
+	if cfg.Adapt != nil {
+		res.AdaptStats = collectAdaptStats(controllers)
 	}
 	return res, nil
 }

@@ -551,6 +551,28 @@ func (n *Network) QueueBacklog(id wire.NodeID) time.Duration {
 	return node.uplinkFreeAt - n.now
 }
 
+// QueueBacklogBytes returns the bytes currently waiting in the node's uplink
+// queue (backlog time times the current capacity). Together with
+// NodeStats.SentBytes — which counts at enqueue — this gives the bytes that
+// actually left the node: SentBytes − QueueBacklogBytes, the achieved-
+// throughput signal the adaptation layer samples. 0 for unconstrained
+// uplinks, whose queue never forms.
+//
+// Caveat: datagrams already scheduled keep their old transmit times across
+// SetUploadBps, so a rate rewrite revalues the standing backlog at the new
+// rate and the gauge jumps discontinuously for the one observation window
+// spanning the step. The adaptation controller bounds that window's
+// influence on its own side (the per-decision Beta² guard in
+// internal/adapt), which is cheaper than per-datagram byte accounting here.
+func (n *Network) QueueBacklogBytes(id wire.NodeID) int64 {
+	node := n.node(id)
+	if node.uplinkFreeAt <= n.now || node.cfg.UploadBps <= 0 {
+		return 0
+	}
+	backlog := node.uplinkFreeAt - n.now
+	return int64(backlog) * node.cfg.UploadBps / (8 * int64(time.Second))
+}
+
 func (n *Network) push(ev *event) {
 	ev.seq = n.seq
 	n.seq++

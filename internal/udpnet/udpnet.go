@@ -226,6 +226,24 @@ func (n *Node) NetemCounters() (dropped, delayed int) {
 // node trying to send past its upload capability.
 func (n *Node) SendDropped() int64 { return n.sender.Dropped() }
 
+// SendBacklog returns the time the paced sender's queue needs to drain at
+// the current rate — the real-socket equivalent of the simulator's
+// QueueBacklog, and the congestion signal the adaptation layer watches.
+func (n *Node) SendBacklog() time.Duration { return n.sender.QueueBacklog() }
+
+// SentBytes returns the monotonic count of bytes actually transmitted
+// (UDP overhead included), counted at transmit rather than enqueue.
+func (n *Node) SentBytes() int64 { return n.sender.BytesSent() }
+
+// AcceptedBytes returns the monotonic count of bytes accepted into the
+// paced sender's queue (enqueue-counted, drops excluded) — the adapt.Sample
+// SentBytes convention, matching the simulator's enqueue-side accounting.
+func (n *Node) AcceptedBytes() int64 { return n.sender.AcceptedBytes() }
+
+// QueuedBytes returns the bytes accepted for transmission but still waiting
+// in the paced sender's queue.
+func (n *Node) QueuedBytes() int64 { return n.sender.QueuedBytes() }
+
 // Attach starts an additional lifecycle-only handler on a running node (one
 // that receives no messages, like a stream source: its activity is all
 // timers). The handler's Start runs in the node's execution context; its

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/adapt"
 	"repro/internal/aggregation"
 	"repro/internal/core"
 	"repro/internal/env"
@@ -66,6 +67,16 @@ type NodeConfig struct {
 	// node sets from the configured seed before any per-ID derivation, so
 	// the zero default is already coherent across nodes).
 	Netem *Netem
+	// Adapt, if non-nil, closes the congestion feedback loop on this node:
+	// a controller observes the paced sender's real pressure — queue
+	// backlog, tail drops, achieved throughput — and re-advertises an
+	// effective capability (with hysteresis) when the node cannot sustain
+	// its configured UploadKbps. The zero AdaptConfig selects the stock
+	// policy. Requires Adaptive (there is no advertisement to adapt under
+	// standard gossip). While adaptation runs, SetAdvertisedKbps calls
+	// race it and should be avoided; AdvertisedKbps tracks the adapted
+	// value.
+	Adapt *AdaptConfig
 }
 
 // SourceConfig describes one stream a node broadcasts.
@@ -88,6 +99,7 @@ type Node struct {
 	udp       *udpnet.Node
 	engine    *core.Engine
 	estimator *aggregation.Estimator
+	adapt     *adapt.Controller
 	view      *membership.View
 	source    *stream.Source
 	capKbps   atomic.Uint32
@@ -181,6 +193,34 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 		engCfg.Capabilities = est
 		mux.Register(est, wire.KindAggregate)
 	}
+	if cfg.Adapt != nil {
+		if !cfg.Adaptive {
+			return nil, fmt.Errorf("heapgossip: Adapt requires Adaptive (standard gossip has no advertisement to adapt)")
+		}
+		ctrl, err := adapt.NewController(*cfg.Adapt, cfg.UploadKbps)
+		if err != nil {
+			return nil, err
+		}
+		n.adapt = ctrl
+		engCfg.Adapt = ctrl
+		// The signal reads the paced sender's lock-free counters; the engine
+		// samples it from the node's execution context on its gossip rounds.
+		// SentBytes must be the enqueue-counted accumulator (AcceptedBytes):
+		// the controller derives drained bytes as ΔSentBytes − ΔQueuedBytes,
+		// which only holds when both counters sit on the enqueue side — the
+		// same convention as the simulator's NodeStats.SentBytes.
+		engCfg.AdaptSignal = func() adapt.Sample {
+			return adapt.Sample{
+				Backlog:     n.udp.SendBacklog(),
+				SentBytes:   n.udp.AcceptedBytes(),
+				QueuedBytes: n.udp.QueuedBytes(),
+				Dropped:     n.udp.SendDropped(),
+			}
+		}
+		// Keep the public AdvertisedKbps mirror current (the engine
+		// advertises through the estimator internally).
+		engCfg.OnAdapt = func(effKbps uint32) { n.capKbps.Store(effKbps) }
+	}
 	eng, err := core.New(engCfg)
 	if err != nil {
 		return nil, err
@@ -225,7 +265,11 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 		Seed:      cfg.Seed,
 		Epoch:     cfg.Epoch,
 	}
-	var capSteps []netem.CapStep
+	type capStep struct {
+		netem.CapStep
+		silent bool
+	}
+	var capSteps []capStep
 	if cfg.Netem != nil {
 		// Materialize over the actual deployment ids (peers files need not
 		// be dense), so partition groups and traced node sets land on nodes
@@ -240,7 +284,9 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 		for _, tr := range engine.CapTraces() {
 			for _, id := range tr.Nodes {
 				if id == cfg.ID {
-					capSteps = append(capSteps, tr.Steps...)
+					for _, st := range tr.Steps {
+						capSteps = append(capSteps, capStep{CapStep: st, silent: tr.Silent})
+					}
 				}
 			}
 		}
@@ -271,13 +317,18 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 	// zero-delay timers cannot leave a stale factor advertised. Each step
 	// rewrites both the advertised capability and the real pacer rate, the
 	// same pair the simulator's cap-trace application touches, so a traced
-	// deployment actually loses (and regains) throughput.
-	applyStep := func(factor float64) {
+	// deployment actually loses (and regains) throughput. Silent steps
+	// rewrite only the pacer: the node keeps claiming full capability and
+	// only the adaptation loop (Adapt) can discover the gap — exactly the
+	// simulator's silent-trace semantics.
+	applyStep := func(factor float64, silent bool) {
 		adv := uint32(float64(cfg.UploadKbps) * factor)
 		if adv == 0 {
 			adv = 1
 		}
-		n.SetAdvertisedKbps(adv)
+		if !silent {
+			n.SetAdvertisedKbps(adv)
+		}
 		n.udp.SetUploadBps(int64(adv) * 1000)
 	}
 	elapsed := time.Since(cfg.Epoch)
@@ -288,15 +339,15 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 		}
 	}
 	if latestPast >= 0 {
-		applyStep(capSteps[latestPast].Factor)
+		applyStep(capSteps[latestPast].Factor, capSteps[latestPast].silent)
 	}
 	for _, step := range capSteps {
 		if step.At <= elapsed {
 			continue
 		}
-		factor := step.Factor
+		factor, silent := step.Factor, step.silent
 		n.capTimers = append(n.capTimers, time.AfterFunc(step.At-elapsed, func() {
-			applyStep(factor)
+			applyStep(factor, silent)
 		}))
 	}
 	return n, nil
@@ -339,8 +390,45 @@ func (n *Node) SetAdvertisedKbps(kbps uint32) {
 }
 
 // AdvertisedKbps returns the capability the node currently advertises.
-// Truthful after Close, like the statistics accessors.
+// Truthful after Close, like the statistics accessors. With Adapt enabled
+// it tracks the controller's effective estimate.
 func (n *Node) AdvertisedKbps() uint32 { return n.capKbps.Load() }
+
+// AdaptTrace returns the adaptation controller's re-advertisement history
+// (nil without an Adapt config; bounded to the controller's most recent
+// entries), serialized with protocol activity and — like the other
+// statistics accessors — truthful after Close. Times are durations since
+// the node's Epoch.
+func (n *Node) AdaptTrace() []AdaptReadvertisement {
+	var out []AdaptReadvertisement
+	read := func() {
+		if n.adapt != nil {
+			out = append(out, n.adapt.Trace()...)
+		}
+	}
+	if !n.udp.Execute(read) {
+		// Node closed: no callback can mutate the controller anymore, so an
+		// unserialized read is safe — the trace survives Close.
+		read()
+	}
+	return out
+}
+
+// AdaptReadvertisements returns how many times the adaptation controller
+// changed the advertised capability (0 without an Adapt config). Truthful
+// after Close.
+func (n *Node) AdaptReadvertisements() int {
+	count := 0
+	read := func() {
+		if n.adapt != nil {
+			count = n.adapt.Readvertisements()
+		}
+	}
+	if !n.udp.Execute(read) {
+		read()
+	}
+	return count
+}
 
 // SendQueueDropped returns how many outgoing datagrams were tail-dropped by
 // the paced sender's bounded queue — the first symptom of this node trying
