@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: check vet build linkcheck race test-short test bench sweep largescale fuzz full fmt
+.PHONY: check vet build linkcheck race race-detect test-short testshort test bench sweep largescale fuzz full fmt
 
-check: vet build linkcheck race test-short
+check: vet build linkcheck race race-detect testshort
 
 vet:
 	$(GO) vet ./...
@@ -25,7 +25,15 @@ linkcheck:
 race:
 	$(GO) test -race -short ./...
 
-test-short:
+# Full (not -short) race pass over the detection and adaptation loops plus
+# the paced sender they poll: the misbehavior oracle/property suite, the
+# adapt controller, and the ratelimit concurrency regressions run with their
+# complete iteration counts under the race detector.
+race-detect:
+	$(GO) test -race ./internal/misbehave ./internal/adapt ./internal/ratelimit
+
+test-short: testshort
+testshort:
 	$(GO) test -short ./...
 
 test:

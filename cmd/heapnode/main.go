@@ -17,6 +17,14 @@
 // nodes lose real capacity while their advertisement goes stale, to watch
 // the loop close on live sockets (the adv= field of the status line).
 //
+// With -detect the node runs the misbehavior detector (internal/misbehave):
+// contribution evidence is collected per peer on the engine's message paths,
+// and peers convicted of freeriding (never serving what they are asked) or
+// dropping (total silence) are quarantined — dropped from gossip target
+// draws, their proposals ignored, their capability claims expelled from the
+// HEAP average. The status line grows a quar= field with the current
+// quarantine set.
+//
 // With -netem PROFILE every node emulates adverse network conditions on its
 // real sockets — bursty loss, partitions with heal, latency spikes,
 // asymmetric degradation, capability traces — using the same models the
@@ -64,6 +72,8 @@ func run() int {
 		adaptive = flag.Bool("heap", true, "enable HEAP fanout adaptation (false = standard gossip)")
 		adaptCap = flag.Bool("adapt", false,
 			"re-estimate the advertised capability from real send-queue pressure (requires -heap)")
+		detect = flag.Bool("detect", false,
+			"run the misbehavior detector: quarantine peers convicted of freeriding or dropping")
 		fanout   = flag.Float64("fanout", 7, "average fanout fbar")
 		isSource = flag.Bool("source", false, "act as a stream source")
 		streamID = flag.Uint("stream", 0, "stream id this source broadcasts (source only); "+
@@ -124,6 +134,9 @@ func run() int {
 	if *adaptCap {
 		cfg.Adapt = &heapgossip.AdaptConfig{}
 	}
+	if *detect {
+		cfg.Misbehave = &heapgossip.MisbehaveConfig{Armed: true}
+	}
 	if *epoch != 0 {
 		cfg.Epoch = time.Unix(*epoch, 0)
 	}
@@ -155,10 +168,16 @@ func run() int {
 			st := node.Stats()
 			// qdrop is the paced sender's tail-drop count: non-zero means
 			// the node is trying to send past its upload capability and the
-			// bounded application queue is shedding load.
-			line := fmt.Sprintf("delivered=%d (%.1f MB, %d streams) served=%d proposes=%d bbar=%.0f kbps qdrop=%d",
+			// bounded application queue is shedding load. backlog is the
+			// drain time of what is queued right now — congestion building
+			// up before anything is dropped.
+			line := fmt.Sprintf("delivered=%d (%.1f MB, %d streams) served=%d proposes=%d bbar=%.0f kbps qdrop=%d backlog=%s",
 				delivered.Load(), float64(bytes.Load())/1e6, streamsSeen.Load(),
-				st.EventsServed, st.ProposesSent, node.EstimateKbps(), node.SendQueueDropped())
+				st.EventsServed, st.ProposesSent, node.EstimateKbps(), node.SendQueueDropped(),
+				node.SendQueueBacklog().Round(time.Millisecond))
+			if *detect {
+				line += fmt.Sprintf(" quar=%v", node.QuarantinedPeers())
+			}
 			if *adaptCap {
 				line += fmt.Sprintf(" adv=%d/%d kbps (%d re-adv)",
 					node.AdvertisedKbps(), *capKbps, node.AdaptReadvertisements())

@@ -46,6 +46,16 @@
 //
 //	heapsweep -adapt -netem captrace-silent -protocols heap -dists ms-691
 //
+// With -adversary F every cell runs three times — honest baseline, F
+// freeriders with detectors observe-only, and the same mix with the
+// misbehavior detector armed (internal/misbehave) — so the summary table
+// reads as a detection A/B. Freeriders keep the axis protocol-agnostic
+// (capability liars need HEAP; use the report suite's adversary artifact
+// for the full class mix). Ignored by -largescale.
+//
+//	heapsweep -adversary 0.1 -dists ms-691 -protocols heap
+//	heapsweep -adversary 0.1 -replicas 3 -csv out/
+//
 // With -csv DIR it writes DIR/sweep.csv (one row per cell, byte-identical
 // for a fixed grid and seed regardless of -workers) and DIR/lagcdf.csv (the
 // pooled per-cell lag CDFs in long series format for replotting).
@@ -99,10 +109,16 @@ func run() int {
 		stagger   = flag.Duration("stagger", 2*time.Second, "start offset between consecutive streams (with -streams > 1)")
 		adaptFlag = flag.Bool("adapt", false,
 			"enable congestion-driven capability re-estimation on every constrained node (internal/adapt)")
+		advFlag = flag.Float64("adversary", 0,
+			"fraction of non-source nodes freeriding; adds a honest/detector-off/detector-on variant axis (internal/misbehave)")
 	)
 	flag.Parse()
 	if *streams < 1 {
 		fmt.Fprintln(os.Stderr, "heapsweep: -streams must be >= 1")
+		return 1
+	}
+	if *advFlag < 0 || *advFlag >= 1 {
+		fmt.Fprintln(os.Stderr, "heapsweep: -adversary must be in [0, 1)")
 		return 1
 	}
 
@@ -220,6 +236,13 @@ func run() int {
 			return 1
 		}
 		sw.Variants = append([]scenario.Variant{{Name: "baseline"}}, adv...)
+	}
+	if *advFlag > 0 {
+		vars := scenario.AdversaryVariants(scenario.AdversarySpec{FreeriderFraction: *advFlag})
+		if len(sw.Variants) > 0 {
+			vars = vars[1:] // the netem axis already carries a clean baseline cell
+		}
+		sw.Variants = append(sw.Variants, vars...)
 	}
 
 	res, err := scenario.RunSweep(sw)

@@ -35,6 +35,8 @@
 //   - internal/core: the dissemination engine (Algorithms 1 and 2).
 //   - internal/aggregation: capability aggregation and push-pull averaging.
 //   - internal/adapt: congestion-driven capability re-estimation.
+//   - internal/misbehave: adversarial node classes and the deterministic
+//     misbehavior detector.
 //   - internal/fec, internal/gf256: systematic Reed-Solomon erasure coding.
 //   - internal/simnet: the discrete-event network simulator.
 //   - internal/udpnet, internal/ratelimit: the real-UDP runtime with
@@ -134,6 +136,29 @@
 // partner: traced nodes lose real capacity while their advertisement goes
 // stale, and only the controller can discover the gap (`heapbench -artifact
 // adapt` renders the on/off comparison).
+//
+// # Adversarial nodes and misbehavior detection
+//
+// HEAP also trusts peers to behave. internal/misbehave models the peers
+// that don't — freeriders consume the stream but drop the Requests sent to
+// them, capability liars over-advertise so HEAP routes them serve load
+// they never carry, droppers swallow proposals — and the deterministic
+// detector that answers them: per-peer contribution evidence collected on
+// the engine's message paths feeds two conservative verdict rules (serve
+// deficit; total unresponsiveness), and a convicted peer is dropped from
+// gossip target draws, has its proposals ignored, and loses its vote in
+// the capability average. Verdicts heal when contribution recovers.
+// Configure adversaries and detection in simulation with Scenario.Adversary
+// (AdversarySpec; results in ScenarioResult.AdversaryStats with per-class
+// detection rates, the false-positive record, and an observer-coalition
+// source-anonymity probe), sweep the honest/observe-only/armed A/B with
+// AdversaryVariants or `heapsweep -adversary`, render the measured tables
+// with `heapbench -artifact adversary`, and run the detector on a real
+// socket with NodeConfig.Misbehave (`heapnode -detect`; inspect it via
+// Node.QuarantinedPeers and Node.MisbehaveEvidence). The detector draws no
+// randomness and evaluates on the engine's existing ticker, so adversarial
+// runs keep every determinism guarantee below. See the "Adversarial nodes"
+// section of EXPERIMENTS.md.
 //
 // # Adverse networks
 //

@@ -7,6 +7,7 @@ import (
 	"repro/internal/churn"
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/misbehave"
 	"repro/internal/netem"
 	"repro/internal/scenario"
 	"repro/internal/stream"
@@ -174,6 +175,38 @@ type AdaptReadvertisement = adapt.Readvertisement
 // re-advertisement traces, final effective capabilities, and the
 // effective-to-configured ratio CDF (CapRatioCDF).
 type AdaptStats = scenario.AdaptStats
+
+// MisbehaveConfig parameterizes the deterministic misbehavior detector
+// (internal/misbehave): per-peer contribution evidence collected on the
+// engine's hot paths feeds two verdict rules — serve deficit (freeriders and
+// saturated capability liars) and total unresponsiveness (message droppers) —
+// with quarantine wired through peer sampling, proposal handling, and (under
+// HEAP) the capability average. The zero value selects the stock thresholds
+// in observe-only mode; set Armed for verdicts. Set Scenario.Adversary to
+// study detection in simulation, or NodeConfig.Misbehave to run the detector
+// on a real socket.
+type MisbehaveConfig = misbehave.Config
+
+// MisbehaveEvidence is one peer's monotone contribution record.
+type MisbehaveEvidence = misbehave.Evidence
+
+// AdversarySpec configures adversarial node classes (freeriders, capability
+// liars, message droppers) and the detector for a simulated run
+// (Scenario.Adversary).
+type AdversarySpec = scenario.AdversarySpec
+
+// AdversaryStats carries an adversarial run's measurements: detection rates
+// and latency per class, the false-positive record on the honest cohort, and
+// the observer-coalition source-anonymity probe
+// (ScenarioResult.AdversaryStats).
+type AdversaryStats = scenario.AdversaryStats
+
+// AdversaryVariants returns the three-way sweep axis of adversary studies:
+// honest baseline, the adversary mix with detectors observe-only, and the
+// same mix with detectors armed.
+func AdversaryVariants(spec AdversarySpec) []Variant {
+	return scenario.AdversaryVariants(spec)
+}
 
 // Geometry describes stream packetization and FEC window structure.
 type Geometry = stream.Geometry

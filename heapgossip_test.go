@@ -305,3 +305,123 @@ func TestPublicAPISurface(t *testing.T) {
 		t.Fatal("Seconds conversion broken")
 	}
 }
+
+// TestUDPNodeMisbehaveDetector runs a small live-UDP deployment with the
+// misbehavior detector armed on every non-source node: honest cooperating
+// peers must never be quarantined (a zero-false-positive check over real
+// socket timing), evidence must accumulate for the source, and the detector
+// accessors must stay truthful after Close.
+func TestUDPNodeMisbehaveDetector(t *testing.T) {
+	const nodes = 5
+	geom := Geometry{RateBps: 400_000, PacketBytes: 200, DataPerWindow: 6, ParityPerWindow: 2}
+	const windows = 2
+
+	started := make([]*Node, 0, nodes)
+	defer func() {
+		for _, n := range started {
+			n.Close()
+		}
+	}()
+
+	var mu sync.Mutex
+	received := make(map[NodeID]int, nodes)
+
+	for i := 0; i < nodes; i++ {
+		id := NodeID(i)
+		cfg := NodeConfig{
+			ID:           id,
+			UploadKbps:   5000,
+			Adaptive:     true,
+			Fanout:       4,
+			GossipPeriod: 30 * time.Millisecond,
+			OnDeliver: func(StreamID, PacketID, []byte, time.Duration) {
+				mu.Lock()
+				received[id]++
+				mu.Unlock()
+			},
+		}
+		if i == 0 {
+			cfg.Source = &SourceConfig{
+				Geometry:   geom,
+				Windows:    windows,
+				StartDelay: 500 * time.Millisecond,
+			}
+		} else {
+			cfg.Misbehave = &MisbehaveConfig{Armed: true}
+		}
+		n, err := StartNode(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		started = append(started, n)
+	}
+	for i, n := range started {
+		for j, peer := range started {
+			if i != j {
+				n.AddPeer(NodeID(j), peer.Addr())
+			}
+		}
+	}
+
+	total := geom.TotalPackets(windows)
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		sum := 0
+		for id, c := range received {
+			if id != 0 {
+				sum += c
+			}
+		}
+		mu.Unlock()
+		if sum >= (nodes-1)*total*90/100 {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	mu.Lock()
+	sum := 0
+	for id, c := range received {
+		if id != 0 {
+			sum += c
+		}
+	}
+	mu.Unlock()
+	if sum < (nodes-1)*total*90/100 {
+		t.Fatalf("system delivered %d of %d with detectors armed", sum, (nodes-1)*total)
+	}
+
+	// All peers cooperated: an armed detector must hold nobody.
+	for i := 1; i < nodes; i++ {
+		if q := started[i].QuarantinedPeers(); len(q) != 0 {
+			t.Fatalf("node %d quarantined honest peers %v", i, q)
+		}
+	}
+	// The source proposed packets to everyone; at least one detector saw it.
+	ev, ok := started[1].MisbehaveEvidence(0)
+	if !ok {
+		t.Fatal("node 1 collected no evidence about the source")
+	}
+	if ev.ProposesSeen == 0 && ev.ServedEvents == 0 {
+		t.Fatalf("source evidence empty: %+v", ev)
+	}
+	// A node without a Misbehave config reports nothing, not garbage.
+	if _, ok := started[0].MisbehaveEvidence(1); ok {
+		t.Fatal("detector-less source returned evidence")
+	}
+	if started[0].QuarantinedPeers() != nil {
+		t.Fatal("detector-less source returned a quarantine set")
+	}
+	if started[1].SendQueueBacklog() < 0 {
+		t.Fatal("negative send-queue backlog")
+	}
+
+	// Accessors stay truthful after Close.
+	started[1].Close()
+	if q := started[1].QuarantinedPeers(); len(q) != 0 {
+		t.Fatalf("post-Close quarantine set %v", q)
+	}
+	if _, ok := started[1].MisbehaveEvidence(0); !ok {
+		t.Fatal("evidence lost after Close")
+	}
+}

@@ -43,6 +43,13 @@ type Config struct {
 	EntryTTL time.Duration
 	// Sampler provides the random peers to gossip with.
 	Sampler membership.Sampler
+	// Exclude, when non-nil, rejects capability claims owned by the given
+	// node: its entries are dropped on merge and purged on the tick path.
+	// This is the misbehavior detector's fanout penalty — a quarantined
+	// peer's (possibly inflated) claim leaves bbar, handing its stolen
+	// fanout share back to honest nodes. Applied to the claim's owner,
+	// regardless of which peer relayed it; relaying resumes on release.
+	Exclude func(wire.NodeID) bool
 }
 
 func (c *Config) applyDefaults() {
@@ -209,6 +216,9 @@ func (e *Estimator) Receive(_ wire.NodeID, m wire.Message) {
 			// entry slice must not grow unboundedly on a peer's say-so).
 			continue
 		}
+		if e.cfg.Exclude != nil && e.cfg.Exclude(entry.Node) {
+			continue // quarantined claim owner, see Config.Exclude
+		}
 		asOf := now - time.Duration(entry.AgeMs)*time.Millisecond
 		if int(entry.Node) < len(e.entries) {
 			if cur := &e.entries[entry.Node]; cur.present && cur.asOf >= asOf {
@@ -261,6 +271,10 @@ func (e *Estimator) prune(now time.Duration) {
 		}
 		if now-entry.asOf > e.cfg.EntryTTL {
 			e.drop(wire.NodeID(id))
+			continue
+		}
+		if e.cfg.Exclude != nil && e.cfg.Exclude(wire.NodeID(id)) {
+			e.drop(wire.NodeID(id)) // quarantined since merged, see Config.Exclude
 		}
 	}
 }

@@ -72,6 +72,36 @@ type CapabilityAdvertiser interface {
 // event's Stream field identifies which stream it belongs to.
 type DeliverFunc func(ev wire.Event, at time.Duration)
 
+// Monitor observes per-peer protocol evidence and answers quarantine
+// queries — the hook through which a misbehavior detector
+// (internal/misbehave) plugs into the engine. The engine feeds it from the
+// protocol hot paths: proposals seen and sent, requests seen and sent, serve
+// payloads received, and request timeouts attributed to the peer that failed
+// to serve. Quarantined peers have their proposals ignored and are skipped
+// by the retransmission rotation; target-draw filtering is the sampler's job
+// (misbehave.QuarantineSampler). All methods run on the node's execution
+// context; implementations must be deterministic and rng-free so monitored
+// runs keep every reproducibility guarantee. A nil Monitor leaves the engine
+// byte-identical to a build without the hook.
+type Monitor interface {
+	// ObserveProposeSeen records a Propose carrying ids, received from a peer.
+	ObserveProposeSeen(from wire.NodeID, ids int, at time.Duration)
+	// ObserveProposeSent records ids proposed to a peer.
+	ObserveProposeSent(to wire.NodeID, ids int, at time.Duration)
+	// ObserveRequestSeen records a Request carrying ids, received from a peer.
+	ObserveRequestSeen(from wire.NodeID, ids int, at time.Duration)
+	// ObserveRequestSent records ids requested from a peer.
+	ObserveRequestSent(to wire.NodeID, ids int, at time.Duration)
+	// ObserveServeSeen records payloads served by a peer.
+	ObserveServeSeen(from wire.NodeID, events int, bytes int64, at time.Duration)
+	// ObserveTimeout records request timeouts attributed to a peer.
+	ObserveTimeout(to wire.NodeID, ids int, at time.Duration)
+	// Quarantined reports whether the peer is currently quarantined.
+	Quarantined(id wire.NodeID) bool
+	// Tick drives evaluation; called once per gossip round.
+	Tick(now time.Duration)
+}
+
 // Config parameterizes a gossip engine.
 type Config struct {
 	// Fanout is fbar, the system-wide average fanout (ln(n)+c). In
@@ -170,6 +200,11 @@ type Config struct {
 	// controller makes (after it is advertised) — deployment surfaces keep
 	// their own advertised-value mirrors current through it.
 	OnAdapt func(effKbps uint32)
+
+	// Monitor, when non-nil, receives per-peer contribution evidence and
+	// supplies quarantine verdicts (misbehavior detection). Nil keeps every
+	// code path byte-identical to a build without the hook.
+	Monitor Monitor
 }
 
 func (c *Config) applyDefaults() error {
@@ -231,6 +266,7 @@ type Stats struct {
 	Retransmissions  int64 // re-sent requests (attempts beyond the first)
 	GiveUps          int64 // ids abandoned after RetMaxAttempts
 	UnservableIDs    int64 // requested ids we no longer buffer
+	ProposesIgnored  int64 // proposals discarded because the proposer is quarantined
 }
 
 // maxProposersTracked bounds the alternate-proposer list per outstanding id.
@@ -395,7 +431,7 @@ func (e *Engine) Receive(from wire.NodeID, m wire.Message) {
 	case *wire.Request:
 		e.onRequest(from, msg)
 	case *wire.Serve:
-		e.onServe(msg)
+		e.onServe(from, msg)
 	}
 }
 
@@ -406,6 +442,9 @@ func (e *Engine) Receive(from wire.NodeID, m wire.Message) {
 // draws, so a re-estimate takes effect in the very round that detected it.
 func (e *Engine) gossipRound() {
 	e.adaptTick()
+	if e.cfg.Monitor != nil {
+		e.cfg.Monitor.Tick(e.rt.Now())
+	}
 	for _, st := range e.streams {
 		if len(st.toPropose) == 0 {
 			continue
@@ -436,6 +475,9 @@ func (e *Engine) gossip(st *streamState, ids []wire.PacketID) {
 	for _, p := range peers {
 		e.rt.Send(p, msg)
 		e.stats.ProposesSent++
+		if e.cfg.Monitor != nil {
+			e.cfg.Monitor.ObserveProposeSent(p, len(ids), e.rt.Now())
+		}
 	}
 }
 
@@ -518,6 +560,16 @@ func (e *Engine) fanout() int {
 // bookkeeping: ids already outstanding gain an alternate proposer.
 func (e *Engine) onPropose(from wire.NodeID, msg *wire.Propose) {
 	e.stats.ProposesReceived++
+	if e.cfg.Monitor != nil {
+		e.cfg.Monitor.ObserveProposeSeen(from, len(msg.IDs), e.rt.Now())
+		if e.cfg.Monitor.Quarantined(from) {
+			// A quarantined peer's proposals are not acted on: requesting
+			// from it would hand it serve credit, and under HEAP a liar's
+			// inflated fanout makes its proposals reach everywhere first.
+			e.stats.ProposesIgnored++
+			return
+		}
+	}
 	st := e.streamFor(msg.Stream, true)
 	if st == nil {
 		return // stream bound reached, see maxTrackedStreams
@@ -563,6 +615,9 @@ func (e *Engine) onPropose(from wire.NodeID, msg *wire.Propose) {
 func (e *Engine) sendRequest(st *streamState, to wire.NodeID, ids []wire.PacketID) {
 	e.rt.Send(to, &wire.Request{Stream: st.id, IDs: ids})
 	e.stats.RequestsSent++
+	if e.cfg.Monitor != nil {
+		e.cfg.Monitor.ObserveRequestSent(to, len(ids), e.rt.Now())
+	}
 }
 
 // armRetransmit schedules a timeout for a batch of just-requested ids. On
@@ -624,10 +679,22 @@ func (e *Engine) retransmit(st *streamState, ids []wire.PacketID) {
 	// insertion-ordered (a linear scan over the few distinct targets, not a
 	// map) so runs stay deterministic and the scratch slices are reusable.
 	targets, groups := e.retTargets[:0], e.retGroups[:0]
+	now := e.rt.Now()
 	for _, id := range ids {
 		p := st.pending.get(id)
 		if p == nil {
 			continue // delivered (or already abandoned) meanwhile
+		}
+		if e.cfg.Monitor != nil {
+			// The id is still missing, so the peer last asked for it — the
+			// original proposer for attempt 1, otherwise the rotation target
+			// of the previous attempt — failed to serve within RetPeriod.
+			// That timeout is the detector's negative serve evidence.
+			prev := p.proposers[0]
+			if !e.cfg.RetSameProposer && p.attempts > 1 {
+				prev = p.proposers[int(p.attempts-1)%int(p.numProposers)]
+			}
+			e.cfg.Monitor.ObserveTimeout(prev, 1, now)
 		}
 		if int(p.attempts) >= e.cfg.RetMaxAttempts {
 			// Abandon: clear the outstanding flag so a future propose can
@@ -639,6 +706,18 @@ func (e *Engine) retransmit(st *streamState, ids []wire.PacketID) {
 		target := p.proposers[0]
 		if !e.cfg.RetSameProposer {
 			target = p.proposers[int(p.attempts)%int(p.numProposers)]
+			if e.cfg.Monitor != nil && e.cfg.Monitor.Quarantined(target) {
+				// Skip quarantined alternates in the rotation; if every
+				// proposer of the id is quarantined, keep the rotation
+				// target — a doomed retry beats silently dropping the id.
+				for off := int32(1); off < int32(p.numProposers); off++ {
+					cand := p.proposers[(int(p.attempts)+int(off))%int(p.numProposers)]
+					if !e.cfg.Monitor.Quarantined(cand) {
+						target = cand
+						break
+					}
+				}
+			}
 		}
 		p.attempts++
 		slot := -1
@@ -668,6 +747,9 @@ func (e *Engine) retransmit(st *streamState, ids []wire.PacketID) {
 // onRequest handles phase 3, server side (Algorithm 1, lines 14-17).
 func (e *Engine) onRequest(from wire.NodeID, msg *wire.Request) {
 	e.stats.RequestsReceived++
+	if e.cfg.Monitor != nil {
+		e.cfg.Monitor.ObserveRequestSeen(from, len(msg.IDs), e.rt.Now())
+	}
 	st := e.lookupStream(msg.Stream)
 	if st == nil {
 		// Requests never open streams: nothing of this stream is buffered.
@@ -691,7 +773,14 @@ func (e *Engine) onRequest(from wire.NodeID, msg *wire.Request) {
 }
 
 // onServe handles phase 3, client side (Algorithm 1, lines 18-22).
-func (e *Engine) onServe(msg *wire.Serve) {
+func (e *Engine) onServe(from wire.NodeID, msg *wire.Serve) {
+	if e.cfg.Monitor != nil && len(msg.Events) > 0 {
+		var bytes int64
+		for i := range msg.Events {
+			bytes += int64(len(msg.Events[i].Payload))
+		}
+		e.cfg.Monitor.ObserveServeSeen(from, len(msg.Events), bytes, e.rt.Now())
+	}
 	st := e.streamFor(msg.Stream, true)
 	if st == nil {
 		return // stream bound reached, see maxTrackedStreams

@@ -1,0 +1,202 @@
+package misbehave_test
+
+// FuzzDetectorEvidence feeds the detector arbitrary observation
+// interleavings: hostile peer ids, zero and negative counts, clocks that
+// stall or jump backward, manual verdicts racing rule verdicts. Whatever the
+// history, the detector must not panic or divide by zero, evidence counters
+// must stay monotone, throughput figures finite, and the quarantine
+// bookkeeping (current set, count, event totals) internally consistent.
+//
+// The seed corpus includes a trace distilled from an actual adversarial
+// scenario run (the AdversaryStats evidence dump), so the fuzzer starts from
+// realistic histories rather than pure noise.
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/misbehave"
+	"repro/internal/scenario"
+	"repro/internal/wire"
+)
+
+// fuzzOps decodes the fuzz input as a stream of 4-byte operations
+// [opcode, peer, a, b] and applies them to d, returning false from check on
+// the first invariant violation.
+func fuzzPeerID(b byte) wire.NodeID {
+	switch {
+	case b >= 253:
+		return wire.NodeID(1<<20 + int32(b)) // beyond the hostile-input bound
+	case b >= 248:
+		return wire.NodeID(247 - int32(b)) // negative ids
+	default:
+		return wire.NodeID(b)
+	}
+}
+
+// evidenceKey flattens an Evidence record for monotonicity comparison.
+func evidenceKey(ev misbehave.Evidence) [7]int64 {
+	return [7]int64{ev.ProposesSeen, ev.ProposedIDs, ev.RequestsSeen,
+		ev.RequestedIDs, ev.ServedEvents, ev.ServedBytes, ev.Timeouts}
+}
+
+// encodeEvidence turns one peer's evidence record back into fuzz operations,
+// capped so scenario-scale counters do not explode the corpus entry.
+func encodeEvidence(dst []byte, peer byte, ev misbehave.Evidence) []byte {
+	emit := func(op byte, n int64, a, b byte) []byte {
+		if n > 12 {
+			n = 12
+		}
+		for i := int64(0); i < n; i++ {
+			dst = append(dst, op, peer, a, b)
+		}
+		return dst
+	}
+	dst = emit(0, ev.ProposesSeen, 1, 0)
+	dst = emit(1, ev.ProposedIDs, 1, 0)
+	dst = emit(2, ev.RequestsSeen, 1, 0)
+	dst = emit(3, ev.RequestedIDs, 1, 0)
+	dst = emit(4, ev.ServedEvents, 8, 0) // a scales served bytes
+	dst = emit(5, ev.Timeouts, 1, 0)
+	dst = append(dst, 6, 0, 200, 0) // tick, +200ms
+	return dst
+}
+
+// scenarioCorpus runs one small adversarial scenario and distills its
+// evidence dump into a corpus entry. Returns nil if the run fails (the fuzz
+// target still has the synthetic seeds).
+func scenarioCorpus() []byte {
+	res, err := scenario.Run(scenario.Config{
+		Nodes:    24,
+		Protocol: scenario.HEAP,
+		Dist:     scenario.MS691,
+		Windows:  2,
+		Seed:     11,
+		Drain:    10 * time.Second,
+		Adversary: &scenario.AdversarySpec{
+			FreeriderFraction: 0.15,
+			DropperFraction:   0.1,
+			Detect:            &misbehave.Config{},
+		},
+	})
+	if err != nil || res.AdversaryStats == nil {
+		return nil
+	}
+	var out []byte
+	for i, pe := range res.AdversaryStats.Evidence {
+		if i >= 16 {
+			break
+		}
+		out = encodeEvidence(out, byte(pe.Peer), pe.Ev)
+	}
+	return out
+}
+
+func FuzzDetectorEvidence(f *testing.F) {
+	// Synthetic seeds: one of each opcode, hostile ids, backward clock,
+	// manual verdict churn, and an empty input.
+	f.Add([]byte{})
+	f.Add([]byte{
+		0, 1, 1, 0, // propose seen from peer 1
+		1, 1, 5, 0, // 5 ids proposed to peer 1
+		2, 2, 1, 0, // request seen from peer 2
+		3, 2, 3, 0, // 3 ids requested from peer 2
+		4, 3, 9, 1, // serve from peer 3
+		5, 3, 2, 0, // timeouts attributed to peer 3
+		6, 0, 250, 0, // tick +250ms
+		7, 3, 0, 0, // manual quarantine peer 3
+		8, 3, 0, 0, // manual release peer 3
+		9, 1, 80, 0, // backward tick
+	})
+	f.Add([]byte{
+		5, 4, 3, 0, 5, 4, 3, 0, // enough timeouts to convict peer 4
+		6, 0, 255, 4, // tick
+		4, 4, 200, 3, // serves begin
+		6, 0, 255, 4,
+		4, 4, 200, 3, 4, 4, 200, 3, 4, 4, 200, 3,
+		6, 0, 255, 4, // release path
+	})
+	f.Add([]byte{0, 254, 1, 0, 5, 250, 9, 0, 4, 255, 0, 0, 6, 0, 0, 0}) // hostile ids
+	if trace := scenarioCorpus(); len(trace) > 0 {
+		f.Add(trace)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := misbehave.MustNew(misbehave.Config{Armed: true})
+		prev := make(map[wire.NodeID][7]int64)
+		now := time.Duration(0)
+		for off := 0; off+4 <= len(data) && off < 4096*4; off += 4 {
+			op, pb, a, b := data[off]%10, data[off+1], data[off+2], data[off+3]
+			id := fuzzPeerID(pb)
+			n := int(a)%16 - 2 // includes zero and negative counts
+			switch op {
+			case 0:
+				d.ObserveProposeSeen(id, n, now)
+			case 1:
+				d.ObserveProposeSent(id, n, now)
+			case 2:
+				d.ObserveRequestSeen(id, n, now)
+			case 3:
+				d.ObserveRequestSent(id, n, now)
+			case 4:
+				d.ObserveServeSeen(id, n, int64(a)*int64(b)-64, now)
+			case 5:
+				d.ObserveTimeout(id, n, now)
+			case 6:
+				now += time.Duration(a) * 10 * time.Millisecond
+				d.Tick(now)
+			case 7:
+				d.Quarantine(id, now)
+			case 8:
+				d.Release(id, now)
+			case 9:
+				// A tick with a stalled or backward clock must be harmless.
+				d.Tick(now - time.Duration(a)*time.Millisecond)
+			}
+
+			// Monotone counters for every peer touched so far.
+			for seen, last := range prev {
+				ev, ok := d.EvidenceOf(seen)
+				if !ok {
+					t.Fatalf("tracked peer %d lost its record", seen)
+				}
+				cur := evidenceKey(ev)
+				for i := range cur {
+					if cur[i] < last[i] {
+						t.Fatalf("peer %d counter %d shrank: %d -> %d",
+							seen, i, last[i], cur[i])
+					}
+				}
+				prev[seen] = cur
+			}
+			if ev, ok := d.EvidenceOf(id); ok {
+				prev[id] = evidenceKey(ev)
+			}
+		}
+
+		// Closing consistency: set, count, and totals agree; rates finite.
+		qp := d.QuarantinedPeers()
+		if len(qp) != d.QuarantineCount() {
+			t.Fatalf("count %d, set %v", d.QuarantineCount(), qp)
+		}
+		for _, id := range qp {
+			if !d.Quarantined(id) {
+				t.Fatalf("peer %d in set but not quarantined", id)
+			}
+		}
+		if got := d.QuarantineEvents() - d.ReleaseEvents(); got != int64(len(qp)) {
+			t.Fatalf("event totals %d-%d disagree with %d quarantined",
+				d.QuarantineEvents(), d.ReleaseEvents(), len(qp))
+		}
+		for id := range prev {
+			last, peak := d.AchievedKbps(id)
+			if math.IsNaN(last) || math.IsInf(last, 0) || math.IsNaN(peak) || math.IsInf(peak, 0) {
+				t.Fatalf("peer %d throughput not finite: %v, %v", id, last, peak)
+			}
+			if last < 0 || peak < 0 {
+				t.Fatalf("peer %d throughput negative: %v, %v", id, last, peak)
+			}
+		}
+	})
+}

@@ -1,0 +1,111 @@
+package misbehave
+
+import (
+	"time"
+
+	"repro/internal/env"
+	"repro/internal/wire"
+)
+
+// Class enumerates the adversarial node classes of this package. The zero
+// value means honest.
+type Class uint8
+
+// Adversary classes.
+const (
+	ClassHonest    Class = iota
+	ClassFreerider       // consumes but refuses to serve: drops inbound Requests
+	ClassLiar            // over-advertises capability at the aggregation layer
+	ClassDropper         // swallows inbound Proposes: never pulls, never relays
+)
+
+// String returns the class's report label.
+func (c Class) String() string {
+	switch c {
+	case ClassFreerider:
+		return "freerider"
+	case ClassLiar:
+		return "liar"
+	case ClassDropper:
+		return "dropper"
+	default:
+		return "honest"
+	}
+}
+
+// Interceptor implements adversarial message handling by wrapping an honest
+// protocol handler and deterministically discarding a configured fraction of
+// selected inbound message kinds. A freerider drops Requests (it never
+// serves); a dropper drops Proposes (it never pulls or relays). Everything
+// else — including the Serves that carry the payloads the adversary wants —
+// passes through, so the adversary stays a full consumer of the stream.
+//
+// Thinning is deterministic and rng-free: a fractional accumulator drops
+// exactly ⌈fraction·n⌉ of every n messages, evenly spread, so adversarial
+// runs stay byte-identical per seed. Intensity 1 drops everything.
+type Interceptor struct {
+	// Inner is the honest handler (the gossip engine).
+	Inner env.Handler
+	// DropRequests is the fraction of inbound Request messages discarded.
+	DropRequests float64
+	// DropProposes is the fraction of inbound Propose messages discarded.
+	DropProposes float64
+	// Onset delays misbehavior: before it, the node is honest. Sleeper
+	// adversaries that turn after the detector's evidence windows are primed
+	// are the harder detection case.
+	Onset time.Duration
+
+	rt      env.Runtime
+	reqAcc  float64
+	propAcc float64
+
+	// DroppedRequests and DroppedProposes count discarded messages.
+	DroppedRequests int64
+	DroppedProposes int64
+}
+
+// Start passes through to the honest handler.
+func (ic *Interceptor) Start(rt env.Runtime) {
+	ic.rt = rt
+	ic.Inner.Start(rt)
+}
+
+// Receive applies the drop policy, forwarding survivors to the honest
+// handler.
+func (ic *Interceptor) Receive(from wire.NodeID, msg wire.Message) {
+	if ic.rt != nil && ic.rt.Now() >= ic.Onset {
+		switch msg.(type) {
+		case *wire.Request:
+			if ic.thin(&ic.reqAcc, ic.DropRequests) {
+				ic.DroppedRequests++
+				return
+			}
+		case *wire.Propose:
+			if ic.thin(&ic.propAcc, ic.DropProposes) {
+				ic.DroppedProposes++
+				return
+			}
+		}
+	}
+	ic.Inner.Receive(from, msg)
+}
+
+// Stop passes through to the honest handler.
+func (ic *Interceptor) Stop() { ic.Inner.Stop() }
+
+// thin advances the fractional accumulator and reports whether this message
+// is discarded.
+func (ic *Interceptor) thin(acc *float64, fraction float64) bool {
+	if fraction <= 0 {
+		return false
+	}
+	if fraction >= 1 {
+		return true
+	}
+	*acc += fraction
+	if *acc >= 1 {
+		*acc--
+		return true
+	}
+	return false
+}

@@ -1,0 +1,294 @@
+package misbehave_test
+
+// The property pass for the detection path: a brute-force oracle reimplements
+// the verdict rules as the straightest possible map-based interpretation of
+// the documented semantics, with none of the Detector's incremental state
+// (dense tables, cached counts, event-log trimming). Randomized observation
+// histories are applied to both; after every tick the full quarantine map and
+// the derived counters must agree exactly. Any divergence means one of the
+// two implementations drifted from the documented rules.
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/misbehave"
+	"repro/internal/wire"
+)
+
+// oraclePeer mirrors Evidence plus the verdict state the rules need.
+type oraclePeer struct {
+	proposesSeen, proposedIDs int64
+	requestsSeen              int64
+	servedEvents              int64
+	timeouts                  int64
+
+	quarantined        bool
+	reason             misbehave.Reason
+	servedAtQuarantine int64
+}
+
+// oracle is the reference detector. Maps and recomputation everywhere: the
+// opposite implementation strategy from the real one.
+type oracle struct {
+	cfg   misbehave.Config
+	peers map[wire.NodeID]*oraclePeer
+
+	lastEval   time.Duration
+	everTicked bool
+
+	quarEvents, relEvents int64
+}
+
+func newOracle(cfg misbehave.Config) *oracle {
+	// Mirror withDefaults by hand (the real detector fills these in New).
+	if cfg.EvalInterval == 0 {
+		cfg.EvalInterval = time.Second
+	}
+	if cfg.MinServeEvidence == 0 {
+		cfg.MinServeEvidence = 5
+	}
+	if cfg.ServeRatioFloor == 0 {
+		cfg.ServeRatioFloor = 0.35
+	}
+	if cfg.ReleaseRatio == 0 {
+		cfg.ReleaseRatio = 0.5
+	}
+	if cfg.MinProposedIDs == 0 {
+		cfg.MinProposedIDs = 15
+	}
+	return &oracle{cfg: cfg, peers: make(map[wire.NodeID]*oraclePeer)}
+}
+
+func (o *oracle) peer(id wire.NodeID) *oraclePeer {
+	if id < 0 || id >= 1<<20 {
+		return nil
+	}
+	p := o.peers[id]
+	if p == nil {
+		p = &oraclePeer{}
+		o.peers[id] = p
+	}
+	return p
+}
+
+func (o *oracle) tick(now time.Duration) {
+	if o.everTicked && now-o.lastEval < o.cfg.EvalInterval {
+		return
+	}
+	o.everTicked = true
+	o.lastEval = now
+	if !o.cfg.Armed {
+		return
+	}
+	for id, p := range o.peers {
+		if o.cfg.Alive != nil && !o.cfg.Alive(id) {
+			continue
+		}
+		total := p.servedEvents + p.timeouts
+		ratio, enough := 0.0, false
+		if total >= o.cfg.MinServeEvidence && total > 0 {
+			ratio, enough = float64(p.servedEvents)/float64(total), true
+		}
+		if p.quarantined {
+			switch p.reason {
+			case misbehave.ReasonServeDeficit:
+				if enough && ratio >= o.cfg.ReleaseRatio && p.servedEvents > p.servedAtQuarantine {
+					p.quarantined, p.reason = false, misbehave.ReasonNone
+					o.relEvents++
+				}
+			case misbehave.ReasonUnresponsive:
+				if p.requestsSeen > 0 || p.proposesSeen > 0 {
+					p.quarantined, p.reason = false, misbehave.ReasonNone
+					o.relEvents++
+				}
+			}
+			continue
+		}
+		switch {
+		case enough && ratio < o.cfg.ServeRatioFloor:
+			p.quarantined, p.reason = true, misbehave.ReasonServeDeficit
+			p.servedAtQuarantine = p.servedEvents
+			o.quarEvents++
+		case p.proposedIDs >= o.cfg.MinProposedIDs && p.requestsSeen == 0 && p.proposesSeen == 0:
+			p.quarantined, p.reason = true, misbehave.ReasonUnresponsive
+			o.quarEvents++
+		}
+	}
+}
+
+func (o *oracle) quarantinedPeers() []wire.NodeID {
+	var out []wire.NodeID
+	for id, p := range o.peers {
+		if p.quarantined {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// compare asserts the detector and oracle agree on the complete verdict state.
+func compare(t *testing.T, step int, d *misbehave.Detector, o *oracle, peerSpace int) {
+	t.Helper()
+	got := d.QuarantinedPeers()
+	want := o.quarantinedPeers()
+	if len(got) != len(want) {
+		t.Fatalf("step %d: quarantined %v, oracle %v", step, got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("step %d: quarantined %v, oracle %v", step, got, want)
+		}
+	}
+	if d.QuarantineCount() != len(want) {
+		t.Fatalf("step %d: count %d, set %v", step, d.QuarantineCount(), want)
+	}
+	if d.QuarantineEvents() != o.quarEvents || d.ReleaseEvents() != o.relEvents {
+		t.Fatalf("step %d: events %d/%d, oracle %d/%d", step,
+			d.QuarantineEvents(), d.ReleaseEvents(), o.quarEvents, o.relEvents)
+	}
+	for id := 0; id < peerSpace; id++ {
+		if d.Quarantined(wire.NodeID(id)) != o.peers[wire.NodeID(id)].isQuarantined() {
+			t.Fatalf("step %d: peer %d verdict diverges", step, id)
+		}
+	}
+}
+
+func (p *oraclePeer) isQuarantined() bool { return p != nil && p.quarantined }
+
+// TestDetectorAgainstOracle drives randomized observation histories through
+// both implementations. Peers 0..peerSpace-1; operations weighted toward the
+// serve/timeout pair so both rules get exercised.
+func TestDetectorAgainstOracle(t *testing.T) {
+	const (
+		sequences = 60
+		steps     = 400
+		peerSpace = 12
+	)
+	for seq := 0; seq < sequences; seq++ {
+		rng := rand.New(rand.NewSource(int64(1000 + seq)))
+		cfg := misbehave.Config{Armed: true}
+		// A third of the sequences shrink the eval interval so tick
+		// quantization boundaries get hammered too.
+		if seq%3 == 1 {
+			cfg.EvalInterval = 250 * time.Millisecond
+		}
+		d := misbehave.MustNew(cfg)
+		o := newOracle(cfg)
+		now := time.Duration(0)
+		for step := 0; step < steps; step++ {
+			id := wire.NodeID(rng.Intn(peerSpace))
+			switch op := rng.Intn(10); op {
+			case 0:
+				d.ObserveProposeSeen(id, 1, now)
+				if p := o.peer(id); p != nil {
+					p.proposesSeen++
+				}
+			case 1, 2:
+				n := 1 + rng.Intn(8)
+				d.ObserveProposeSent(id, n, now)
+				if p := o.peer(id); p != nil {
+					p.proposedIDs += int64(n)
+				}
+			case 3:
+				d.ObserveRequestSeen(id, 1, now)
+				if p := o.peer(id); p != nil {
+					p.requestsSeen++
+				}
+			case 4:
+				d.ObserveRequestSent(id, 1+rng.Intn(4), now)
+				o.peer(id) // tracked on both sides; no rule reads it
+			case 5, 6:
+				n := 1 + rng.Intn(3)
+				d.ObserveServeSeen(id, n, int64(n)*1200, now)
+				if p := o.peer(id); p != nil {
+					p.servedEvents += int64(n)
+				}
+			case 7, 8:
+				n := 1 + rng.Intn(3)
+				d.ObserveTimeout(id, n, now)
+				if p := o.peer(id); p != nil {
+					p.timeouts += int64(n)
+				}
+			case 9:
+				now += time.Duration(rng.Intn(700)) * time.Millisecond
+				d.Tick(now)
+				o.tick(now)
+				compare(t, step, d, o, peerSpace)
+			}
+		}
+		now += 10 * time.Second
+		d.Tick(now)
+		o.tick(now)
+		compare(t, steps, d, o, peerSpace)
+	}
+}
+
+// TestDetectorOracleHonestNeverQuarantined is the false-positive property on
+// clean histories: whatever the interleaving, a cohort with no timeouts and
+// at least one request seen per peer gives neither rule a foothold.
+func TestDetectorOracleHonestNeverQuarantined(t *testing.T) {
+	const peerSpace = 10
+	for seq := 0; seq < 40; seq++ {
+		rng := rand.New(rand.NewSource(int64(7000 + seq)))
+		d := misbehave.MustNew(misbehave.Config{Armed: true})
+		now := time.Duration(0)
+		for id := 0; id < peerSpace; id++ {
+			d.ObserveRequestSeen(wire.NodeID(id), 1, now)
+		}
+		for step := 0; step < 300; step++ {
+			id := wire.NodeID(rng.Intn(peerSpace))
+			switch rng.Intn(6) {
+			case 0:
+				d.ObserveProposeSeen(id, 1, now)
+			case 1:
+				d.ObserveProposeSent(id, 1+rng.Intn(10), now)
+			case 2:
+				d.ObserveRequestSeen(id, 1, now)
+			case 3:
+				d.ObserveServeSeen(id, 1, 1500, now)
+			case 4:
+				d.ObserveRequestSent(id, 1, now)
+			case 5:
+				now += time.Duration(rng.Intn(1500)) * time.Millisecond
+				d.Tick(now)
+			}
+			if d.QuarantineEvents() != 0 {
+				t.Fatalf("seq %d step %d: clean history quarantined %v",
+					seq, step, d.QuarantinedPeers())
+			}
+		}
+	}
+}
+
+// TestDetectorOracleLateServers extends the honest property to degraded
+// cohorts: every peer serves each requested id late (timeout then serve,
+// ratio pinned at 0.5), under randomized interleaving with benign traffic.
+// No history of this shape may ever be quarantined at stock thresholds once
+// the serve catches up before the next evaluation.
+func TestDetectorOracleLateServers(t *testing.T) {
+	const peerSpace = 8
+	for seq := 0; seq < 40; seq++ {
+		rng := rand.New(rand.NewSource(int64(9000 + seq)))
+		d := misbehave.MustNew(misbehave.Config{Armed: true})
+		now := time.Duration(0)
+		for round := 0; round < 80; round++ {
+			id := wire.NodeID(rng.Intn(peerSpace))
+			// The late-serve pair lands atomically between evaluations.
+			d.ObserveTimeout(id, 1, now)
+			d.ObserveServeSeen(id, 1, 1400, now)
+			if rng.Intn(3) == 0 {
+				d.ObserveProposeSeen(id, 1, now)
+				d.ObserveProposeSent(id, 1+rng.Intn(6), now)
+			}
+			now += time.Duration(500+rng.Intn(1500)) * time.Millisecond
+			d.Tick(now)
+			if d.QuarantineEvents() != 0 {
+				t.Fatalf("seq %d round %d: late server quarantined", seq, round)
+			}
+		}
+	}
+}

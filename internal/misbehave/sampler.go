@@ -1,0 +1,74 @@
+package misbehave
+
+import (
+	"math/rand"
+
+	"repro/internal/membership"
+	"repro/internal/wire"
+)
+
+// QuarantineSampler wires the detector's verdicts through the membership
+// sampler: gossip target draws exclude currently quarantined peers, so a
+// convicted freerider stops receiving this node's proposals — and with them
+// the payloads it was freeriding on. Filtered slots are redrawn (bounded)
+// so honest fanout is preserved.
+//
+// When nothing is quarantined the wrapper draws exactly once and consumes
+// exactly the inner sampler's randomness, so an unarmed detector leaves the
+// peer-selection stream untouched.
+type QuarantineSampler struct {
+	// Inner is the wrapped sampler (static view or PSS).
+	Inner membership.Sampler
+	// Detector supplies the quarantine verdicts.
+	Detector *Detector
+}
+
+// redrawRounds bounds the extra draws replacing filtered slots. Two rounds
+// recover full fanout except under mass quarantine, where a short draw is
+// the correct outcome anyway (most of the view is convicted).
+const redrawRounds = 2
+
+// SelectPeers draws up to k non-quarantined peers.
+func (s *QuarantineSampler) SelectPeers(rng *rand.Rand, k int) []wire.NodeID {
+	peers := s.Inner.SelectPeers(rng, k)
+	kept := peers[:0]
+	for _, p := range peers {
+		if !s.Detector.Quarantined(p) {
+			kept = append(kept, p)
+		}
+	}
+	if len(kept) == len(peers) {
+		return kept
+	}
+	for round := 0; round < redrawRounds && len(kept) < k; round++ {
+		extra := s.Inner.SelectPeers(rng, k-len(kept))
+		grew := false
+		for _, p := range extra {
+			if s.Detector.Quarantined(p) || contains(kept, p) {
+				continue
+			}
+			kept = append(kept, p)
+			grew = true
+		}
+		if !grew {
+			break
+		}
+	}
+	return kept
+}
+
+// PeerCount returns the inner sampler's population size (quarantined peers
+// included: the count sizes fanout budgets, and quarantine is a routing
+// decision, not a membership one).
+func (s *QuarantineSampler) PeerCount() int { return s.Inner.PeerCount() }
+
+// contains reports whether id is already drawn; fanouts are small, so a
+// linear scan beats building a set.
+func contains(peers []wire.NodeID, id wire.NodeID) bool {
+	for _, p := range peers {
+		if p == id {
+			return true
+		}
+	}
+	return false
+}

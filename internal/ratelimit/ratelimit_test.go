@@ -361,3 +361,56 @@ func TestQueueLen(t *testing.T) {
 		t.Fatalf("queue length %d, want ~4", l)
 	}
 }
+
+// TestConcurrentBacklogPollRace is the heapnode usage pattern: the node's
+// engine goroutine enqueues and rewrites the pacing rate (capability drift),
+// while a second goroutine — the status line — polls QueueBacklog and the
+// queue gauges the whole time. Run under -race, this is a regression test
+// that the backlog computation stays on atomic loads only; it must also
+// never return a negative or absurd duration while the rate is being
+// rewritten underneath it.
+func TestConcurrentBacklogPollRace(t *testing.T) {
+	s, err := NewSender(1_000_000, 2048, func(int) int { return 200 }, func(int) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	stop := make(chan struct{})
+	var bad atomic.Int64
+	var wg sync.WaitGroup
+	for p := 0; p < 2; p++ { // two pollers: status line + adaptation sampler
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				b := s.QueueBacklog()
+				if b < 0 || b > time.Hour {
+					bad.Add(1)
+				}
+				if s.QueuedBytes() < 0 {
+					bad.Add(1)
+				}
+				_ = s.QueueLen()
+				_ = s.BytesSent()
+				_ = s.AcceptedBytes()
+			}
+		}()
+	}
+
+	rates := []int64{0, 4_000, 250_000, 16_000_000, -1, 1_000_000}
+	for i := 0; i < 2000; i++ {
+		s.SetRate(rates[i%len(rates)])
+		s.Enqueue(i)
+	}
+	close(stop)
+	wg.Wait()
+	if n := bad.Load(); n != 0 {
+		t.Fatalf("%d inconsistent backlog reads", n)
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/adapt"
 	"repro/internal/metrics"
+	"repro/internal/misbehave"
 	"repro/internal/netem"
 )
 
@@ -38,6 +39,15 @@ func fingerprint(t *testing.T, res *Result) []byte {
 		// Adapt-enabled runs fingerprint the full re-advertisement traces:
 		// a controller decision leaking scheduling order would show here.
 		if err := enc.Encode(res.AdaptStats); err != nil {
+			t.Fatalf("fingerprint: %v", err)
+		}
+	}
+	if res.AdversaryStats != nil {
+		// Adversarial runs fingerprint the whole detection record — node
+		// sets, per-node verdict counts, quorum times, the evidence dump,
+		// and the anonymity probe: a detector verdict or probe draw leaking
+		// scheduling order would show here.
+		if err := enc.Encode(res.AdversaryStats); err != nil {
 			t.Fatalf("fingerprint: %v", err)
 		}
 	}
@@ -319,6 +329,97 @@ func TestDeterminismAdaptSweepWorkers(t *testing.T) {
 	}
 	if !bytes.Equal(sc.Bytes(), pc.Bytes()) {
 		t.Fatal("adapt sweep CSV bytes differ between 1 and 8 workers")
+	}
+	for i := range serial.Cells {
+		s, p := serial.Cells[i], parallel.Cells[i]
+		ss, ps := s.Summary, p.Summary
+		ss.Elapsed, ps.Elapsed = 0, 0
+		if !reflect.DeepEqual(ss, ps) {
+			t.Fatalf("cell %s: summaries differ between 1 and 8 workers", s.Key)
+		}
+	}
+}
+
+// adversaryDetBase is the determinism suite's adversarial configuration:
+// all three adversary classes with armed detectors, so verdict evaluation,
+// quarantine routing (sampler redraws, retry-rotation skips, aggregation
+// exclusion), and the anonymity probe are all exercised.
+func adversaryDetBase(seed int64) Config {
+	cfg := adversaryBase(seed)
+	cfg.Windows = 8
+	cfg.Adversary = &AdversarySpec{
+		FreeriderFraction: 0.08,
+		LiarFraction:      0.05,
+		DropperFraction:   0.05,
+		Detect:            &misbehave.Config{},
+	}
+	return cfg
+}
+
+// TestDeterminismAdversaryRepeatedRun extends the byte-equality check to
+// adversarial runs: detector verdicts reroute gossip mid-run (extra sampler
+// draws on quarantine), so any rng-order or map-order leak in the detection
+// path breaks byte equality here. AdversaryStats itself is part of the
+// fingerprint.
+func TestDeterminismAdversaryRepeatedRun(t *testing.T) {
+	a, err := Run(adversaryDetBase(59))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(adversaryDetBase(59))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fingerprint(t, a), fingerprint(t, b)) {
+		t.Fatal("adversarial run is not deterministic for a fixed seed")
+	}
+	if a.AdversaryStats == nil || a.AdversaryStats.QuarantineEvents == 0 {
+		t.Fatal("no quarantine ever happened; the fingerprint check is vacuous")
+	}
+	// The detector must be load-bearing: the same seed with observe-only
+	// detectors must not collide.
+	off := adversaryDetBase(59)
+	off.Adversary.Detect = nil
+	c, err := Run(off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(fingerprint(t, a), fingerprint(t, c)) {
+		t.Fatal("armed and observe-only runs produced identical fingerprints")
+	}
+}
+
+// TestDeterminismAdversarySweepWorkers re-checks worker-count independence
+// with the adversary axis active: 1 and 8 workers must export byte-identical
+// CSV for the honest/detector-off/detector-on grid.
+func TestDeterminismAdversarySweepWorkers(t *testing.T) {
+	grid := func(workers int) Sweep {
+		return Sweep{
+			Base:     adversaryDetBase(0),
+			Variants: AdversaryVariants(AdversarySpec{FreeriderFraction: 0.1}),
+			Replicas: 2,
+			BaseSeed: 61,
+			Workers:  workers,
+			DropRuns: true,
+		}
+	}
+	serial, err := RunSweep(grid(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunSweep(grid(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sc, pc bytes.Buffer
+	if err := serial.WriteCSV(&sc); err != nil {
+		t.Fatal(err)
+	}
+	if err := parallel.WriteCSV(&pc); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sc.Bytes(), pc.Bytes()) {
+		t.Fatal("adversary sweep CSV bytes differ between 1 and 8 workers")
 	}
 	for i := range serial.Cells {
 		s, p := serial.Cells[i], parallel.Cells[i]

@@ -13,6 +13,7 @@ import (
 	"repro/internal/env"
 	"repro/internal/membership"
 	"repro/internal/metrics"
+	"repro/internal/misbehave"
 	"repro/internal/netem"
 	"repro/internal/simnet"
 	"repro/internal/stream"
@@ -127,6 +128,15 @@ type Config struct {
 	// AdaptPeriod switches HEAP's knob from fanout to gossip period
 	// (§5 alternative; ablation). Requires Protocol == HEAP.
 	AdaptPeriod bool
+
+	// Adversary injects adversarial node classes — freeriders, capability
+	// liars, message droppers — and optionally arms the misbehavior
+	// detector on the honest cohort (internal/misbehave). Node sets are
+	// drawn deterministically from Seed, like netem's. Nil (the default)
+	// runs are byte-identical to a build without the misbehave package.
+	// Requires a gossip protocol; liars require HEAP. Results land in
+	// Result.AdversaryStats.
+	Adversary *AdversarySpec
 
 	// Adapt enables congestion-driven capability re-estimation
 	// (internal/adapt): every constrained non-source node runs a controller
@@ -312,6 +322,9 @@ func (c *Config) applyDefaults() error {
 	if err := c.validateAdapt(); err != nil {
 		return err
 	}
+	if err := c.validateAdversary(); err != nil {
+		return err
+	}
 	if err := c.applyStreamDefaults(); err != nil {
 		return err
 	}
@@ -372,6 +385,9 @@ type Result struct {
 	// AdaptStats holds the re-advertisement traces and final effective
 	// capabilities of the adaptation controllers (nil when Adapt is unset).
 	AdaptStats *AdaptStats
+	// AdversaryStats holds the adversary node sets, detection statistics,
+	// and the source-anonymity probe (nil when Adversary is unset).
+	AdversaryStats *AdversaryStats
 }
 
 // BacklogSample is one probe of the system's uplink queues.
@@ -461,6 +477,19 @@ func Run(cfg Config) (*Result, error) {
 					advertised[i] = 1
 				}
 			}
+		}
+	}
+
+	// Adversarial nodes: the class assignment draws from its own seeded rng
+	// (like netem's node sets). Onset-zero liars over-advertise from the
+	// first aggregation exchange — their estimators are built on the
+	// inflated value; delayed liars are rescheduled after the network
+	// exists (scheduleLiars). Where a liar overlaps a legacy freerider
+	// pick, the liar's advertisement wins.
+	adv := newAdversaryState(&cfg, total, sourceNode)
+	if adv != nil && adv.spec.Onset == 0 {
+		for _, id := range adv.liars {
+			advertised[id] = adv.liarAdvertised(caps[id])
 		}
 	}
 
@@ -601,6 +630,17 @@ func Run(cfg Config) (*Result, error) {
 			sampler = views[i]
 		}
 
+		// Adversarial wiring, honest side: every honest non-source node runs
+		// a misbehavior detector (armed or observe-only per the spec), and
+		// its verdicts filter this node's gossip target draws through the
+		// sampler wrapper. Adversaries and sources run no detector.
+		var det *misbehave.Detector
+		if adv != nil && adv.class[i] == misbehave.ClassHonest && !sourceNode[i] {
+			det = misbehave.MustNew(adv.detectorConfig(net))
+			adv.detectors[i] = det
+			sampler = &misbehave.QuarantineSampler{Inner: sampler, Detector: det}
+		}
+
 		engCfg := core.Config{
 			Fanout:          cfg.Fanout,
 			MaxFanout:       cfg.MaxFanout,
@@ -611,6 +651,7 @@ func Run(cfg Config) (*Result, error) {
 			ExpectedPackets: cfg.Geometry.TotalPackets(cfg.Windows),
 			Sampler:         sampler,
 			OnDeliver:       onDeliver,
+			Monitor:         monitorOrNil(det),
 		}
 		if !cfg.Unconstrained {
 			// The fanout-budget allocator's upload budget; inert with a
@@ -644,13 +685,20 @@ func Run(cfg Config) (*Result, error) {
 			}
 		}
 		if cfg.Protocol == HEAP && !isSource {
-			est := aggregation.NewEstimator(aggregation.Config{
+			aggCfg := aggregation.Config{
 				SelfCapKbps: advertised[i],
 				Period:      cfg.AggPeriod,
 				Fanout:      cfg.AggFanout,
 				FreshestK:   cfg.AggFreshestK,
 				Sampler:     sampler,
-			})
+			}
+			if det != nil {
+				// The fanout penalty: a quarantined peer's capability claim
+				// leaves this node's bbar, so a liar's inflated claim stops
+				// taxing honest fanouts once convicted.
+				aggCfg.Exclude = det.Quarantined
+			}
+			est := aggregation.NewEstimator(aggCfg)
 			estimators[i] = est
 			engCfg.Adaptive = true
 			engCfg.AdaptPeriod = cfg.AdaptPeriod
@@ -697,7 +745,14 @@ func Run(cfg Config) (*Result, error) {
 			}
 		}
 		engines[i] = eng
-		mux.Register(eng, wire.KindPropose, wire.KindRequest, wire.KindServe)
+		// Adversarial wiring, adversary side: freeriders and droppers
+		// receive the protocol through their class's message-drop
+		// interceptor; everyone else registers the engine directly.
+		var handler env.Handler = eng
+		if adv != nil {
+			handler = adv.interceptorFor(i, eng)
+		}
+		mux.Register(handler, wire.KindPropose, wire.KindRequest, wire.KindServe)
 
 		for _, sp := range specs {
 			if sp.Source != id {
@@ -784,6 +839,9 @@ func Run(cfg Config) (*Result, error) {
 	applyChurnBursts(net, &cfg, views, &victims)
 	if netemEngine != nil {
 		applyCapTraces(net, netemEngine, cfg.Unconstrained, effective, advertised, estimators)
+	}
+	if adv != nil {
+		adv.scheduleLiars(net, caps, estimators)
 	}
 
 	// Bandwidth-usage sampling during the streaming phase (Fig 4).
@@ -894,7 +952,19 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Adapt != nil {
 		res.AdaptStats = collectAdaptStats(controllers)
 	}
+	if adv != nil {
+		res.AdversaryStats = adv.collectStats(&cfg, res)
+	}
 	return res, nil
+}
+
+// monitorOrNil converts a possibly-nil detector into core's Monitor hook
+// without tripping the typed-nil-in-interface trap.
+func monitorOrNil(det *misbehave.Detector) core.Monitor {
+	if det == nil {
+		return nil
+	}
+	return det
 }
 
 type collectArgs struct {

@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/env"
 	"repro/internal/membership"
+	"repro/internal/misbehave"
 	"repro/internal/netem"
 	"repro/internal/stream"
 	"repro/internal/udpnet"
@@ -77,6 +78,15 @@ type NodeConfig struct {
 	// race it and should be avoided; AdvertisedKbps tracks the adapted
 	// value.
 	Adapt *AdaptConfig
+	// Misbehave, if non-nil, runs the misbehavior detector on this node:
+	// per-peer contribution evidence is collected on the engine's message
+	// paths, and — when Armed — peers convicted of freeriding or dropping
+	// are quarantined: excluded from gossip target draws, their proposals
+	// ignored, and (under Adaptive) their capability claims expelled from
+	// the average. The zero MisbehaveConfig observes without verdicts.
+	// Leave Alive nil on real deployments: there is no liveness oracle, and
+	// quarantining a dead peer is harmless.
+	Misbehave *MisbehaveConfig
 }
 
 // SourceConfig describes one stream a node broadcasts.
@@ -100,6 +110,7 @@ type Node struct {
 	engine    *core.Engine
 	estimator *aggregation.Estimator
 	adapt     *adapt.Controller
+	detector  *misbehave.Detector
 	view      *membership.View
 	source    *stream.Source
 	capKbps   atomic.Uint32
@@ -165,13 +176,26 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 	n.capKbps.Store(cfg.UploadKbps)
 	mux := env.NewMux()
 
+	var sampler membership.Sampler = view
+	if cfg.Misbehave != nil {
+		det, err := misbehave.New(*cfg.Misbehave)
+		if err != nil {
+			return nil, err
+		}
+		n.detector = det
+		sampler = &misbehave.QuarantineSampler{Inner: view, Detector: det}
+	}
+
 	engCfg := core.Config{
 		Fanout:       cfg.Fanout,
 		GossipPeriod: cfg.GossipPeriod,
 		// The fanout-budget allocator divides this across concurrent
 		// streams; with a single stream it is inert.
 		UploadKbps: cfg.UploadKbps,
-		Sampler:    view,
+		Sampler:    sampler,
+	}
+	if n.detector != nil {
+		engCfg.Monitor = n.detector
 	}
 	if cfg.OnDeliver != nil {
 		deliver := cfg.OnDeliver
@@ -184,10 +208,16 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 		}
 	}
 	if cfg.Adaptive {
-		est := aggregation.NewEstimator(aggregation.Config{
+		aggCfg := aggregation.Config{
 			SelfCapKbps: cfg.UploadKbps,
-			Sampler:     view,
-		})
+			Sampler:     sampler,
+		}
+		if n.detector != nil {
+			// The fanout penalty: a quarantined peer's capability claim
+			// leaves the average, returning its fanout share to honest nodes.
+			aggCfg.Exclude = n.detector.Quarantined
+		}
+		est := aggregation.NewEstimator(aggCfg)
 		n.estimator = est
 		engCfg.Adaptive = true
 		engCfg.Capabilities = est
@@ -434,6 +464,47 @@ func (n *Node) AdaptReadvertisements() int {
 // the paced sender's bounded queue — the first symptom of this node trying
 // to send past its upload capability.
 func (n *Node) SendQueueDropped() int64 { return n.udp.SendDropped() }
+
+// SendQueueBacklog returns how long the paced sender's queued bytes take to
+// drain at the current rate — the live congestion signal (0 when idle or
+// unthrottled). Safe to poll from any goroutine, like SendQueueDropped.
+func (n *Node) SendQueueBacklog() time.Duration { return n.udp.SendBacklog() }
+
+// QuarantinedPeers returns the peers this node's misbehavior detector
+// currently holds quarantined, ascending (nil without a Misbehave config, or
+// with an unarmed one). Truthful after Close, like the other statistics
+// accessors.
+func (n *Node) QuarantinedPeers() []NodeID {
+	var out []NodeID
+	read := func() {
+		if n.detector != nil {
+			out = n.detector.QuarantinedPeers()
+		}
+	}
+	if !n.udp.Execute(read) {
+		read()
+	}
+	return out
+}
+
+// MisbehaveEvidence returns the detector's contribution evidence for one
+// peer (zero record and false without a Misbehave config or for a peer never
+// observed). Truthful after Close.
+func (n *Node) MisbehaveEvidence(peer NodeID) (MisbehaveEvidence, bool) {
+	var (
+		ev MisbehaveEvidence
+		ok bool
+	)
+	read := func() {
+		if n.detector != nil {
+			ev, ok = n.detector.EvidenceOf(peer)
+		}
+	}
+	if !n.udp.Execute(read) {
+		read()
+	}
+	return ev, ok
+}
 
 // NetemCounters returns how many outbound datagrams this node's netem model
 // dropped and delayed (zeros without a Netem config). Truthful after Close.
