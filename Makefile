@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: check vet build linkcheck race race-detect test-short testshort test bench sweep largescale fuzz full fmt
+.PHONY: check vet build linkcheck race race-detect test-short testshort test bench bench-udp sweep largescale fuzz full fmt
 
 check: vet build linkcheck race race-detect testshort
 
@@ -42,6 +42,11 @@ test:
 # One iteration of every paper-figure benchmark (reduced scale).
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+
+# The UDP fast-path saturation benchmark: loopback pps and allocs/datagram,
+# batched syscalls (sendmmsg/recvmmsg) vs the portable single-syscall path.
+bench-udp:
+	$(GO) test -bench 'UDPLoopbackSaturation' -benchtime 2s -run '^$$' ./internal/udpnet
 
 # The paper's headline grid on all cores, CSV into out/.
 sweep:

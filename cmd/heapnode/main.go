@@ -82,6 +82,8 @@ func run() int {
 		duration = flag.Duration("duration", 2*time.Minute, "how long to run before exiting")
 		netemPro = flag.String("netem", "", "adverse-network profile emulated on this node's sockets "+
 			fmt.Sprintf("(%s)", strings.Join(heapgossip.NetemProfileNames(), ", ")))
+		sockBuf = flag.Int("sockbuf", 0, "kernel socket buffer bytes, SO_RCVBUF and SO_SNDBUF "+
+			"(0 = 1 MiB default, negative = leave kernel defaults)")
 		seed  = flag.Int64("seed", 0, "protocol/netem randomness seed (default: derived from -id)")
 		epoch = flag.Int64("epoch", 0, "shared unix-seconds time base for lag stamps and netem schedules (default: node start)")
 	)
@@ -107,12 +109,13 @@ func run() int {
 	var seenMu sync.Mutex
 	seen := make(map[heapgossip.StreamID]bool) // streams observed (status line)
 	cfg := heapgossip.NodeConfig{
-		ID:         self,
-		Listen:     listen,
-		UploadKbps: uint32(*capKbps),
-		Adaptive:   *adaptive,
-		Fanout:     *fanout,
-		Peers:      peers,
+		ID:                self,
+		Listen:            listen,
+		UploadKbps:        uint32(*capKbps),
+		SocketBufferBytes: *sockBuf,
+		Adaptive:          *adaptive,
+		Fanout:            *fanout,
+		Peers:             peers,
 		OnDeliver: func(stream heapgossip.StreamID, _ heapgossip.PacketID, payload []byte, lag time.Duration) {
 			delivered.Add(1)
 			bytes.Add(int64(len(payload)))

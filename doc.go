@@ -40,7 +40,9 @@
 //   - internal/fec, internal/gf256: systematic Reed-Solomon erasure coding.
 //   - internal/simnet: the discrete-event network simulator.
 //   - internal/udpnet, internal/ratelimit: the real-UDP runtime with
-//     application-level upload throttling.
+//     application-level upload throttling. On Linux it batches syscalls
+//     (sendmmsg/recvmmsg) behind the pacer; elsewhere a portable
+//     one-syscall-per-datagram path delivers identically.
 //   - internal/membership: full-view sampling and a Cyclon-style PSS.
 //   - internal/stream, internal/metrics, internal/scenario, internal/churn:
 //     workload, measurement, experiment assembly, failure injection.

@@ -18,41 +18,75 @@ import (
 // Sender paces items of type T through a send function at a fixed bit rate.
 // Items queue FIFO; when the queue is full, Enqueue drops (tail drop) —
 // a bounded variant of the paper's unbounded application queue.
+//
+// A batch-aware Sender (NewBatchSender) coalesces items the pacing clock has
+// already released into one flush callback — the hook for batched-syscall
+// transports (sendmmsg) — without changing the pacing itself: an item leaves
+// no earlier than its serialization time allows, batched or not.
 type Sender[T any] struct {
-	rateBps atomic.Int64
-	sizeOf  func(T) int
-	send    func(T)
+	rateBps  atomic.Int64
+	sizeOf   func(T) int
+	flush    func([]T)
+	batchMax int
 
 	queue chan T
 	wg    sync.WaitGroup
 	stop  chan struct{}
 	once  sync.Once
+	// stopMu orders Enqueue against Close: Enqueue holds the read side
+	// across its stop check and channel send, and Close takes the write
+	// side after the drain loop has exited, so no item can slip into the
+	// queue between Close's final sweep and the stop flag — every accepted
+	// item is either transmitted or accounted as discarded, never stranded.
+	stopMu sync.RWMutex
 	// rateChanged wakes a drain loop sleeping on the old rate so SetRate
 	// takes effect immediately, not after the current item finishes pacing.
 	// Buffered with one slot: coalescing rapid rewrites is fine, the loop
 	// always reloads the latest rate.
 	rateChanged chan struct{}
 
-	sent     atomic.Int64
-	dropped  atomic.Int64
-	bytes    atomic.Int64
-	queued   atomic.Int64 // bytes accepted but not yet transmitted
-	accepted atomic.Int64 // bytes ever accepted (enqueue-counted, monotonic)
+	sent      atomic.Int64
+	dropped   atomic.Int64
+	bytes     atomic.Int64
+	queued    atomic.Int64 // bytes accepted but not yet transmitted
+	accepted  atomic.Int64 // bytes ever accepted (enqueue-counted, monotonic)
+	discarded atomic.Int64 // bytes accepted but discarded undelivered by Close
 }
 
 // NewSender builds and starts a paced sender. rateBps <= 0 means unlimited.
 // sizeOf must return the on-wire size (used for pacing); send performs the
 // actual transmission and must not block indefinitely.
 func NewSender[T any](rateBps int64, queueCap int, sizeOf func(T) int, send func(T)) (*Sender[T], error) {
+	if send == nil {
+		return nil, fmt.Errorf("ratelimit: sizeOf and send are required")
+	}
+	return NewBatchSender(rateBps, queueCap, 1, sizeOf, func(items []T) {
+		for _, item := range items {
+			send(item)
+		}
+	})
+}
+
+// NewBatchSender builds and starts a paced sender with a batch-aware drain:
+// when the pacing clock has released several queued items (or the rate is
+// unlimited), up to batchMax of them leave in one flush call instead of one
+// call per item. FIFO order, per-item byte accounting, and the SetRate
+// re-pacing semantics are identical to the per-item sender; batchMax 1
+// degenerates to it exactly.
+func NewBatchSender[T any](rateBps int64, queueCap, batchMax int, sizeOf func(T) int, flush func([]T)) (*Sender[T], error) {
 	if queueCap <= 0 {
 		return nil, fmt.Errorf("ratelimit: queue capacity %d must be positive", queueCap)
 	}
-	if sizeOf == nil || send == nil {
+	if batchMax <= 0 {
+		return nil, fmt.Errorf("ratelimit: batch size %d must be positive", batchMax)
+	}
+	if sizeOf == nil || flush == nil {
 		return nil, fmt.Errorf("ratelimit: sizeOf and send are required")
 	}
 	s := &Sender[T]{
 		sizeOf:      sizeOf,
-		send:        send,
+		flush:       flush,
+		batchMax:    batchMax,
 		queue:       make(chan T, queueCap),
 		stop:        make(chan struct{}),
 		rateChanged: make(chan struct{}, 1),
@@ -78,11 +112,15 @@ func (s *Sender[T]) SetRate(rateBps int64) {
 }
 
 // Enqueue submits an item for paced transmission. It reports false when the
-// queue is full (the item is dropped) or the sender is closed.
+// queue is full (the item is dropped) or the sender is closed. Only
+// queue-full rejections count into Dropped: a closed sender is not
+// congestion, and charging its rejections there would pollute the
+// tail-drop signal the adaptation layer reads.
 func (s *Sender[T]) Enqueue(item T) bool {
+	s.stopMu.RLock()
+	defer s.stopMu.RUnlock()
 	select {
 	case <-s.stop:
-		s.dropped.Add(1)
 		return false
 	default:
 	}
@@ -104,16 +142,40 @@ func (s *Sender[T]) Enqueue(item T) bool {
 }
 
 // Close stops the drain loop and waits for it to exit. Queued items are
-// discarded. Close is idempotent.
+// discarded — their bytes move from the queued gauge to DiscardedBytes, so
+// QueuedBytes and QueueBacklog read zero on a closed sender instead of
+// over-reporting forever. Close is idempotent; concurrent callers return
+// only once the shutdown (including the discard sweep) has completed.
 func (s *Sender[T]) Close() {
-	s.once.Do(func() { close(s.stop) })
-	s.wg.Wait()
+	s.once.Do(func() {
+		close(s.stop)
+		s.wg.Wait()
+		// Sweep the queue: the write lock waits out Enqueues already past
+		// their stop check, and any later Enqueue observes stop closed, so
+		// after the sweep nothing can re-charge the queued gauge.
+		s.stopMu.Lock()
+		defer s.stopMu.Unlock()
+		for {
+			select {
+			case item := <-s.queue:
+				s.discardItem(item)
+			default:
+				return
+			}
+		}
+	})
+}
+
+func (s *Sender[T]) discardItem(item T) {
+	size := int64(s.sizeOf(item))
+	s.queued.Add(-size)
+	s.discarded.Add(size)
 }
 
 // Sent returns the number of items transmitted.
 func (s *Sender[T]) Sent() int64 { return s.sent.Load() }
 
-// Dropped returns the number of items tail-dropped.
+// Dropped returns the number of items tail-dropped by the bounded queue.
 func (s *Sender[T]) Dropped() int64 { return s.dropped.Load() }
 
 // Bytes returns the total bytes transmitted.
@@ -134,13 +196,18 @@ func (s *Sender[T]) BytesSent() int64 { return s.bytes.Load() }
 // must not be mixed.
 func (s *Sender[T]) AcceptedBytes() int64 { return s.accepted.Load() }
 
+// DiscardedBytes returns the bytes of accepted items that Close discarded
+// undelivered. Once Close has returned the books balance exactly:
+// AcceptedBytes = BytesSent + DiscardedBytes, and QueuedBytes is zero.
+func (s *Sender[T]) DiscardedBytes() int64 { return s.discarded.Load() }
+
 // QueueLen returns the instantaneous queue length.
 func (s *Sender[T]) QueueLen() int { return len(s.queue) }
 
 // QueuedBytes returns the bytes accepted for transmission but not yet sent
 // (the item currently pacing included). Together with BytesSent it gives a
 // race-free window-drain signal: bytes drained = ΔBytesSent, backlog =
-// QueuedBytes — both single atomic loads.
+// QueuedBytes — both single atomic loads. Zero after Close.
 func (s *Sender[T]) QueuedBytes() int64 { return s.queued.Load() }
 
 // QueueBacklog converts the queued bytes into drain time at the current
@@ -161,50 +228,96 @@ func (s *Sender[T]) QueueBacklog() time.Duration {
 // the sleep re-paces the item: the waited time counts against the new
 // serialization time, so rate increases release the item early and
 // decreases extend the wait.
+//
+// After the clock releases an item, the loop opportunistically pulls every
+// further queued item whose serialization time has also already elapsed —
+// all of them, when the rate is unlimited — and flushes the run as one
+// batch, up to batchMax. An item pulled ahead of its deadline is never sent
+// early: it is carried to the next iteration and paced there, preserving
+// FIFO order (the channel cannot be peeked).
 func (s *Sender[T]) drain() {
 	defer s.wg.Done()
-	var txClock time.Time // when the uplink becomes free
+	batch := make([]T, 0, s.batchMax)
+	var (
+		pending    T
+		hasPending bool
+		txClock    time.Time // when the uplink becomes free
+	)
 	for {
-		select {
-		case <-s.stop:
-			return
-		case item := <-s.queue:
-			size := s.sizeOf(item)
-			now := time.Now()
-			if txClock.Before(now) {
-				txClock = now
+		var item T
+		if hasPending {
+			item, hasPending = pending, false
+			var zero T
+			pending = zero
+		} else {
+			select {
+			case <-s.stop:
+				return
+			case item = <-s.queue:
 			}
-		pace:
-			for {
-				rate := s.rateBps.Load()
-				if rate <= 0 {
-					break // unlimited: send immediately
-				}
-				ser := time.Duration(int64(size) * 8 * int64(time.Second) / rate)
-				deadline := txClock.Add(ser)
-				wait := time.Until(deadline)
-				if wait <= 0 {
-					txClock = deadline
-					break
-				}
-				timer := time.NewTimer(wait)
-				select {
-				case <-timer.C:
-					txClock = deadline
-					break pace
-				case <-s.rateChanged:
-					timer.Stop()
-					// Recompute the deadline from the same clock base with
-					// the new rate; time already waited is not re-charged.
-				case <-s.stop:
-					timer.Stop()
-					return
-				}
-			}
-			s.bytes.Add(int64(size))
-			s.send(item)
-			s.sent.Add(1)
-			s.queued.Add(-int64(size))
 		}
+		size := s.sizeOf(item)
+		now := time.Now()
+		if txClock.Before(now) {
+			txClock = now
+		}
+	pace:
+		for {
+			rate := s.rateBps.Load()
+			if rate <= 0 {
+				break // unlimited: send immediately
+			}
+			ser := time.Duration(int64(size) * 8 * int64(time.Second) / rate)
+			deadline := txClock.Add(ser)
+			wait := time.Until(deadline)
+			if wait <= 0 {
+				txClock = deadline
+				break
+			}
+			timer := time.NewTimer(wait)
+			select {
+			case <-timer.C:
+				txClock = deadline
+				break pace
+			case <-s.rateChanged:
+				timer.Stop()
+				// Recompute the deadline from the same clock base with
+				// the new rate; time already waited is not re-charged.
+			case <-s.stop:
+				timer.Stop()
+				// The item was popped but never sent: account it as
+				// discarded so the queued gauge still balances to zero.
+				s.discardItem(item)
+				return
+			}
+		}
+		batch = append(batch[:0], item)
+		batchBytes := int64(size)
+	fill:
+		for len(batch) < s.batchMax {
+			select {
+			case next := <-s.queue:
+				nsize := s.sizeOf(next)
+				if rate := s.rateBps.Load(); rate > 0 {
+					ser := time.Duration(int64(nsize) * 8 * int64(time.Second) / rate)
+					deadline := txClock.Add(ser)
+					if time.Until(deadline) > 0 {
+						// next still owes serialization time: flush what the
+						// clock has released, pace next on the coming round.
+						pending, hasPending = next, true
+						break fill
+					}
+					txClock = deadline
+				}
+				batch = append(batch, next)
+				batchBytes += int64(nsize)
+			default:
+				break fill
+			}
+		}
+		s.bytes.Add(batchBytes)
+		s.flush(batch)
+		s.sent.Add(int64(len(batch)))
+		s.queued.Add(-batchBytes)
 	}
 }

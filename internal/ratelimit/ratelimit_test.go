@@ -336,10 +336,16 @@ func TestConcurrentThroughputPollsRace(t *testing.T) {
 	close(stop)
 	wg.Wait()
 	s.Close()
-	// Conservation: every accepted byte was either transmitted or is still
-	// accounted as queued (none here — the queue drained).
-	if got, want := s.BytesSent()+s.QueuedBytes(), accepted*100; got != want {
-		t.Fatalf("BytesSent+QueuedBytes = %d, want %d accepted bytes", got, want)
+	// Conservation after Close: every accepted byte was either transmitted
+	// or discarded by Close's sweep, and the queued gauge reads zero — a
+	// closed sender must not report backlog (on a starved single-core run
+	// the 5 s drain window can expire with items still queued, so the sweep
+	// is exercised here too).
+	if q := s.QueuedBytes(); q != 0 {
+		t.Fatalf("QueuedBytes() = %d after Close, want 0", q)
+	}
+	if got, want := s.BytesSent()+s.DiscardedBytes(), accepted*100; got != want {
+		t.Fatalf("BytesSent+DiscardedBytes = %d, want %d accepted bytes", got, want)
 	}
 }
 
@@ -412,5 +418,250 @@ func TestConcurrentBacklogPollRace(t *testing.T) {
 	wg.Wait()
 	if n := bad.Load(); n != 0 {
 		t.Fatalf("%d inconsistent backlog reads", n)
+	}
+}
+
+// TestCloseZerosQueuedGauge is the regression for Close leaving the queued
+// gauge charged for discarded items: a sender closed with items still
+// queued must report zero QueuedBytes and QueueBacklog afterwards — the
+// gauges feed udpnet's "truthful after Close" backlog accessors — with the
+// discarded bytes accounted explicitly.
+func TestCloseZerosQueuedGauge(t *testing.T) {
+	// 8 bps: the first item paces for ~17 minutes, so everything is still
+	// pending when Close lands.
+	s, err := NewSender(8, 16, func(int) int { return 1000 }, func(int) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if !s.Enqueue(i) {
+			t.Fatal("enqueue failed")
+		}
+	}
+	if s.QueuedBytes() == 0 {
+		t.Fatal("test setup: nothing queued")
+	}
+	s.Close()
+	if q := s.QueuedBytes(); q != 0 {
+		t.Fatalf("QueuedBytes() = %d after Close, want 0", q)
+	}
+	if b := s.QueueBacklog(); b != 0 {
+		t.Fatalf("QueueBacklog() = %v after Close, want 0", b)
+	}
+	if got, want := s.BytesSent()+s.DiscardedBytes(), int64(5*1000); got != want {
+		t.Fatalf("BytesSent+DiscardedBytes = %d, want %d", got, want)
+	}
+}
+
+// TestEnqueueAfterCloseNotCountedDropped pins the closed-sender rejection
+// semantics: Enqueue reports false but must not pollute the tail-drop
+// congestion signal the adaptation layer reads, nor touch the gauges.
+func TestEnqueueAfterCloseNotCountedDropped(t *testing.T) {
+	s, err := NewSender(0, 4, func(int) int { return 10 }, func(int) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	for i := 0; i < 3; i++ {
+		if s.Enqueue(i) {
+			t.Fatal("enqueue succeeded after Close")
+		}
+	}
+	if d := s.Dropped(); d != 0 {
+		t.Fatalf("Dropped() = %d after post-Close enqueues, want 0 (shutdown is not congestion)", d)
+	}
+	if q := s.QueuedBytes(); q != 0 {
+		t.Fatalf("QueuedBytes() = %d, want 0", q)
+	}
+	if a := s.AcceptedBytes(); a != 0 {
+		t.Fatalf("AcceptedBytes() = %d, want 0", a)
+	}
+}
+
+// TestEnqueueCloseRace is the -race regression for the Enqueue-after-Close
+// window: the stop check and the channel send used to be non-atomic, so an
+// item could slip into the queue after Close's sweep and inflate
+// queued/accepted forever. Hammer Enqueue from several goroutines while
+// Close lands; afterwards the books must balance exactly with a zero gauge.
+func TestEnqueueCloseRace(t *testing.T) {
+	for round := 0; round < 50; round++ {
+		var sentBytes atomic.Int64
+		s, err := NewSender(0, 64, func(int) int { return 7 }, func(int) { sentBytes.Add(7) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 100; i++ {
+					s.Enqueue(i)
+				}
+			}()
+		}
+		s.Close()
+		wg.Wait()
+		if q := s.QueuedBytes(); q != 0 {
+			t.Fatalf("round %d: QueuedBytes() = %d after Close+Enqueue race, want 0", round, q)
+		}
+		if got, want := s.BytesSent()+s.DiscardedBytes(), s.AcceptedBytes(); got != want {
+			t.Fatalf("round %d: BytesSent+DiscardedBytes = %d, want AcceptedBytes %d (stranded items)",
+				round, got, want)
+		}
+	}
+}
+
+// TestBatchDrainFlushesReleasedRuns pins the batch-aware drain: items the
+// pacing clock has released together leave in one flush (bounded by
+// batchMax), in FIFO order, with exact byte accounting.
+func TestBatchDrainFlushesReleasedRuns(t *testing.T) {
+	const batchMax = 8
+	gate := make(chan struct{})
+	var (
+		mu      sync.Mutex
+		flushes [][]int
+		first   = true
+	)
+	s, err := NewBatchSender(0, 128, batchMax, func(int) int { return 50 }, func(items []int) {
+		if first {
+			// Block the first flush so the queue fills behind it and the
+			// next flushes have released runs to coalesce.
+			first = false
+			<-gate
+		}
+		mu.Lock()
+		flushes = append(flushes, append([]int(nil), items...))
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	const items = 60
+	accepted := 0
+	for i := 0; i < items; i++ {
+		if s.Enqueue(i) {
+			accepted++
+		}
+	}
+	close(gate)
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Sent() < int64(accepted) && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if s.Sent() != int64(accepted) {
+		t.Fatalf("sent %d of %d", s.Sent(), accepted)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	var order []int
+	sawBatch := false
+	for _, f := range flushes {
+		if len(f) > batchMax {
+			t.Fatalf("flush of %d items exceeds batchMax %d", len(f), batchMax)
+		}
+		if len(f) > 1 {
+			sawBatch = true
+		}
+		order = append(order, f...)
+	}
+	if !sawBatch {
+		t.Fatal("no multi-item flush despite a backed-up unlimited queue")
+	}
+	for i := 1; i < len(order); i++ {
+		if order[i-1] >= order[i] {
+			t.Fatalf("FIFO violated: item %d flushed before %d", order[i-1], order[i])
+		}
+	}
+	if got, want := s.BytesSent(), int64(accepted*50); got != want {
+		t.Fatalf("BytesSent() = %d, want %d", got, want)
+	}
+	if q := s.QueuedBytes(); q != 0 {
+		t.Fatalf("QueuedBytes() = %d after drain, want 0", q)
+	}
+}
+
+// TestBatchDrainRespectsPacing: batching coalesces released items only —
+// it must never defeat the serialization clock. 20 items of 1250 B at
+// 1 Mbps are 10 ms each (~200 ms total) regardless of batchMax.
+func TestBatchDrainRespectsPacing(t *testing.T) {
+	var got atomic.Int64
+	s, err := NewBatchSender(1_000_000, 100, 16, func(int) int { return 1250 }, func(items []int) {
+		got.Add(int64(len(items)))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	start := time.Now()
+	for i := 0; i < 20; i++ {
+		s.Enqueue(i)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for got.Load() < 20 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got.Load() != 20 {
+		t.Fatalf("sent %d of 20", got.Load())
+	}
+	if elapsed := time.Since(start); elapsed < 150*time.Millisecond {
+		t.Fatalf("20 items took %v; batching defeated pacing (want >= ~200ms)", elapsed)
+	}
+}
+
+// TestBatchDrainConcurrentSetRateRace is the -race regression for the
+// batch-aware drain: SetRate storms, concurrent enqueuers, and a mid-flight
+// Close against a batching sender. Afterwards the conservation invariant
+// must hold exactly — accepted = sent-bytes + discarded, queued = 0, no
+// item stranded.
+func TestBatchDrainConcurrentSetRateRace(t *testing.T) {
+	var sentBytes atomic.Int64
+	s, err := NewBatchSender(64_000_000, 1024, 32, func(int) int { return 100 }, func(items []int) {
+		sentBytes.Add(int64(len(items)) * 100)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rates := []int64{0, 8_000, 1_000_000, 64_000_000, -1}
+			for i := 0; i < 200; i++ {
+				s.SetRate(rates[(w+i)%len(rates)])
+			}
+		}()
+	}
+	for p := 0; p < 3; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s.Enqueue(i)
+				if i%32 == 0 {
+					_ = s.QueueBacklog()
+					_ = s.AcceptedBytes()
+				}
+			}
+		}()
+	}
+	// Close in mid-flight: some items transmit, the rest must be swept.
+	time.Sleep(5 * time.Millisecond)
+	s.Close()
+	wg.Wait()
+	if q := s.QueuedBytes(); q != 0 {
+		t.Fatalf("QueuedBytes() = %d after Close, want 0", q)
+	}
+	if b := s.QueueBacklog(); b != 0 {
+		t.Fatalf("QueueBacklog() = %v after Close, want 0", b)
+	}
+	if got, want := s.BytesSent()+s.DiscardedBytes(), s.AcceptedBytes(); got != want {
+		t.Fatalf("BytesSent+DiscardedBytes = %d, want AcceptedBytes %d (stranded bytes)", got, want)
+	}
+	if sb := sentBytes.Load(); sb != s.BytesSent() {
+		t.Fatalf("flush saw %d bytes, BytesSent reports %d", sb, s.BytesSent())
 	}
 }

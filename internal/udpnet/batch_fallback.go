@@ -1,0 +1,13 @@
+//go:build !linux
+
+// Portable half of the batched-syscall split: platforms without
+// sendmmsg/recvmmsg report no batchIO and the node runs the original
+// one-datagram-per-syscall read loop and paced sender (batch size 1). The
+// Linux fast path lives behind the inverse build tag in batch_linux.go.
+
+package udpnet
+
+import "net"
+
+// newBatchIO reports that this platform has no batched-syscall path.
+func newBatchIO(*net.UDPConn) (batchIO, error) { return nil, nil }

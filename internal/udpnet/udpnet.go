@@ -7,6 +7,19 @@
 // Each datagram carries a 4-byte sender id followed by one wire message.
 // A Node serializes all handler callbacks (socket reads, timers) behind one
 // mutex, honoring the env contract that handlers are single-threaded.
+//
+// # Batched-syscall fast path
+//
+// On Linux the node amortizes syscalls across datagrams: the paced sender
+// drains every item the pacing clock has released into one sendmmsg(2), and
+// the read loop pulls up to a batch of datagrams per recvmmsg(2) into a
+// free list of reusable staging buffers (decoded bodies are copied into one
+// arena allocation per batch — handlers may retain payloads, so the staging
+// buffers themselves are never handed off). Encode-path buffers are pooled
+// and returned after the kernel copy completes. Everywhere else — and on
+// Linux under Config.DisableBatch — the portable fallback issues one
+// syscall per datagram, with identical delivery and accounting semantics;
+// see batch_linux.go / batch_fallback.go for the build-tag split.
 package udpnet
 
 import (
@@ -32,6 +45,17 @@ const maxDatagram = 64 * 1024
 // frameHeader is the per-datagram overhead: the 4-byte sender id.
 const frameHeader = 4
 
+// ioBatchMax is K, the batched-syscall fan-in: at most this many datagrams
+// ride one sendmmsg/recvmmsg call, and the paced sender coalesces at most
+// this many released items per flush.
+const ioBatchMax = 32
+
+// defaultSocketBuffer is the SO_RCVBUF/SO_SNDBUF request applied at bind
+// when Config.SocketBufferBytes is zero. The kernel-default rmem (a few
+// hundred KiB) silently drops inbound datagrams under bursts well below a
+// node's configured capability, which reads as network loss in experiments.
+const defaultSocketBuffer = 1 << 20
+
 // Config parameterizes a UDP node.
 type Config struct {
 	// Listen is the UDP listen address, e.g. "127.0.0.1:0".
@@ -41,6 +65,15 @@ type Config struct {
 	UploadBps int64
 	// QueueCap bounds the application-level send queue. Default 1024.
 	QueueCap int
+	// SocketBufferBytes sizes the kernel socket buffers (SO_RCVBUF and
+	// SO_SNDBUF) at bind. 0 selects the 1 MiB default; negative leaves the
+	// kernel defaults untouched.
+	SocketBufferBytes int
+	// DisableBatch forces the portable single-syscall I/O path even where
+	// batched syscalls (sendmmsg/recvmmsg) are available. The two paths
+	// deliver identically; this knob exists for benchmarks comparing them
+	// and for diagnosing platform quirks.
+	DisableBatch bool
 	// Seed drives the node's protocol randomness.
 	Seed int64
 	// Epoch is the time base for Runtime.Now (and therefore for packet lag
@@ -61,9 +94,41 @@ type Config struct {
 	Netem netem.Model
 }
 
+// outDatagram is one frame awaiting paced transmission. buf points at
+// pooled storage: whoever removes the datagram from flight — the flush
+// after the kernel copy, or any drop path — returns it via putSendBuf.
 type outDatagram struct {
-	buf  []byte
+	buf  *[]byte
 	addr *net.UDPAddr
+}
+
+func (d outDatagram) frame() []byte { return *d.buf }
+
+// sendBufPool recycles encode-path frame buffers. Buffers grow to fit large
+// serve batches and keep their capacity across uses.
+var sendBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 2048)
+	return &b
+}}
+
+func getSendBuf() *[]byte  { return sendBufPool.Get().(*[]byte) }
+func putSendBuf(b *[]byte) { sendBufPool.Put(b) }
+
+// batchIO is the platform batched-syscall interface; newBatchIO (see the
+// build-tagged batch files) returns nil where only the portable
+// one-datagram-per-syscall path exists.
+type batchIO interface {
+	// WriteBatch transmits the frames in order, blocking on socket
+	// writability as needed. Per-datagram errors are UDP-normal and
+	// swallowed, like WriteToUDP's on the fallback path.
+	WriteBatch(items []outDatagram)
+	// ReadBatch blocks until at least one datagram arrives and returns how
+	// many were received. The frames are valid until the next ReadBatch.
+	ReadBatch() (int, error)
+	// Frame returns received datagram i (header included).
+	Frame(i int) []byte
+	// SrcMatches reports whether datagram i's source address equals addr.
+	SrcMatches(i int, addr *net.UDPAddr) bool
 }
 
 // Node hosts one protocol stack (an env.Handler, typically an env.Mux) on a
@@ -72,6 +137,7 @@ type Node struct {
 	id      wire.NodeID
 	handler env.Handler
 	conn    *net.UDPConn
+	bio     batchIO // nil: portable single-syscall path
 	sender  *ratelimit.Sender[outDatagram]
 	epoch   time.Time
 
@@ -107,6 +173,9 @@ func NewNode(id wire.NodeID, handler env.Handler, cfg Config) (*Node, error) {
 	if cfg.QueueCap == 0 {
 		cfg.QueueCap = 1024
 	}
+	if cfg.SocketBufferBytes == 0 {
+		cfg.SocketBufferBytes = defaultSocketBuffer
+	}
 	addr, err := net.ResolveUDPAddr("udp", cfg.Listen)
 	if err != nil {
 		return nil, fmt.Errorf("udpnet: resolve %q: %w", cfg.Listen, err)
@@ -114,6 +183,18 @@ func NewNode(id wire.NodeID, handler env.Handler, cfg Config) (*Node, error) {
 	conn, err := net.ListenUDP("udp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("udpnet: listen %q: %w", cfg.Listen, err)
+	}
+	if cfg.SocketBufferBytes > 0 {
+		// The kernel clamps oversized requests (rmem_max/wmem_max) without
+		// erroring; real errors here mean a broken socket.
+		if err := conn.SetReadBuffer(cfg.SocketBufferBytes); err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("udpnet: SO_RCVBUF: %w", err)
+		}
+		if err := conn.SetWriteBuffer(cfg.SocketBufferBytes); err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("udpnet: SO_SNDBUF: %w", err)
+		}
 	}
 	if cfg.Epoch.IsZero() {
 		cfg.Epoch = time.Now()
@@ -128,18 +209,43 @@ func NewNode(id wire.NodeID, handler env.Handler, cfg Config) (*Node, error) {
 		byAddr:  make(map[string]wire.NodeID),
 		netem:   cfg.Netem,
 	}
-	sender, err := ratelimit.NewSender(cfg.UploadBps, cfg.QueueCap,
-		func(d outDatagram) int { return len(d.buf) + wire.UDPOverheadBytes },
-		func(d outDatagram) {
-			// Losing a datagram is normal UDP behaviour; protocols handle it.
-			_, _ = n.conn.WriteToUDP(d.buf, d.addr)
-		})
+	if !cfg.DisableBatch {
+		// A nil batchIO (non-Linux platforms, or an exotic socket without a
+		// raw-syscall view) selects the portable path.
+		if bio, err := newBatchIO(conn); err == nil {
+			n.bio = bio
+		}
+	}
+	batchMax := 1
+	if n.bio != nil {
+		batchMax = ioBatchMax
+	}
+	sender, err := ratelimit.NewBatchSender(cfg.UploadBps, cfg.QueueCap, batchMax,
+		func(d outDatagram) int { return len(d.frame()) + wire.UDPOverheadBytes },
+		n.flushBatch)
 	if err != nil {
 		conn.Close()
 		return nil, err
 	}
 	n.sender = sender
 	return n, nil
+}
+
+// flushBatch transmits one paced batch and returns the frame buffers to the
+// pool — the kernel has copied the data out by the time the syscall returns.
+func (n *Node) flushBatch(items []outDatagram) {
+	if n.bio != nil {
+		n.bio.WriteBatch(items)
+	} else {
+		for _, d := range items {
+			// Losing a datagram is normal UDP behaviour; protocols handle it.
+			_, _ = n.conn.WriteToUDP(d.frame(), d.addr)
+		}
+	}
+	for i := range items {
+		putSendBuf(items[i].buf)
+		items[i].buf = nil
+	}
 }
 
 // ID returns the node's identity.
@@ -223,12 +329,14 @@ func (n *Node) NetemCounters() (dropped, delayed int) {
 // SendDropped returns how many outgoing datagrams the paced sender has
 // tail-dropped because its bounded queue was full — the real-socket
 // equivalent of the simulator's MsgsTailDrop, and the first symptom of a
-// node trying to send past its upload capability.
+// node trying to send past its upload capability. Rejections by a closed
+// sender are not counted: they are shutdown, not congestion.
 func (n *Node) SendDropped() int64 { return n.sender.Dropped() }
 
 // SendBacklog returns the time the paced sender's queue needs to drain at
 // the current rate — the real-socket equivalent of the simulator's
 // QueueBacklog, and the congestion signal the adaptation layer watches.
+// Zero after Close: discarded items leave the gauge.
 func (n *Node) SendBacklog() time.Duration { return n.sender.QueueBacklog() }
 
 // SentBytes returns the monotonic count of bytes actually transmitted
@@ -241,7 +349,7 @@ func (n *Node) SentBytes() int64 { return n.sender.BytesSent() }
 func (n *Node) AcceptedBytes() int64 { return n.sender.AcceptedBytes() }
 
 // QueuedBytes returns the bytes accepted for transmission but still waiting
-// in the paced sender's queue.
+// in the paced sender's queue. Zero after Close.
 func (n *Node) QueuedBytes() int64 { return n.sender.QueuedBytes() }
 
 // Attach starts an additional lifecycle-only handler on a running node (one
@@ -276,6 +384,10 @@ func (n *Node) Execute(fn func()) bool {
 
 func (n *Node) readLoop() {
 	defer n.wg.Done()
+	if n.bio != nil {
+		n.readLoopBatch()
+		return
+	}
 	buf := make([]byte, maxDatagram)
 	for {
 		size, from, err := n.conn.ReadFromUDP(buf)
@@ -308,6 +420,70 @@ func (n *Node) readLoop() {
 	}
 }
 
+// readLoopBatch is the recvmmsg read loop: up to ioBatchMax datagrams per
+// syscall land in the batchIO's reusable staging buffers; their bodies are
+// copied into one arena allocation per batch (decoded messages alias their
+// input and handlers may retain payloads, so the staging buffers can never
+// be handed off — but one arena replaces one allocation per datagram), then
+// every decoded message is dispatched under one node-mutex hold, each
+// Receive as serialized as on the portable path.
+func (n *Node) readLoopBatch() {
+	type inMsg struct {
+		sender wire.NodeID
+		msg    wire.Message
+		src    int // staging index, for the source-address check
+	}
+	msgs := make([]inMsg, 0, ioBatchMax)
+	for {
+		count, err := n.bio.ReadBatch()
+		if err != nil {
+			return // closed
+		}
+		total := 0
+		for i := 0; i < count; i++ {
+			if f := n.bio.Frame(i); len(f) >= frameHeader {
+				total += len(f) - frameHeader
+			}
+		}
+		arena := make([]byte, 0, total)
+		msgs = msgs[:0]
+		badFrames := 0
+		for i := 0; i < count; i++ {
+			f := n.bio.Frame(i)
+			if len(f) < frameHeader {
+				badFrames++
+				continue
+			}
+			start := len(arena)
+			arena = append(arena, f[frameHeader:]...)
+			body := arena[start:len(arena):len(arena)]
+			msg, err := wire.Unmarshal(body)
+			if err != nil {
+				badFrames++
+				continue
+			}
+			msgs = append(msgs, inMsg{
+				sender: wire.NodeID(int32(binary.BigEndian.Uint32(f))),
+				msg:    msg,
+				src:    i,
+			})
+		}
+		n.mu.Lock()
+		n.DecodeErrors += badFrames
+		if !n.closed {
+			for _, im := range msgs {
+				// Same acceptance rule as the portable path: verify claimed
+				// senders we know, accept unknown ones (late directory
+				// updates).
+				if known, ok := n.peers[im.sender]; !ok || n.bio.SrcMatches(im.src, known) {
+					n.handler.Receive(im.sender, im.msg)
+				}
+			}
+		}
+		n.mu.Unlock()
+	}
+}
+
 func sameAddr(a, b *net.UDPAddr) bool {
 	return a.Port == b.Port && a.IP.Equal(b.IP)
 }
@@ -330,19 +506,23 @@ func (rt *nodeRuntime) Now() time.Duration { return time.Since(rt.n.epoch) }
 // which hold the node mutex, so the shared rng is safe.
 func (rt *nodeRuntime) Rand() *rand.Rand { return rt.n.rng }
 
-// Send implements env.Runtime: marshal, frame, pass the netem interceptor
-// (if any), and hand to the paced sender. Unknown destinations are dropped
-// silently (UDP semantics).
+// Send implements env.Runtime: marshal into a pooled frame buffer, pass the
+// netem interceptor (if any), and hand to the paced sender. Unknown
+// destinations are dropped silently (UDP semantics). Every drop path
+// returns the buffer to the pool; accepted frames are returned by the flush
+// once the kernel copy completes.
 func (rt *nodeRuntime) Send(to wire.NodeID, m wire.Message) {
 	n := rt.n
 	addr, ok := n.peers[to]
 	if !ok {
 		return
 	}
-	buf := make([]byte, frameHeader, frameHeader+m.WireSize())
+	bp := getSendBuf()
+	buf := append((*bp)[:0], 0, 0, 0, 0)
 	binary.BigEndian.PutUint32(buf, uint32(n.id))
 	buf = m.MarshalBinary(buf)
-	d := outDatagram{buf: buf, addr: addr}
+	*bp = buf // keep any growth for reuse
+	d := outDatagram{buf: bp, addr: addr}
 	if n.netem != nil {
 		// Send runs in the node's execution context (under mu), so the
 		// model and rng need no extra locking — the same single-threaded
@@ -353,6 +533,7 @@ func (rt *nodeRuntime) Send(to wire.NodeID, m wire.Message) {
 		switch {
 		case verdict.Drop:
 			n.NetemDropped++
+			putSendBuf(bp)
 			return
 		case verdict.Delay > 0:
 			n.NetemDelayed++
@@ -364,15 +545,17 @@ func (rt *nodeRuntime) Send(to wire.NodeID, m wire.Message) {
 				// the (non-blocking) enqueue stay under one mu hold so a
 				// concurrent Close cannot slip between them.
 				n.mu.Lock()
-				if !n.closed {
-					n.sender.Enqueue(d)
+				if n.closed || !n.sender.Enqueue(d) {
+					putSendBuf(bp)
 				}
 				n.mu.Unlock()
 			})
 			return
 		}
 	}
-	n.sender.Enqueue(d)
+	if !n.sender.Enqueue(d) {
+		putSendBuf(bp)
+	}
 }
 
 // After implements env.Runtime with a wall-clock timer whose callback runs

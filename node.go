@@ -35,6 +35,12 @@ type NodeConfig struct {
 	// the socket (token bucket + queue) and feeds HEAP's aggregation.
 	// Required.
 	UploadKbps uint32
+	// SocketBufferBytes sizes the kernel socket buffers (SO_RCVBUF and
+	// SO_SNDBUF) at bind. 0 selects udpnet's 1 MiB default — kernel-default
+	// receive buffers drop inbound bursts well below a node's capability,
+	// which reads as network loss — and a negative value leaves the kernel
+	// defaults untouched.
+	SocketBufferBytes int
 	// Adaptive enables HEAP; false runs standard fixed-fanout gossip.
 	Adaptive bool
 	// Fanout is fbar, the target average fanout (ln(n)+c). Default 7.
@@ -290,10 +296,11 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 		cfg.Epoch = time.Now()
 	}
 	udpCfg := udpnet.Config{
-		Listen:    cfg.Listen,
-		UploadBps: int64(cfg.UploadKbps) * 1000,
-		Seed:      cfg.Seed,
-		Epoch:     cfg.Epoch,
+		Listen:            cfg.Listen,
+		UploadBps:         int64(cfg.UploadKbps) * 1000,
+		SocketBufferBytes: cfg.SocketBufferBytes,
+		Seed:              cfg.Seed,
+		Epoch:             cfg.Epoch,
 	}
 	type capStep struct {
 		netem.CapStep
