@@ -6,9 +6,13 @@
 
 GO ?= go
 
-.PHONY: check vet build linkcheck race race-detect test-short testshort test bench bench-udp sweep largescale fuzz full fmt
+.PHONY: check fmtcheck vet build linkcheck race race-detect test-short testshort test bench bench-udp bench-telemetry sweep largescale fuzz full fmt
 
-check: vet build linkcheck race race-detect testshort
+check: fmtcheck vet build linkcheck race race-detect testshort
+
+# gofmt gate: fail (and list the offenders) if any file is unformatted.
+fmtcheck:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -47,6 +51,12 @@ bench:
 # batched syscalls (sendmmsg/recvmmsg) vs the portable single-syscall path.
 bench-udp:
 	$(GO) test -bench 'UDPLoopbackSaturation' -benchtime 2s -run '^$$' ./internal/udpnet
+
+# The telemetry overhead benchmark: the disabled variant must stay within
+# noise of BenchmarkHeadline (the Trace hook is a nil-interface check), the
+# traced variant prices every-4th-packet hop recording.
+bench-telemetry:
+	$(GO) test -bench 'TelemetryOverhead' -benchtime 3x -run '^$$' .
 
 # The paper's headline grid on all cores, CSV into out/.
 sweep:

@@ -625,6 +625,34 @@ func BenchmarkMultiStream1k(b *testing.B) {
 	}
 }
 
+// --- Telemetry overhead ---
+
+// BenchmarkTelemetryOverhead measures what dissemination tracing costs the
+// simulator. The disabled variant is the exact pre-telemetry hot path (the
+// Trace hook is a nil-interface check, the same zero-cost pattern as
+// core.Monitor) and must stay within noise of BenchmarkHeadline; the traced
+// variant runs every-4th-packet sampling and reports the observed record
+// volume so the enabled cost in EXPERIMENTS.md is tied to a known workload.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	b.Run("disabled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			mustRun(b, benchConfig(HEAP, MS691))
+		}
+	})
+	b.Run("traced", func(b *testing.B) {
+		b.ReportAllocs()
+		var records int
+		for i := 0; i < b.N; i++ {
+			cfg := benchConfig(HEAP, MS691)
+			cfg.Trace = &TraceConfig{SampleEvery: 4, RingCap: 4096}
+			res := mustRun(b, cfg)
+			records = len(res.TraceStats.Hops)
+		}
+		b.ReportMetric(float64(records), "hop-records/run")
+	})
+}
+
 // BenchmarkIntroStaticTree reproduces the introduction's observation: the
 // static-tree baseline trails gossip badly even among 30 nodes.
 func BenchmarkIntroStaticTree(b *testing.B) {

@@ -41,11 +41,22 @@
 //
 // Every node prints live delivery statistics once per second, including
 // send-queue overflow drops (qdrop) and, under -netem, the model's outbound
-// drop/delay counters.
+// drop/delay counters. With -json the tick becomes one JSON object per line
+// on stdout — the node's full telemetry snapshot, machine-readable for log
+// shippers — and human messages move to stderr.
+//
+// With -http ADDR the node serves its introspection endpoints: Prometheus
+// text on /metrics (every subsystem's counters in one conservation-checkable
+// scrape), Go profiling on /debug/pprof/*, a liveness probe on /healthz, and
+// a JSON state snapshot on /statusz:
+//
+//	heapnode -id 1 -peers peers.txt -cap 512 -http 127.0.0.1:9101
+//	curl -s 127.0.0.1:9101/metrics | grep udp_
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -53,7 +64,6 @@ import (
 	"strconv"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -84,8 +94,12 @@ func run() int {
 			fmt.Sprintf("(%s)", strings.Join(heapgossip.NetemProfileNames(), ", ")))
 		sockBuf = flag.Int("sockbuf", 0, "kernel socket buffer bytes, SO_RCVBUF and SO_SNDBUF "+
 			"(0 = 1 MiB default, negative = leave kernel defaults)")
-		seed  = flag.Int64("seed", 0, "protocol/netem randomness seed (default: derived from -id)")
-		epoch = flag.Int64("epoch", 0, "shared unix-seconds time base for lag stamps and netem schedules (default: node start)")
+		seed    = flag.Int64("seed", 0, "protocol/netem randomness seed (default: derived from -id)")
+		epoch   = flag.Int64("epoch", 0, "shared unix-seconds time base for lag stamps and netem schedules (default: node start)")
+		jsonOut = flag.Bool("json", false,
+			"emit the periodic status as one JSON object per tick (the full telemetry snapshot) instead of the human-readable line")
+		httpAddr = flag.String("http", "",
+			"serve the introspection endpoints (/metrics, /debug/pprof/*, /healthz, /statusz) on this address, e.g. 127.0.0.1:9100")
 	)
 	flag.Parse()
 	if *id < 0 || *peersPth == "" {
@@ -105,7 +119,15 @@ func run() int {
 		return 1
 	}
 
-	var delivered, bytes, streamsSeen atomic.Int64
+	// The node's registry is created up front so the application-level
+	// instruments (delivery counters, lag histogram) land on the same scrape
+	// surface as the subsystem collectors StartNode registers.
+	reg := heapgossip.NewTelemetryRegistry()
+	delivered := reg.Counter("app_delivered_total")
+	bytes := reg.Counter("app_delivered_bytes_total")
+	streamsSeen := reg.Gauge("app_streams_seen")
+	lagHist := reg.Histogram("app_delivery_lag_seconds",
+		[]float64{0.1, 0.2, 0.5, 1, 2, 5, 10, 20, 60})
 	var seenMu sync.Mutex
 	seen := make(map[heapgossip.StreamID]bool) // streams observed (status line)
 	cfg := heapgossip.NodeConfig{
@@ -116,13 +138,15 @@ func run() int {
 		Adaptive:          *adaptive,
 		Fanout:            *fanout,
 		Peers:             peers,
+		Telemetry:         reg,
 		OnDeliver: func(stream heapgossip.StreamID, _ heapgossip.PacketID, payload []byte, lag time.Duration) {
-			delivered.Add(1)
+			delivered.Inc()
 			bytes.Add(int64(len(payload)))
+			lagHist.Observe(lag.Seconds())
 			seenMu.Lock()
 			if !seen[stream] {
 				seen[stream] = true
-				streamsSeen.Add(1)
+				streamsSeen.Set(float64(len(seen)))
 			}
 			seenMu.Unlock()
 		},
@@ -157,25 +181,62 @@ func run() int {
 		return 1
 	}
 	defer node.Close()
-	fmt.Printf("node %d up on %s (cap %d kbps, heap=%v, source=%v, %d peers)\n",
+	if *httpAddr != "" {
+		srv, err := node.StartTelemetry(*httpAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "heapnode: telemetry listener: %v\n", err)
+			return 1
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "telemetry on http://%s/metrics\n", srv.Addr())
+	}
+	banner := fmt.Sprintf("node %d up on %s (cap %d kbps, heap=%v, source=%v, %d peers)",
 		self, node.Addr(), *capKbps, *adaptive, *isSource, len(peers)-1)
+	if *jsonOut {
+		fmt.Fprintln(os.Stderr, banner) // stdout stays pure JSONL
+	} else {
+		fmt.Println(banner)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	ticker := time.NewTicker(time.Second)
 	defer ticker.Stop()
 	deadline := time.After(*duration)
+	start := time.Now()
 	for {
 		select {
 		case <-ticker.C:
+			if *jsonOut {
+				// One JSON object per tick, straight from the telemetry
+				// snapshot (json.Marshal sorts the keys, so the stream is
+				// stable for line-oriented consumers).
+				snap := node.Telemetry().Snapshot()
+				obj := make(map[string]any, len(snap)+3)
+				for _, s := range snap {
+					obj[s.Name] = s.Value
+				}
+				obj["node"] = *id
+				obj["uptime_s"] = time.Since(start).Round(time.Millisecond).Seconds()
+				if *isSource {
+					obj["source_done"] = node.SourceDone()
+				}
+				b, err := json.Marshal(obj)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "heapnode: %v\n", err)
+					return 1
+				}
+				fmt.Println(string(b))
+				break
+			}
 			st := node.Stats()
 			// qdrop is the paced sender's tail-drop count: non-zero means
 			// the node is trying to send past its upload capability and the
 			// bounded application queue is shedding load. backlog is the
 			// drain time of what is queued right now — congestion building
 			// up before anything is dropped.
-			line := fmt.Sprintf("delivered=%d (%.1f MB, %d streams) served=%d proposes=%d bbar=%.0f kbps qdrop=%d backlog=%s",
-				delivered.Load(), float64(bytes.Load())/1e6, streamsSeen.Load(),
+			line := fmt.Sprintf("delivered=%d (%.1f MB, %.0f streams) served=%d proposes=%d bbar=%.0f kbps qdrop=%d backlog=%s",
+				delivered.Value(), float64(bytes.Value())/1e6, streamsSeen.Value(),
 				st.EventsServed, st.ProposesSent, node.EstimateKbps(), node.SendQueueDropped(),
 				node.SendQueueBacklog().Round(time.Millisecond))
 			if *detect {
@@ -195,7 +256,11 @@ func run() int {
 				fmt.Println("stream complete")
 			}
 		case <-sig:
-			fmt.Println("shutting down")
+			if *jsonOut {
+				fmt.Fprintln(os.Stderr, "shutting down")
+			} else {
+				fmt.Println("shutting down")
+			}
 			return 0
 		case <-deadline:
 			return 0

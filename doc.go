@@ -44,6 +44,8 @@
 //     (sendmmsg/recvmmsg) behind the pacer; elsewhere a portable
 //     one-syscall-per-datagram path delivers identically.
 //   - internal/membership: full-view sampling and a Cyclon-style PSS.
+//   - internal/telemetry: the metrics registry, dissemination tracer, and
+//     introspection HTTP server (see "Observability" below).
 //   - internal/stream, internal/metrics, internal/scenario, internal/churn:
 //     workload, measurement, experiment assembly, failure injection.
 //
@@ -178,6 +180,35 @@
 // Per-model drop/delay counters land in ScenarioResult.NetemStats, and
 // `heapbench -artifact robustness` renders the HEAP-vs-standard comparison
 // under each stock profile.
+//
+// # Observability
+//
+// internal/telemetry gives every subsystem one reporting surface. A
+// lock-free Registry of named counters, gauges and histograms collects the
+// transport pacer's byte accounting, the engine's message counters, the
+// adaptation controller's capability state, and the detector's quarantine
+// counts into a single conservation-checkable snapshot — after shutdown,
+// udp_accepted_bytes_total equals udp_sent_bytes_total plus
+// udp_discarded_bytes_total exactly. Supply a registry via
+// NodeConfig.Telemetry to add application instruments to the same scrape
+// (cmd/heapnode does), read it with Node.Telemetry, and serve it with
+// Node.StartTelemetry: Prometheus text on /metrics, Go profiling on
+// /debug/pprof/*, a liveness probe on /healthz, and a JSON snapshot on
+// /statusz (`heapnode -http ADDR`; `heapnode -json` prints the snapshot
+// per status tick).
+//
+// Dissemination tracing records the propose→request→serve path of sampled
+// packets. Set Scenario.Trace (a TraceConfig) and every node records hop
+// events — publish, first request, serve-path delivery — for the id-modulo
+// sampled packet ids into a bounded ring; an offline join then reconstructs
+// per-packet hop counts and per-hop latencies (ScenarioResult.TraceStats,
+// exportable as JSONL). The engine hook is a nil-interface check (the
+// core.Monitor pattern), so untraced runs are byte-identical to pre-trace
+// builds, and the tracer itself draws no randomness: traced runs fingerprint
+// deterministically and tracing provably never perturbs protocol results
+// (TestDeterminismTrace*). `heapbench -artifact trace` renders hop-count and
+// per-hop-latency distributions; see the "Observability" section of
+// EXPERIMENTS.md for measured paper-scale tables and the overhead benchmark.
 //
 // # Capacity and determinism guarantees
 //

@@ -11,6 +11,7 @@ import (
 	"repro/internal/netem"
 	"repro/internal/scenario"
 	"repro/internal/stream"
+	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
 
@@ -231,6 +232,38 @@ type PlaybackReport = metrics.PlaybackReport
 
 // EngineStats counts one node's protocol activity.
 type EngineStats = core.Stats
+
+// TelemetryRegistry is the unified metric registry (internal/telemetry):
+// lock-free named counters, gauges and histograms plus subsystem collectors,
+// scrapeable as one snapshot or in the Prometheus text format. Every Node
+// carries one (Node.Telemetry); pass NodeConfig.Telemetry to add your own
+// instruments to the same scrape surface.
+type TelemetryRegistry = telemetry.Registry
+
+// TelemetrySample is one named value of a registry snapshot.
+type TelemetrySample = telemetry.Sample
+
+// TelemetryServer is a running introspection HTTP listener (Prometheus-text
+// /metrics, /debug/pprof/*, /healthz, /statusz); see Node.StartTelemetry.
+type TelemetryServer = telemetry.Server
+
+// NewTelemetryRegistry returns an empty metric registry.
+func NewTelemetryRegistry() *TelemetryRegistry { return telemetry.NewRegistry() }
+
+// TraceConfig enables dissemination-path tracing: sampled per-packet hop
+// records (publish, first request, delivery) captured at every node through
+// the engine's zero-cost hook, rng-free and byte-deterministic under the
+// simulator's virtual clock. Set Scenario.Trace to collect hop-count and
+// per-hop-latency distributions (ScenarioResult.TraceStats).
+type TraceConfig = telemetry.TraceConfig
+
+// HopRecord is one traced dissemination step observed at one node.
+type HopRecord = telemetry.HopRecord
+
+// TraceStats carries a traced run's dissemination-path analysis: the merged
+// time-ordered hop records (exportable as JSONL), the offline-joined
+// hop-count distribution, and the per-hop request→delivery latency CDF.
+type TraceStats = scenario.TraceStats
 
 // Seconds converts a metric lag to float seconds (Never maps to +Inf).
 func Seconds(d time.Duration) float64 { return metrics.Seconds(d) }

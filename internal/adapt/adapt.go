@@ -251,6 +251,16 @@ func (c *Controller) Trace() []Readvertisement { return c.trace }
 // total, even past the trace bound).
 func (c *Controller) Readvertisements() int { return c.readv }
 
+// Collect emits the controller's state as named samples — the registration
+// surface for a telemetry registry. Must run serialized with Observe, like
+// the other accessors.
+func (c *Controller) Collect(emit func(name string, value float64)) {
+	emit("adapt_configured_kbps", float64(c.configured))
+	emit("adapt_effective_kbps", float64(c.eff))
+	emit("adapt_achieved_kbps", c.achievedKbps)
+	emit("adapt_readvertisements_total", float64(c.readv))
+}
+
 // Observe feeds one pressure sample and returns the effective capability
 // plus whether it changed. The first sample only primes the deltas.
 func (c *Controller) Observe(s Sample) (uint32, bool) {

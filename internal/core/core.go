@@ -102,6 +102,26 @@ type Monitor interface {
 	Tick(now time.Duration)
 }
 
+// TraceSink observes the dissemination path of each packet at this node —
+// the hook through which a telemetry tracer (internal/telemetry) plugs into
+// the engine, following the Monitor pattern exactly: all methods run on the
+// node's execution context, implementations must be deterministic and
+// rng-free, and a nil sink leaves the engine byte-identical to a build
+// without the hook. Hop counts are not carried on the wire (that would
+// perturb the fingerprinted encodings); they are joined offline from the
+// per-node records, since From names the peer whose own delivery precedes
+// this one.
+type TraceSink interface {
+	// TracePublish records a locally published packet — hop zero of its
+	// dissemination path.
+	TracePublish(stream wire.StreamID, id wire.PacketID, at time.Duration)
+	// TraceRequest records the first request this node issued for a packet,
+	// to the proposer it chose.
+	TraceRequest(stream wire.StreamID, id wire.PacketID, from wire.NodeID, at time.Duration)
+	// TraceDeliver records a packet delivered via a peer's Serve.
+	TraceDeliver(stream wire.StreamID, id wire.PacketID, from wire.NodeID, at time.Duration)
+}
+
 // Config parameterizes a gossip engine.
 type Config struct {
 	// Fanout is fbar, the system-wide average fanout (ln(n)+c). In
@@ -205,6 +225,13 @@ type Config struct {
 	// supplies quarantine verdicts (misbehavior detection). Nil keeps every
 	// code path byte-identical to a build without the hook.
 	Monitor Monitor
+
+	// Trace, when non-nil, receives dissemination-path events (publish,
+	// first request, delivery) for offline hop analysis. Like Monitor, nil
+	// keeps every code path byte-identical to a build without the hook;
+	// implementations must be deterministic (no randomness, no wall clock)
+	// to preserve the simulator's fingerprint guarantees.
+	Trace TraceSink
 }
 
 func (c *Config) applyDefaults() error {
@@ -360,6 +387,29 @@ func MustNew(cfg Config) *Engine {
 // Stats returns a copy of the node's protocol counters.
 func (e *Engine) Stats() Stats { return e.stats }
 
+// Collect emits the engine's counters and live state as named samples — the
+// registration surface for a telemetry registry (the engine itself stays
+// registry-agnostic). Like Stats, it must run on the node's execution
+// context (or after shutdown).
+func (e *Engine) Collect(emit func(name string, value float64)) {
+	st := e.stats
+	emit("engine_proposes_sent_total", float64(st.ProposesSent))
+	emit("engine_proposes_received_total", float64(st.ProposesReceived))
+	emit("engine_proposes_ignored_total", float64(st.ProposesIgnored))
+	emit("engine_requests_sent_total", float64(st.RequestsSent))
+	emit("engine_requests_received_total", float64(st.RequestsReceived))
+	emit("engine_serves_sent_total", float64(st.ServesSent))
+	emit("engine_events_served_total", float64(st.EventsServed))
+	emit("engine_events_delivered_total", float64(st.EventsDelivered))
+	emit("engine_duplicate_events_total", float64(st.DuplicateEvents))
+	emit("engine_retransmissions_total", float64(st.Retransmissions))
+	emit("engine_giveups_total", float64(st.GiveUps))
+	emit("engine_unservable_ids_total", float64(st.UnservableIDs))
+	emit("engine_open_streams", float64(len(e.streams)))
+	emit("engine_pending_requests", float64(e.PendingRequests()))
+	emit("engine_buffered_events", float64(e.BufferedEvents()))
+}
+
 // Start implements env.Handler.
 func (e *Engine) Start(rt env.Runtime) {
 	e.rt = rt
@@ -420,6 +470,9 @@ func (e *Engine) Publish(ev wire.Event) {
 		return
 	}
 	e.deliverLocal(st, ev, false)
+	if e.cfg.Trace != nil {
+		e.cfg.Trace.TracePublish(st.id, ev.ID, e.rt.Now())
+	}
 	e.gossip(st, []wire.PacketID{ev.ID})
 }
 
@@ -608,6 +661,12 @@ func (e *Engine) onPropose(from wire.NodeID, msg *wire.Propose) {
 	if len(wanted) == 0 {
 		return
 	}
+	if e.cfg.Trace != nil {
+		now := e.rt.Now()
+		for _, id := range wanted {
+			e.cfg.Trace.TraceRequest(st.id, id, from, now)
+		}
+	}
 	e.sendRequest(st, from, wanted)
 	e.armRetransmit(st, wanted)
 }
@@ -792,6 +851,9 @@ func (e *Engine) onServe(from wire.NodeID, msg *wire.Serve) {
 		if st.delivered.contains(uint64(ev.ID)) {
 			e.stats.DuplicateEvents++
 			continue
+		}
+		if e.cfg.Trace != nil {
+			e.cfg.Trace.TraceDeliver(st.id, ev.ID, from, e.rt.Now())
 		}
 		e.deliverLocal(st, ev, true)
 	}

@@ -592,3 +592,18 @@ func (d *Detector) TrackedPeers() int {
 	}
 	return n
 }
+
+// Collect emits the detector's state as named samples — the registration
+// surface for a telemetry registry. Must run on the node's execution
+// context (or after shutdown), like the other accessors.
+func (d *Detector) Collect(emit func(name string, value float64)) {
+	armed := 0.0
+	if d.cfg.Armed {
+		armed = 1
+	}
+	emit("misbehave_armed", armed)
+	emit("misbehave_quarantined_peers", float64(d.QuarantineCount()))
+	emit("misbehave_quarantine_events_total", float64(d.quarEvents))
+	emit("misbehave_release_events_total", float64(d.relEvents))
+	emit("misbehave_tracked_peers", float64(d.TrackedPeers()))
+}

@@ -221,6 +221,23 @@ func (s *Sender[T]) QueueBacklog() time.Duration {
 	return time.Duration(s.queued.Load() * 8 * int64(time.Second) / rate)
 }
 
+// Collect emits the sender's accounting as named samples — the registration
+// surface for a telemetry registry (the sender stays registry-agnostic; the
+// caller prefixes the names). Safe from any goroutine. The byte books are
+// emitted together so one snapshot is conservation-checkable: after Close
+// the values satisfy accepted_bytes_total == sent_bytes_total +
+// discarded_bytes_total exactly, with queued_bytes zero; live, queued_bytes
+// accounts for the gap.
+func (s *Sender[T]) Collect(emit func(name string, value float64)) {
+	emit("send_datagrams_total", float64(s.sent.Load()))
+	emit("send_tail_dropped_total", float64(s.dropped.Load()))
+	emit("sent_bytes_total", float64(s.bytes.Load()))
+	emit("discarded_bytes_total", float64(s.discarded.Load()))
+	emit("queued_bytes", float64(s.queued.Load()))
+	emit("accepted_bytes_total", float64(s.accepted.Load()))
+	emit("send_backlog_seconds", s.QueueBacklog().Seconds())
+}
+
 // drain is the pacing loop: a virtual transmission clock advances by each
 // item's serialization time; the loop sleeps whenever the clock runs ahead
 // of real time. This is equivalent to a token bucket with zero burst, which

@@ -1,0 +1,97 @@
+package report
+
+// The dissemination-trace artifact (beyond the paper's figures): hop-count
+// and per-hop-latency distributions from the telemetry tracer's offline hop
+// join, standard gossip vs HEAP on the most-skewed distribution. The paper
+// reasons about dissemination speed purely through lag CDFs; the trace
+// shows the mechanism underneath — how many propose→request→serve legs a
+// packet crosses before reaching a node, and what each leg costs.
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/scenario"
+	"repro/internal/telemetry"
+)
+
+// traceConfig is the artifact's sampling setup: every 8th packet id with a
+// per-node ring sized for a full paper-scale run (93 windows sample ~1.3k
+// ids per node), so the join sees complete paths with zero truncation.
+var traceConfig = telemetry.TraceConfig{SampleEvery: 8, RingCap: 4096}
+
+func (s *Suite) traceRun(proto scenario.Protocol) (*scenario.Result, error) {
+	name := fmt.Sprintf("trace-%s-%s", proto, scenario.MS691.Name())
+	return s.run(name, func(cfg *scenario.Config) {
+		cfg.Protocol = proto
+		cfg.Dist = scenario.MS691
+		tc := traceConfig
+		cfg.Trace = &tc
+	})
+}
+
+// Trace renders the dissemination-path artifact.
+func (s *Suite) Trace() error {
+	protos := []scenario.Protocol{scenario.StandardGossip, scenario.HEAP}
+	results := make(map[scenario.Protocol]*scenario.Result, len(protos))
+	summary := &metrics.Table{Headers: []string{"protocol", "hop records",
+		"resolved", "mean hops", "hops P50/P90/max", "hop latency P50/P90 (s)", "truncated"}}
+	for _, proto := range protos {
+		res, err := s.traceRun(proto)
+		if err != nil {
+			return err
+		}
+		results[proto] = res
+		ts := res.TraceStats
+		resolved := ts.Deliveries - ts.UnresolvedHops
+		pct := 0.0
+		if ts.Deliveries > 0 {
+			pct = 100 * float64(resolved) / float64(ts.Deliveries)
+		}
+		summary.AddRow(string(proto),
+			fmt.Sprintf("%d", len(ts.Hops)),
+			fmt.Sprintf("%.1f%%", pct),
+			fmt.Sprintf("%.2f", ts.MeanHops()),
+			fmt.Sprintf("%.0f / %.0f / %.0f", ts.HopCDF.ValueAtPercentile(50),
+				ts.HopCDF.ValueAtPercentile(90), ts.HopCDF.FiniteMax()),
+			fmt.Sprintf("%.2f / %.2f", ts.HopLatencyCDF.ValueAtPercentile(50),
+				ts.HopLatencyCDF.ValueAtPercentile(90)),
+			fmt.Sprintf("%d", ts.Truncated))
+	}
+	s.printf("Dissemination traces (beyond the paper): sampled hop records (every %dth packet id), ms-691\n%s\n",
+		traceConfig.SampleEvery, summary.Render())
+
+	// Hop-count distribution: what fraction of resolved deliveries arrived
+	// at each hop depth.
+	maxHop := 0
+	for _, res := range results {
+		if h := len(res.TraceStats.HopCounts) - 1; h > maxHop {
+			maxHop = h
+		}
+	}
+	dist := &metrics.Table{Headers: []string{"hop", "standard", "heap"}}
+	for h := 1; h <= maxHop; h++ {
+		cells := make([]string, 0, 2)
+		for _, proto := range protos {
+			ts := results[proto].TraceStats
+			resolved := int64(0)
+			for i, c := range ts.HopCounts {
+				if i > 0 {
+					resolved += c
+				}
+			}
+			var c int64
+			if h < len(ts.HopCounts) {
+				c = ts.HopCounts[h]
+			}
+			if resolved == 0 {
+				cells = append(cells, "-")
+				continue
+			}
+			cells = append(cells, fmt.Sprintf("%.1f%%", 100*float64(c)/float64(resolved)))
+		}
+		dist.AddRow(append([]string{fmt.Sprintf("%d", h)}, cells...)...)
+	}
+	s.printf("Delivery share by hop count (resolved serve-path deliveries)\n%s\n", dist.Render())
+	return nil
+}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/misbehave"
 	"repro/internal/netem"
+	"repro/internal/telemetry"
 )
 
 // These tests are the safety net for the simulator's pooled-event hot path:
@@ -48,6 +49,14 @@ func fingerprint(t *testing.T, res *Result) []byte {
 		// and the anonymity probe: a detector verdict or probe draw leaking
 		// scheduling order would show here.
 		if err := enc.Encode(res.AdversaryStats); err != nil {
+			t.Fatalf("fingerprint: %v", err)
+		}
+	}
+	if res.TraceStats != nil {
+		// Traced runs fingerprint the merged hop records and the offline hop
+		// join's outputs: a tracer observing anything schedule-dependent (a
+		// timestamp, a record order, a hop resolution) would show here.
+		if err := enc.Encode(res.TraceStats); err != nil {
 			t.Fatalf("fingerprint: %v", err)
 		}
 	}
@@ -420,6 +429,114 @@ func TestDeterminismAdversarySweepWorkers(t *testing.T) {
 	}
 	if !bytes.Equal(sc.Bytes(), pc.Bytes()) {
 		t.Fatal("adversary sweep CSV bytes differ between 1 and 8 workers")
+	}
+	for i := range serial.Cells {
+		s, p := serial.Cells[i], parallel.Cells[i]
+		ss, ps := s.Summary, p.Summary
+		ss.Elapsed, ps.Elapsed = 0, 0
+		if !reflect.DeepEqual(ss, ps) {
+			t.Fatalf("cell %s: summaries differ between 1 and 8 workers", s.Key)
+		}
+	}
+}
+
+// traceBase is the determinism suite's traced configuration: every 2nd
+// packet id sampled on every node, so the offline hop join resolves nearly
+// all serve-path deliveries.
+func traceBase(seed int64) Config {
+	cfg := deterministicBase(seed)
+	cfg.Trace = &telemetry.TraceConfig{SampleEvery: 2, RingCap: 4096}
+	return cfg
+}
+
+// TestDeterminismTraceRepeatedRun extends the byte-equality check to traced
+// runs, and pins the two guarantees the tracer makes: the trace itself is a
+// pure function of the seed (byte-identical JSONL across runs), and tracing
+// is purely observational (a traced run's protocol results are byte-identical
+// to the same seed untraced).
+func TestDeterminismTraceRepeatedRun(t *testing.T) {
+	a, err := Run(traceBase(67))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(traceBase(67))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fingerprint(t, a), fingerprint(t, b)) {
+		t.Fatal("traced run is not deterministic for a fixed seed")
+	}
+	ts := a.TraceStats
+	if ts == nil || len(ts.Hops) == 0 {
+		t.Fatal("traced run collected no hop records; the fingerprint check is vacuous")
+	}
+	if ts.Truncated != 0 {
+		t.Fatalf("ring truncated %d records at this scale; sizing is wrong", ts.Truncated)
+	}
+	if ts.Publishes == 0 || ts.Deliveries == 0 {
+		t.Fatalf("hop join saw %d publishes, %d deliveries", ts.Publishes, ts.Deliveries)
+	}
+	if ts.MeanHops() <= 0 {
+		t.Fatalf("mean hops = %v", ts.MeanHops())
+	}
+	var ja, jb bytes.Buffer
+	if err := a.TraceStats.WriteJSONL(&ja); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.TraceStats.WriteJSONL(&jb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ja.Bytes(), jb.Bytes()) {
+		t.Fatal("trace JSONL export is not byte-identical across same-seed runs")
+	}
+	// Tracing must be a pure observer: strip the trace from the traced run
+	// and the remaining fingerprint must equal the untraced run's exactly.
+	untraced, err := Run(deterministicBase(67))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.TraceStats = nil
+	if !bytes.Equal(fingerprint(t, a), fingerprint(t, untraced)) {
+		t.Fatal("enabling tracing changed protocol results; the hook must be purely observational")
+	}
+}
+
+// TestDeterminismTraceSweepWorkers re-checks worker-count independence with
+// the tracing axis active: 1 and 8 workers must export byte-identical CSV
+// for a trace-on/trace-off grid (tracers are per-run state; a leak between
+// concurrently executing cells would show here).
+func TestDeterminismTraceSweepWorkers(t *testing.T) {
+	grid := func(workers int) Sweep {
+		return Sweep{
+			Base:      traceBase(0),
+			Protocols: []Protocol{StandardGossip, HEAP},
+			Variants: []Variant{
+				{Name: "trace-off", Mutate: func(c *Config) { c.Trace = nil }},
+				{Name: "trace-on"},
+			},
+			Replicas: 2,
+			BaseSeed: 71,
+			Workers:  workers,
+			DropRuns: true,
+		}
+	}
+	serial, err := RunSweep(grid(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunSweep(grid(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sc, pc bytes.Buffer
+	if err := serial.WriteCSV(&sc); err != nil {
+		t.Fatal(err)
+	}
+	if err := parallel.WriteCSV(&pc); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sc.Bytes(), pc.Bytes()) {
+		t.Fatal("trace sweep CSV bytes differ between 1 and 8 workers")
 	}
 	for i := range serial.Cells {
 		s, p := serial.Cells[i], parallel.Cells[i]

@@ -17,6 +17,7 @@ import (
 	"repro/internal/netem"
 	"repro/internal/simnet"
 	"repro/internal/stream"
+	"repro/internal/telemetry"
 	"repro/internal/tree"
 	"repro/internal/wire"
 )
@@ -151,6 +152,16 @@ type Config struct {
 	// build without the adapt package. Requires constrained uploads and a
 	// gossip protocol. Results land in Result.AdaptStats.
 	Adapt *adapt.Config
+
+	// Trace enables dissemination-path tracing (internal/telemetry): every
+	// node records sampled per-packet hop events — publish, first request,
+	// delivery — through the engine's zero-cost trace hook, rng-free and
+	// byte-deterministic under the virtual clock. Hop counts are joined
+	// offline from the per-node records (nothing is added to the wire
+	// format, so fingerprints of untraced runs are untouched). Requires a
+	// gossip protocol (the static tree has no propose/request/serve path).
+	// Results land in Result.TraceStats.
+	Trace *telemetry.TraceConfig
 
 	// AutoFanout removes the paper's "n known in advance" simplification:
 	// every node runs the push-pull averaging protocol ([13], §2.2) to
@@ -319,6 +330,9 @@ func (c *Config) applyDefaults() error {
 			return err
 		}
 	}
+	if c.Trace != nil && c.Protocol == StaticTree {
+		return fmt.Errorf("scenario: Trace requires a gossip protocol (the static tree has no propose/request/serve path)")
+	}
 	if err := c.validateAdapt(); err != nil {
 		return err
 	}
@@ -388,6 +402,9 @@ type Result struct {
 	// AdversaryStats holds the adversary node sets, detection statistics,
 	// and the source-anonymity probe (nil when Adversary is unset).
 	AdversaryStats *AdversaryStats
+	// TraceStats holds the merged dissemination-path records and their
+	// offline hop analysis (nil when Trace is unset).
+	TraceStats *TraceStats
 }
 
 // BacklogSample is one probe of the system's uplink queues.
@@ -519,6 +536,7 @@ func Run(cfg Config) (*Result, error) {
 	estimators := make([]*aggregation.Estimator, total)
 	averagers := make([]*aggregation.Averager, total)
 	controllers := make([]*adapt.Controller, total)
+	tracers := make([]*telemetry.Tracer, total)
 
 	// specIdx maps wire-level stream ids to spec indices for the per-node
 	// delivery dispatch; singleStream keeps the legacy direct upcall (and
@@ -652,6 +670,11 @@ func Run(cfg Config) (*Result, error) {
 			Sampler:         sampler,
 			OnDeliver:       onDeliver,
 			Monitor:         monitorOrNil(det),
+		}
+		if cfg.Trace != nil {
+			tr := telemetry.NewTracer(id, *cfg.Trace)
+			tracers[i] = tr
+			engCfg.Trace = tr
 		}
 		if !cfg.Unconstrained {
 			// The fanout-budget allocator's upload budget; inert with a
@@ -954,6 +977,9 @@ func Run(cfg Config) (*Result, error) {
 	}
 	if adv != nil {
 		res.AdversaryStats = adv.collectStats(&cfg, res)
+	}
+	if cfg.Trace != nil {
+		res.TraceStats = collectTraceStats(tracers)
 	}
 	return res, nil
 }

@@ -1,0 +1,83 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// ServerConfig describes an introspection HTTP listener.
+type ServerConfig struct {
+	// Addr is the listen address, e.g. "127.0.0.1:9100" or ":0".
+	Addr string
+	// Registry backs /metrics and the metrics section of /statusz.
+	Registry *Registry
+	// Healthy, if non-nil, gates /healthz (503 when false).
+	Healthy func() bool
+	// Status, if non-nil, contributes extra top-level fields to /statusz.
+	Status func() map[string]any
+}
+
+// Server is a running introspection listener serving Prometheus-text
+// /metrics, Go's /debug/pprof endpoints, /healthz, and a /statusz JSON
+// snapshot — the scrape surface a fleet coordinator consumes.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// StartServer binds the address and serves in a background goroutine.
+func StartServer(cfg ServerConfig) (*Server, error) {
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = cfg.Registry.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		if cfg.Healthy != nil && !cfg.Healthy() {
+			http.Error(w, "unhealthy", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, _ *http.Request) {
+		obj := make(map[string]any)
+		if cfg.Status != nil {
+			for k, v := range cfg.Status() {
+				obj[k] = v
+			}
+		}
+		metrics := make(map[string]float64)
+		for _, s := range cfg.Registry.Snapshot() {
+			metrics[s.Name] = s.Value
+		}
+		obj["metrics"] = metrics
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(obj)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	s := &Server{ln: ln, srv: srv}
+	go func() { _ = srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and in-flight handlers.
+func (s *Server) Close() error { return s.srv.Close() }

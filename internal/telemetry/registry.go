@@ -1,0 +1,278 @@
+// Package telemetry is the observability layer: one registry of named
+// metrics that every subsystem reports into, dissemination-path tracing
+// through the engine's zero-cost hook pattern, and the HTTP introspection
+// surface heapnode exposes (Prometheus /metrics, /debug/pprof, /statusz).
+//
+// Two reporting styles coexist in the registry:
+//
+//   - Direct instruments — Counter, Gauge, Histogram — are lock-free
+//     atomics for hot paths that want to record as they go (heapnode's
+//     delivery counters and lag histogram).
+//   - Collectors pull from subsystems that already keep their own atomic
+//     or serialized state (the paced sender's accounting, the engine's
+//     Stats, the adaptation controller, the misbehavior detector): a
+//     registered func emits name/value samples at snapshot time, so the
+//     subsystems stay telemetry-agnostic and nothing new runs on their
+//     hot paths.
+//
+// A snapshot is conservation-checkable: the paced sender's books are
+// emitted together, so after the node closes the scraped values satisfy
+// udp_accepted_bytes_total == udp_sent_bytes_total + udp_discarded_bytes_total
+// exactly (and udp_queued_bytes is zero).
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing lock-free counter.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative for the value to stay monotonic).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a lock-free instantaneous value.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the gauge's current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket lock-free histogram with Prometheus
+// cumulative-bucket ("le") semantics: bucket i counts observations
+// <= bounds[i], plus an implicit +Inf bucket.
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Int64 // len(bounds)+1; last is +Inf
+	count   atomic.Int64
+	sumBits atomic.Uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns how many samples were observed.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed samples.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// EmitFunc receives one named sample during collection.
+type EmitFunc func(name string, value float64)
+
+// Sample is one named value of a registry snapshot.
+type Sample struct {
+	Name  string
+	Value float64
+}
+
+// Registry holds named metrics and collector callbacks. Instrument updates
+// are lock-free; registration and snapshotting take the registry mutex.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	hists      map[string]*Histogram
+	collectors []func(EmitFunc)
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Names should
+// be valid Prometheus identifiers ([a-z0-9_], conventionally ending in
+// _total). Registering a name twice returns the same instrument; reusing a
+// name across metric kinds panics.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	r.checkFree(name)
+	c := &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	r.checkFree(name)
+	g := &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given bucket
+// upper bounds (ascending) on first use. Later calls ignore bounds and
+// return the existing instrument.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	r.checkFree(name)
+	if !sort.Float64sAreSorted(bounds) {
+		panic(fmt.Sprintf("telemetry: histogram %q bounds not ascending", name))
+	}
+	h := &Histogram{
+		bounds:  append([]float64(nil), bounds...),
+		buckets: make([]atomic.Int64, len(bounds)+1),
+	}
+	r.hists[name] = h
+	return h
+}
+
+func (r *Registry) checkFree(name string) {
+	_, c := r.counters[name]
+	_, g := r.gauges[name]
+	_, h := r.hists[name]
+	if c || g || h {
+		panic(fmt.Sprintf("telemetry: metric %q already registered with a different kind", name))
+	}
+}
+
+// RegisterCollector adds a callback that emits samples at snapshot time.
+// Collectors run in registration order under the registry mutex; they must
+// not call back into the registry.
+func (r *Registry) RegisterCollector(fn func(EmitFunc)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.collectors = append(r.collectors, fn)
+}
+
+// Snapshot returns every metric as a flat name/value list, sorted by name.
+// Histograms contribute name_count and name_sum (buckets appear only in the
+// Prometheus exposition). Collector samples are included.
+func (r *Registry) Snapshot() []Sample {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Sample, 0, len(r.counters)+len(r.gauges)+2*len(r.hists)+16)
+	for name, c := range r.counters {
+		out = append(out, Sample{name, float64(c.Value())})
+	}
+	for name, g := range r.gauges {
+		out = append(out, Sample{name, g.Value()})
+	}
+	for name, h := range r.hists {
+		out = append(out, Sample{name + "_count", float64(h.Count())})
+		out = append(out, Sample{name + "_sum", h.Sum()})
+	}
+	for _, fn := range r.collectors {
+		fn(func(name string, v float64) { out = append(out, Sample{name, v}) })
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Get returns the named sample from a fresh snapshot (false if absent).
+func (r *Registry) Get(name string) (float64, bool) {
+	for _, s := range r.Snapshot() {
+		if s.Name == name {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format (version 0.0.4): typed counters, gauges and histograms first, then
+// collector samples as untyped metrics, all name-sorted.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var names []string
+	for name := range r.counters {
+		names = append(names, name)
+	}
+	for name := range r.gauges {
+		names = append(names, name)
+	}
+	for name := range r.hists {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if c, ok := r.counters[name]; ok {
+			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, c.Value()); err != nil {
+				return err
+			}
+			continue
+		}
+		if g, ok := r.gauges[name]; ok {
+			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", name, name, fmtFloat(g.Value())); err != nil {
+				return err
+			}
+			continue
+		}
+		h := r.hists[name]
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+			return err
+		}
+		cum := int64(0)
+		for i, bound := range h.bounds {
+			cum += h.buckets[i].Load()
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, fmtFloat(bound), cum); err != nil {
+				return err
+			}
+		}
+		cum += h.buckets[len(h.bounds)].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %s\n%s_count %d\n",
+			name, cum, name, fmtFloat(h.Sum()), name, h.Count()); err != nil {
+			return err
+		}
+	}
+	var samples []Sample
+	emit := func(name string, v float64) { samples = append(samples, Sample{name, v}) }
+	for _, fn := range r.collectors {
+		fn(emit)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i].Name < samples[j].Name })
+	for _, s := range samples {
+		if _, err := fmt.Fprintf(w, "%s %s\n", s.Name, fmtFloat(s.Value)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func fmtFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,314 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+func TestRegistryInstruments(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("requests_total") != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+	g := r.Gauge("queue_depth")
+	g.Set(3.5)
+	if got := g.Value(); got != 3.5 {
+		t.Fatalf("gauge = %v, want 3.5", got)
+	}
+	h := r.Histogram("lag_seconds", []float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1.5, 1.5, 10} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("hist count = %d", h.Count())
+	}
+	if h.Sum() != 13.5 {
+		t.Fatalf("hist sum = %v", h.Sum())
+	}
+
+	r.RegisterCollector(func(emit EmitFunc) { emit("external_total", 7) })
+	snap := r.Snapshot()
+	want := map[string]float64{
+		"requests_total":    5,
+		"queue_depth":       3.5,
+		"lag_seconds_count": 4,
+		"lag_seconds_sum":   13.5,
+		"external_total":    7,
+	}
+	if len(snap) != len(want) {
+		t.Fatalf("snapshot has %d samples: %v", len(snap), snap)
+	}
+	for i, s := range snap {
+		if i > 0 && snap[i-1].Name >= s.Name {
+			t.Fatalf("snapshot not sorted: %q >= %q", snap[i-1].Name, s.Name)
+		}
+		if v, ok := want[s.Name]; !ok || v != s.Value {
+			t.Fatalf("sample %q = %v, want %v", s.Name, s.Value, want[s.Name])
+		}
+	}
+	if v, ok := r.Get("external_total"); !ok || v != 7 {
+		t.Fatalf("Get(external_total) = %v, %v", v, ok)
+	}
+	if _, ok := r.Get("absent"); ok {
+		t.Fatal("Get found an absent metric")
+	}
+}
+
+func TestRegistryKindCollision(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("gauge registration over a counter name did not panic")
+		}
+	}()
+	r.Gauge("x")
+}
+
+func TestRegistryConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("n")
+	h := r.Histogram("v", []float64{10, 100})
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				h.Observe(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != workers*per {
+		t.Fatalf("counter = %d, want %d", c.Value(), workers*per)
+	}
+	if h.Count() != workers*per || h.Sum() != workers*per {
+		t.Fatalf("hist count %d sum %v", h.Count(), h.Sum())
+	}
+}
+
+// parsePrometheus parses the subset of the text format the registry emits:
+// "name value" lines, with histogram buckets keyed as name_bucket{le="x"}.
+func parsePrometheus(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	out := make(map[string]float64)
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("unparseable line %q", line)
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		out[fields[0]] = v
+	}
+	return out
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total").Add(3)
+	r.Gauge("b").Set(1.25)
+	h := r.Histogram("lag", []float64{1, 5})
+	h.Observe(0.5)
+	h.Observe(3)
+	h.Observe(100)
+	r.RegisterCollector(func(emit EmitFunc) { emit("c_total", 9) })
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"# TYPE a_total counter", "# TYPE b gauge", "# TYPE lag histogram",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("missing %q in:\n%s", want, text)
+		}
+	}
+	vals := parsePrometheus(t, text)
+	checks := map[string]float64{
+		"a_total":               3,
+		"b":                     1.25,
+		"c_total":               9,
+		`lag_bucket{le="1"}`:    1,
+		`lag_bucket{le="5"}`:    2,
+		`lag_bucket{le="+Inf"}`: 3,
+		"lag_sum":               103.5,
+		"lag_count":             3,
+	}
+	for name, want := range checks {
+		if got, ok := vals[name]; !ok || got != want {
+			t.Fatalf("%s = %v (present %v), want %v\n%s", name, got, ok, want, text)
+		}
+	}
+}
+
+func TestTracerSamplingAndRing(t *testing.T) {
+	tr := NewTracer(3, TraceConfig{SampleEvery: 2, RingCap: 4})
+	// id 1 is not sampled (1 % 2 != 0); id 2 is.
+	tr.TraceDeliver(0, 1, 9, time.Second)
+	if len(tr.Records()) != 0 {
+		t.Fatal("unsampled id recorded")
+	}
+	tr.TraceRequest(0, 2, 9, 500*time.Millisecond)
+	tr.TraceDeliver(0, 2, 9, time.Second)
+	recs := tr.Records()
+	if len(recs) != 1 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	r := recs[0]
+	if r.Node != 3 || r.From != 9 || r.ID != 2 || r.At != time.Second ||
+		r.ReqAt != 500*time.Millisecond || r.Publish {
+		t.Fatalf("record = %+v", r)
+	}
+	// A delivery with no recorded request degrades ReqAt to -1.
+	tr.TraceDeliver(0, 4, 9, 2*time.Second)
+	recs = tr.Records()
+	if recs[1].ReqAt != -1 {
+		t.Fatalf("untracked request ReqAt = %v", recs[1].ReqAt)
+	}
+	// Ring wrap: capacity 4, oldest overwritten, truncation counted.
+	for id := wire.PacketID(6); id <= 14; id += 2 {
+		tr.TraceDeliver(0, id, 9, time.Duration(id)*time.Second)
+	}
+	if tr.Truncated() != 3 {
+		t.Fatalf("truncated = %d, want 3", tr.Truncated())
+	}
+	recs = tr.Records()
+	if len(recs) != 4 {
+		t.Fatalf("ring holds %d records", len(recs))
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i-1].At > recs[i].At {
+			t.Fatalf("records not oldest-first: %v then %v", recs[i-1].At, recs[i].At)
+		}
+	}
+	if recs[3].ID != 14 {
+		t.Fatalf("newest record id = %d", recs[3].ID)
+	}
+}
+
+func TestTracerPublish(t *testing.T) {
+	tr := NewTracer(0, TraceConfig{})
+	tr.TracePublish(2, 8, 3*time.Second)
+	recs := tr.Records()
+	if len(recs) != 1 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	r := recs[0]
+	if !r.Publish || r.From != 0 || r.Node != 0 || r.Stream != 2 || r.ReqAt != r.At {
+		t.Fatalf("publish record = %+v", r)
+	}
+}
+
+func TestWriteJSONLDeterministic(t *testing.T) {
+	mk := func() *Tracer {
+		tr := NewTracer(1, TraceConfig{})
+		tr.TracePublish(0, 0, 0)
+		tr.TraceRequest(0, 1, 2, time.Second)
+		tr.TraceDeliver(0, 1, 2, 2*time.Second)
+		return tr
+	}
+	var a, b bytes.Buffer
+	if err := mk().WriteJSONL(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := mk().WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("JSONL not byte-identical:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	lines := strings.Split(strings.TrimSpace(a.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	var obj map[string]any
+	if err := json.Unmarshal([]byte(lines[1]), &obj); err != nil {
+		t.Fatal(err)
+	}
+	if obj["node"] != float64(1) || obj["from"] != float64(2) || obj["at_ns"] != float64(2e9) {
+		t.Fatalf("decoded record = %v", obj)
+	}
+}
+
+func TestServerEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits_total").Add(2)
+	healthy := true
+	srv, err := StartServer(ServerConfig{
+		Addr:     "127.0.0.1:0",
+		Registry: r,
+		Healthy:  func() bool { return healthy },
+		Status:   func() map[string]any { return map[string]any{"node": 7} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	get := func(path string) (int, string) {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", srv.Addr(), path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "hits_total 2") {
+		t.Fatalf("/metrics = %d:\n%s", code, body)
+	}
+	if code, body := get("/healthz"); code != 200 || body != "ok\n" {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	healthy = false
+	if code, _ := get("/healthz"); code != 503 {
+		t.Fatalf("unhealthy /healthz = %d, want 503", code)
+	}
+	code, body := get("/statusz")
+	if code != 200 {
+		t.Fatalf("/statusz = %d", code)
+	}
+	var status struct {
+		Node    int                `json:"node"`
+		Metrics map[string]float64 `json:"metrics"`
+	}
+	if err := json.Unmarshal([]byte(body), &status); err != nil {
+		t.Fatalf("statusz JSON: %v\n%s", err, body)
+	}
+	if status.Node != 7 || status.Metrics["hits_total"] != 2 {
+		t.Fatalf("statusz = %+v", status)
+	}
+	if code, body := get("/debug/pprof/cmdline"); code != 200 || len(body) == 0 {
+		t.Fatalf("/debug/pprof/cmdline = %d", code)
+	}
+}

@@ -352,6 +352,32 @@ func (n *Node) AcceptedBytes() int64 { return n.sender.AcceptedBytes() }
 // in the paced sender's queue. Zero after Close.
 func (n *Node) QueuedBytes() int64 { return n.sender.QueuedBytes() }
 
+// DecodeErrorCount returns how many inbound datagrams failed to parse.
+// Like NetemCounters it stays truthful after Close.
+func (n *Node) DecodeErrorCount() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.DecodeErrors
+}
+
+// Collect emits the node's transport counters as named samples — the
+// registration surface for a telemetry registry: the paced sender's books
+// (udp_ prefix, conservation-checkable; see ratelimit.Sender.Collect) plus
+// decode errors and, when a netem model runs, its outbound drop/delay
+// counters. Safe from any goroutine and truthful after Close.
+func (n *Node) Collect(emit func(name string, value float64)) {
+	n.sender.Collect(func(name string, v float64) { emit("udp_"+name, v) })
+	n.mu.Lock()
+	decode, dropped, delayed := n.DecodeErrors, n.NetemDropped, n.NetemDelayed
+	hasNetem := n.netem != nil
+	n.mu.Unlock()
+	emit("udp_decode_errors_total", float64(decode))
+	if hasNetem {
+		emit("netem_out_dropped_total", float64(dropped))
+		emit("netem_out_delayed_total", float64(delayed))
+	}
+}
+
 // Attach starts an additional lifecycle-only handler on a running node (one
 // that receives no messages, like a stream source: its activity is all
 // timers). The handler's Start runs in the node's execution context; its

@@ -14,6 +14,7 @@ import (
 	"repro/internal/misbehave"
 	"repro/internal/netem"
 	"repro/internal/stream"
+	"repro/internal/telemetry"
 	"repro/internal/udpnet"
 	"repro/internal/wire"
 )
@@ -93,6 +94,12 @@ type NodeConfig struct {
 	// Leave Alive nil on real deployments: there is no liveness oracle, and
 	// quarantining a dead peer is harmless.
 	Misbehave *MisbehaveConfig
+	// Telemetry, if non-nil, is the metric registry this node registers its
+	// subsystem collectors into; nil gives the node a fresh private
+	// registry (Node.Telemetry). Supplying one lets an embedding program
+	// add its own instruments to the same scrape surface before the node
+	// starts (heapnode's delivery counters and lag histogram).
+	Telemetry *TelemetryRegistry
 }
 
 // SourceConfig describes one stream a node broadcasts.
@@ -112,6 +119,7 @@ type SourceConfig struct {
 
 // Node is a running HEAP node on a real UDP socket.
 type Node struct {
+	id        NodeID
 	udp       *udpnet.Node
 	engine    *core.Engine
 	estimator *aggregation.Estimator
@@ -119,6 +127,7 @@ type Node struct {
 	detector  *misbehave.Detector
 	view      *membership.View
 	source    *stream.Source
+	telemetry *telemetry.Registry
 	capKbps   atomic.Uint32
 	capTimers []*time.Timer
 }
@@ -178,7 +187,10 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 	}
 	view := membership.NewView(cfg.ID, peerIDs)
 
-	n := &Node{view: view}
+	n := &Node{id: cfg.ID, view: view, telemetry: cfg.Telemetry}
+	if n.telemetry == nil {
+		n.telemetry = telemetry.NewRegistry()
+	}
 	n.capKbps.Store(cfg.UploadKbps)
 	mux := env.NewMux()
 
@@ -333,6 +345,13 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 		return nil, err
 	}
 	n.udp = udpNode
+	// Two collectors back the scrape surface: the transport one reads only
+	// lock-free sender counters and the node's own mutex (safe from any
+	// goroutine, truthful after Close), while the protocol one serializes
+	// with the execution context — falling back to an unserialized read once
+	// the node is closed, like the statistics accessors.
+	n.telemetry.RegisterCollector(func(emit telemetry.EmitFunc) { n.udp.Collect(emit) })
+	n.telemetry.RegisterCollector(n.collectProtocol)
 
 	peers := make(map[wire.NodeID]*net.UDPAddr, len(cfg.Peers))
 	for id, addrStr := range cfg.Peers {
@@ -537,6 +556,54 @@ func (n *Node) EstimateKbps() float64 {
 		}
 	})
 	return est
+}
+
+// collectProtocol emits the serialized subsystems' samples (engine counters,
+// capability estimate, adaptation controller, misbehavior detector) plus the
+// advertised capability.
+func (n *Node) collectProtocol(emit telemetry.EmitFunc) {
+	emit("node_advertised_kbps", float64(n.capKbps.Load()))
+	read := func() {
+		n.engine.Collect(emit)
+		if n.estimator != nil {
+			emit("heap_bbar_kbps", n.estimator.EstimateKbps())
+		}
+		if n.adapt != nil {
+			n.adapt.Collect(emit)
+		}
+		if n.detector != nil {
+			n.detector.Collect(emit)
+		}
+	}
+	if !n.udp.Execute(read) {
+		read() // node closed: nothing mutates the subsystems anymore
+	}
+}
+
+// Telemetry returns the node's metric registry — every subsystem's counters
+// as one conservation-checkable snapshot (Registry.Snapshot), also the
+// backing store for the introspection listener. Safe to scrape from any
+// goroutine, truthful after Close.
+func (n *Node) Telemetry() *TelemetryRegistry { return n.telemetry }
+
+// StartTelemetry binds an introspection HTTP listener on addr serving
+// Prometheus-text /metrics, /debug/pprof/*, /healthz (503 once the node is
+// closed), and a /statusz JSON snapshot. Close the returned server when
+// done; it is not stopped by Node.Close (post-shutdown scrapes stay
+// truthful).
+func (n *Node) StartTelemetry(addr string) (*TelemetryServer, error) {
+	return telemetry.StartServer(telemetry.ServerConfig{
+		Addr:     addr,
+		Registry: n.telemetry,
+		Healthy:  func() bool { return n.udp.Execute(func() {}) },
+		Status: func() map[string]any {
+			return map[string]any{
+				"node":            int64(n.id),
+				"addr":            n.Addr().String(),
+				"advertised_kbps": n.capKbps.Load(),
+			}
+		},
+	})
 }
 
 // SourceDone reports whether this node's stream (if any) finished.

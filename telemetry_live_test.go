@@ -1,0 +1,201 @@
+package heapgossip
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTelemetryLiveScrape runs a small dissemination session over real UDP
+// sockets with one node serving its introspection endpoints, then scrapes
+// /metrics and asserts the paced sender's conservation invariant from the
+// Prometheus text alone: after Close every byte the transport accepted was
+// either put on the wire or discarded, and the queue drained to zero.
+func TestTelemetryLiveScrape(t *testing.T) {
+	const nodes = 5
+	geom := Geometry{RateBps: 400_000, PacketBytes: 200, DataPerWindow: 6, ParityPerWindow: 2}
+	const windows = 2
+
+	started := make([]*Node, 0, nodes)
+	defer func() {
+		for _, n := range started {
+			n.Close()
+		}
+	}()
+
+	var mu sync.Mutex
+	received := make(map[NodeID]int, nodes)
+
+	for i := 0; i < nodes; i++ {
+		id := NodeID(i)
+		cfg := NodeConfig{
+			ID:           id,
+			UploadKbps:   5000,
+			Adaptive:     true,
+			Fanout:       4,
+			GossipPeriod: 30 * time.Millisecond,
+			OnDeliver: func(StreamID, PacketID, []byte, time.Duration) {
+				mu.Lock()
+				received[id]++
+				mu.Unlock()
+			},
+		}
+		if i == 0 {
+			cfg.Source = &SourceConfig{
+				Geometry:   geom,
+				Windows:    windows,
+				StartDelay: 300 * time.Millisecond,
+			}
+		}
+		n, err := StartNode(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		started = append(started, n)
+	}
+	for i, n := range started {
+		for j, peer := range started {
+			if i != j {
+				n.AddPeer(NodeID(j), peer.Addr())
+			}
+		}
+	}
+
+	// Node 1 (a relay, so its paced sender carries serve traffic) exposes the
+	// introspection endpoints on an ephemeral port.
+	srv, err := started[1].StartTelemetry("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	total := geom.TotalPackets(windows)
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		sum := 0
+		for id, c := range received {
+			if id != 0 {
+				sum += c
+			}
+		}
+		mu.Unlock()
+		if sum >= (nodes-1)*total*90/100 {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// A live scrape must succeed while the node is running.
+	if code, body := httpGet(t, srv.Addr(), "/metrics"); code != 200 ||
+		!strings.Contains(body, "udp_accepted_bytes_total") {
+		t.Fatalf("live /metrics = %d:\n%s", code, body)
+	}
+	if code, _ := httpGet(t, srv.Addr(), "/healthz"); code != 200 {
+		t.Fatalf("live /healthz = %d, want 200", code)
+	}
+
+	// Close every node: the paced senders drain and the books freeze, so the
+	// conservation identity must hold exactly — not approximately — in the
+	// post-Close scrape. The telemetry server outlives Node.Close by design.
+	for _, n := range started {
+		n.Close()
+	}
+	started = started[:0]
+
+	_, body := httpGet(t, srv.Addr(), "/metrics")
+	vals := parsePromText(t, body)
+	need := func(name string) float64 {
+		v, ok := vals[name]
+		if !ok {
+			t.Fatalf("metric %q missing from scrape:\n%s", name, body)
+		}
+		return v
+	}
+	accepted := need("udp_accepted_bytes_total")
+	sent := need("udp_sent_bytes_total")
+	discarded := need("udp_discarded_bytes_total")
+	if accepted == 0 {
+		t.Fatal("relay node accepted no bytes — no traffic flowed")
+	}
+	if accepted != sent+discarded {
+		t.Fatalf("conservation violated: accepted %v != sent %v + discarded %v",
+			accepted, sent, discarded)
+	}
+	if q := need("udp_queued_bytes"); q != 0 {
+		t.Fatalf("queued bytes after Close = %v, want 0", q)
+	}
+	if d := need("udp_decode_errors_total"); d != 0 {
+		t.Fatalf("decode errors = %v, want 0", d)
+	}
+	if need("engine_events_delivered_total") == 0 {
+		t.Fatal("engine delivered nothing")
+	}
+
+	// After Close the liveness probe must fail …
+	if code, _ := httpGet(t, srv.Addr(), "/healthz"); code != 503 {
+		t.Fatalf("post-Close /healthz = %d, want 503", code)
+	}
+	// … but /statusz still reports the node's identity and metrics.
+	code, body := httpGet(t, srv.Addr(), "/statusz")
+	if code != 200 {
+		t.Fatalf("/statusz = %d", code)
+	}
+	var status struct {
+		Node    int                `json:"node"`
+		Metrics map[string]float64 `json:"metrics"`
+	}
+	if err := json.Unmarshal([]byte(body), &status); err != nil {
+		t.Fatalf("statusz JSON: %v\n%s", err, body)
+	}
+	if status.Node != 1 {
+		t.Fatalf("statusz node = %d, want 1", status.Node)
+	}
+	if status.Metrics["udp_accepted_bytes_total"] != accepted {
+		t.Fatalf("statusz metrics disagree with /metrics: %v vs %v",
+			status.Metrics["udp_accepted_bytes_total"], accepted)
+	}
+}
+
+func httpGet(t *testing.T, addr, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(fmt.Sprintf("http://%s%s", addr, path))
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// parsePromText parses the "name value" subset of the Prometheus text format
+// the registry emits (histogram buckets appear as name_bucket{le="x"}).
+func parsePromText(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	out := make(map[string]float64)
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("unparseable metrics line %q", line)
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		out[fields[0]] = v
+	}
+	return out
+}
