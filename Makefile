@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: check fmtcheck vet build linkcheck race race-detect test-short testshort test bench bench-udp bench-telemetry sweep largescale fuzz full fmt
+.PHONY: check fmtcheck vet build linkcheck race race-detect test-short testshort test bench bench-json bench-udp bench-telemetry sweep largescale fuzz full fmt
 
 check: fmtcheck vet build linkcheck race race-detect testshort
 
@@ -32,9 +32,14 @@ race:
 # Full (not -short) race pass over the detection and adaptation loops plus
 # the paced sender they poll: the misbehavior oracle/property suite, the
 # adapt controller, and the ratelimit concurrency regressions run with their
-# complete iteration counts under the race detector.
+# complete iteration counts under the race detector. The simnet cross-shard
+# exchange storm and the shard-count determinism oracle run here too — the
+# sharded event loop is the one place simulation results depend on goroutine
+# discipline.
 race-detect:
 	$(GO) test -race ./internal/misbehave ./internal/adapt ./internal/ratelimit
+	$(GO) test -race -run 'TestCrossShardExchangeRace|TestHeapCancelRescheduleStorm' ./internal/simnet
+	$(GO) test -race -run 'TestDeterminismShardCounts' ./internal/scenario
 
 test-short: testshort
 testshort:
@@ -46,6 +51,14 @@ test:
 # One iteration of every paper-figure benchmark (reduced scale).
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+
+# Simulator-scale benchmarks as a machine-readable artifact: the headline
+# hot path and the LargeScale family (including the sharded 100k/1M runs;
+# -short keeps the 1M cell at CI scale) parsed into BENCH_simnet.json.
+bench-json:
+	$(GO) test -short -bench 'Headline$$|LargeScale' -benchtime 1x -timeout 60m -run '^$$' . \
+		| $(GO) run ./cmd/benchjson -o BENCH_simnet.json
+	@echo wrote BENCH_simnet.json
 
 # The UDP fast-path saturation benchmark: loopback pps and allocs/datagram,
 # batched syscalls (sendmmsg/recvmmsg) vs the portable single-syscall path.

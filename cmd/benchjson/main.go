@@ -1,0 +1,123 @@
+// Command benchjson converts `go test -bench` text output into a stable JSON
+// document, so benchmark numbers can be archived as CI artifacts and diffed
+// across commits without scraping free-form logs.
+//
+// It reads benchmark output on stdin and writes JSON to stdout (or -o FILE):
+//
+//	go test -bench LargeScale -benchtime 1x . | benchjson -o BENCH_simnet.json
+//
+// Every benchmark line becomes one record carrying the benchmark name, the
+// GOMAXPROCS suffix, the iteration count, and all reported metrics — the
+// standard ns/op / B/op / allocs/op plus every custom b.ReportMetric unit
+// (ns/event, events/run, msgs/run, ...). Context lines (goos, goarch, pkg,
+// cpu) are captured into the header. Non-benchmark lines pass through to
+// stderr so progress stays visible when benchjson sits at the end of a pipe.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Doc is the output document.
+type Doc struct {
+	Goos       string   `json:"goos,omitempty"`
+	Goarch     string   `json:"goarch,omitempty"`
+	Pkg        string   `json:"pkg,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []Record `json:"benchmarks"`
+}
+
+// Record is one benchmark result line.
+type Record struct {
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	out := flag.String("o", "", "write JSON to this file instead of stdout")
+	flag.Parse()
+
+	doc := Doc{Benchmarks: []Record{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			doc.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			doc.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			doc.Pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			doc.CPU = strings.TrimPrefix(line, "cpu: ")
+		default:
+			if rec, ok := parseBenchLine(line); ok {
+				doc.Benchmarks = append(doc.Benchmarks, rec)
+			} else {
+				fmt.Fprintln(os.Stderr, line)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: read: %v\n", err)
+		os.Exit(1)
+	}
+
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseBenchLine parses one `BenchmarkName-P  N  value unit  value unit ...`
+// line. Returns ok=false for anything that does not look like one.
+func parseBenchLine(line string) (Record, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Record{}, false
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	procs := 1
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if p, err := strconv.Atoi(name[i+1:]); err == nil {
+			name, procs = name[:i], p
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Record{}, false
+	}
+	// The rest alternates value/unit; bail unless at least one pair parses,
+	// so prose lines starting with "Benchmark" never produce junk records.
+	metrics := map[string]float64{}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Record{}, false
+		}
+		metrics[fields[i+1]] = v
+	}
+	if len(metrics) == 0 {
+		return Record{}, false
+	}
+	return Record{Name: name, Procs: procs, Iterations: iters, Metrics: metrics}, true
+}

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -46,6 +47,7 @@ func run() int {
 		replicas  = flag.Int("replicas", 1, "seed replicas (> 1 switches to the sweep engine)")
 		workers   = flag.Int("workers", 0, "sweep worker pool size (default GOMAXPROCS)")
 		csvDir    = flag.String("csv", "", "write delivery.csv and nodes.csv into this directory (single run only)")
+		shards    = flag.Int("shards", runtime.GOMAXPROCS(0), "simulator shards (cores); results are identical at any count")
 	)
 	flag.Parse()
 
@@ -57,6 +59,7 @@ func run() int {
 		Seed:            *seed,
 		RetSameProposer: *sameRetry,
 		SourceBias:      *bias,
+		Shards:          *shards,
 	}
 	if *distName != "none" {
 		dist, ok := scenario.Distributions[*distName]

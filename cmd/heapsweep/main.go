@@ -66,6 +66,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -111,6 +112,8 @@ func run() int {
 			"enable congestion-driven capability re-estimation on every constrained node (internal/adapt)")
 		advFlag = flag.Float64("adversary", 0,
 			"fraction of non-source nodes freeriding; adds a honest/detector-off/detector-on variant axis (internal/misbehave)")
+		shards = flag.Int("shards", runtime.GOMAXPROCS(0),
+			"simulator shards per run (results are identical at any count); prefer -shards 1 with many -workers when the grid has more cells than cores")
 	)
 	flag.Parse()
 	if *streams < 1 {
@@ -152,6 +155,7 @@ func run() int {
 		}
 		sw := scenario.LargeScaleSweep(sizes, *replicas, *seed, *workers)
 		sw.Base.Adapt = adaptCfg
+		sw.Base.Shards = *shards
 		sw.SummaryLag = *lag
 		if netemNames != nil {
 			adv, err := scenario.LargeScaleAdverseVariants(netemNames...)
@@ -181,6 +185,7 @@ func run() int {
 			Drain:       120 * time.Second,
 			Streams:     multiSourceSpecs(*streams, 5*time.Second, *stagger),
 			Adapt:       adaptCfg,
+			Shards:      *shards,
 		},
 		Replicas:   *replicas,
 		BaseSeed:   *seed,

@@ -1,6 +1,7 @@
 package heapgossip
 
 import (
+	"runtime"
 	"time"
 
 	"repro/internal/adapt"
@@ -122,6 +123,17 @@ func LargeScale(n int, seed int64) Scenario { return scenario.LargeScaleBase(n, 
 // LargeScaleVariants returns the family's standard sweep axis: steady,
 // flashcrowd, churnbursts, mixed.
 func LargeScaleVariants() []Variant { return scenario.LargeScaleVariants() }
+
+// LargeScaleXL builds the 100k-1M scenario: LargeScale plus the two knobs
+// that matter at that size — a sharded simulator (Scenario.Shards; results
+// are byte-identical at any shard count) and a capped per-node capability
+// table (Scenario.AggTrackLimit). Pass shards <= 0 for runtime.GOMAXPROCS.
+func LargeScaleXL(n int, seed int64, shards int) Scenario {
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	return scenario.LargeScaleXL(n, seed, shards)
+}
 
 // LargeScaleSweep builds the large-N grid (sizes × variants); empty sizes
 // default to 1k and 5k nodes.

@@ -50,6 +50,16 @@ type Config struct {
 	// fanout share back to honest nodes. Applied to the claim's owner,
 	// regardless of which peer relayed it; relaying resumes on release.
 	Exclude func(wire.NodeID) bool
+	// TrackLimit, when > 0, tracks capability entries only for node ids
+	// below the limit. At million-node scale the per-node dense entry table
+	// and its O(entries) tick-path scans make the whole system O(n²); a
+	// track limit caps both at O(limit) per node. Because node ids carry no
+	// capability bias (caps are assigned by seeded rng, not by id), the
+	// tracked prefix is an unbiased sample and bbar converges to the same
+	// system average. A node whose own id is outside the limit still knows
+	// its own capability exactly — the estimate simply comes entirely from
+	// the sampled prefix. Zero means track everything.
+	TrackLimit int
 }
 
 func (c *Config) applyDefaults() {
@@ -90,6 +100,17 @@ type Estimator struct {
 	count   int        // present entries
 	sum     uint64     // sum of present capKbps
 
+	// freshHeap (max by asOf) and expHeap (min by asOf) index the entries
+	// by freshness with lazy invalidation: every set pushes the new
+	// (id, asOf) pair onto both; a pair is live only while it still matches
+	// its entry. They turn the tick path's top-k selection and TTL aging
+	// from O(entries) scans into O(k log m) pops — the difference between
+	// feasible and not at million-node scale, where every node ticks five
+	// times a simulated second. Selection results are identical to the
+	// scans': same (asOf desc, id asc) order, same expiry instants.
+	freshHeap []freshPair
+	expHeap   []freshPair
+
 	ticker *env.Ticker
 
 	// cached estimate, refreshed on every mutation
@@ -108,6 +129,70 @@ type selEntry struct {
 	id wire.NodeID
 	ce capEntry
 }
+
+// freshPair is one lazily-invalidated heap record: the entry for id as of
+// the moment it was set. It is live iff the entry is still present with
+// exactly this asOf.
+type freshPair struct {
+	id   wire.NodeID
+	asOf time.Duration
+}
+
+// fresherPair is the freshness order shared by the heap and the legacy scan:
+// newer first, smaller id on ties — a strict total order, so top-k is unique.
+func fresherPair(a, b freshPair) bool {
+	if a.asOf != b.asOf {
+		return a.asOf > b.asOf
+	}
+	return a.id < b.id
+}
+
+func (e *Estimator) live(p freshPair) bool {
+	return int(p.id) < len(e.entries) && e.entries[p.id].present && e.entries[p.id].asOf == p.asOf
+}
+
+// pushHeap/popHeap are one sift implementation parameterized by order;
+// less(a, b) means a belongs nearer the top.
+func pushHeap(h []freshPair, p freshPair, less func(a, b freshPair) bool) []freshPair {
+	h = append(h, p)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !less(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	return h
+}
+
+func popHeap(h []freshPair, less func(a, b freshPair) bool) ([]freshPair, freshPair) {
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	i := 0
+	for {
+		child := 2*i + 1
+		if child >= last {
+			break
+		}
+		if r := child + 1; r < last && less(h[r], h[child]) {
+			child = r
+		}
+		if !less(h[child], h[i]) {
+			break
+		}
+		h[i], h[child] = h[child], h[i]
+		i = child
+	}
+	return h, top
+}
+
+// olderPair orders the expiry heap: oldest asOf first. EntryTTL is constant,
+// so asOf order is expiry order.
+func olderPair(a, b freshPair) bool { return a.asOf < b.asOf }
 
 // maxTrackedNodeID bounds the dense entry slice against hostile wire input:
 // node ids are dense, so a million-node ceiling is far beyond any deployment
@@ -131,7 +216,14 @@ func NewEstimator(cfg Config) *Estimator {
 	}
 }
 
+// tracked reports whether id falls inside the dense entry table. With no
+// TrackLimit every valid id is tracked.
+func (e *Estimator) tracked(id wire.NodeID) bool {
+	return e.cfg.TrackLimit <= 0 || int(id) < e.cfg.TrackLimit
+}
+
 // set inserts or replaces the entry for id, keeping sum/count current.
+// Callers gate on tracked(id).
 func (e *Estimator) set(id wire.NodeID, capKbps uint32, asOf time.Duration) {
 	for int(id) >= len(e.entries) {
 		e.entries = append(e.entries, capEntry{})
@@ -146,6 +238,31 @@ func (e *Estimator) set(id wire.NodeID, capKbps uint32, asOf time.Duration) {
 	slot.capKbps = capKbps
 	slot.asOf = asOf
 	e.sum += uint64(capKbps)
+	e.freshHeap = pushHeap(e.freshHeap, freshPair{id, asOf}, fresherPair)
+	e.expHeap = pushHeap(e.expHeap, freshPair{id, asOf}, olderPair)
+	// Superseded pairs are discarded when they surface at a heap top, but
+	// below the surface they pile up (a refreshed entry's old pair sinks in
+	// freshHeap and lingers in expHeap until its would-be expiry). Rebuild a
+	// heap from the live entries once dead pairs outnumber live ones —
+	// amortized O(log) per set, and it bounds both heaps at 2x the entry
+	// table, which is what keeps per-node memory flat at million-node scale.
+	if len(e.freshHeap) > 64 && len(e.freshHeap) > 2*e.count {
+		e.freshHeap = rebuildHeap(e.freshHeap[:0], e.entries, fresherPair)
+	}
+	if len(e.expHeap) > 64 && len(e.expHeap) > 2*e.count {
+		e.expHeap = rebuildHeap(e.expHeap[:0], e.entries, olderPair)
+	}
+}
+
+// rebuildHeap repopulates h (cleared, capacity retained) with one pair per
+// present entry.
+func rebuildHeap(h []freshPair, entries []capEntry, less func(a, b freshPair) bool) []freshPair {
+	for id := range entries {
+		if entries[id].present {
+			h = pushHeap(h, freshPair{wire.NodeID(id), entries[id].asOf}, less)
+		}
+	}
+	return h
 }
 
 // drop removes the entry for id, keeping sum/count current.
@@ -162,7 +279,9 @@ func (e *Estimator) drop(id wire.NodeID) {
 // Start implements env.Handler.
 func (e *Estimator) Start(rt env.Runtime) {
 	e.rt = rt
-	e.set(rt.ID(), e.cfg.SelfCapKbps, rt.Now())
+	if e.tracked(rt.ID()) {
+		e.set(rt.ID(), e.cfg.SelfCapKbps, rt.Now())
+	}
 	e.recompute()
 	phase := time.Duration(rt.Rand().Int63n(int64(e.cfg.Period)))
 	e.ticker = env.NewTicker(rt, phase, e.cfg.Period, e.tick)
@@ -178,7 +297,9 @@ func (e *Estimator) Stop() {
 func (e *Estimator) tick() {
 	now := e.rt.Now()
 	// Refresh own entry: it is always the freshest thing we know.
-	e.set(e.rt.ID(), e.cfg.SelfCapKbps, now)
+	if e.tracked(e.rt.ID()) {
+		e.set(e.rt.ID(), e.cfg.SelfCapKbps, now)
+	}
 	e.prune(now)
 	e.recompute()
 
@@ -216,6 +337,9 @@ func (e *Estimator) Receive(_ wire.NodeID, m wire.Message) {
 			// entry slice must not grow unboundedly on a peer's say-so).
 			continue
 		}
+		if !e.tracked(entry.Node) {
+			continue // outside the sampled prefix, see Config.TrackLimit
+		}
 		if e.cfg.Exclude != nil && e.cfg.Exclude(entry.Node) {
 			continue // quarantined claim owner, see Config.Exclude
 		}
@@ -241,7 +365,9 @@ func (e *Estimator) SetSelfCapKbps(kbps uint32) {
 	}
 	e.cfg.SelfCapKbps = kbps
 	if e.rt != nil {
-		e.set(e.rt.ID(), kbps, e.rt.Now())
+		if e.tracked(e.rt.ID()) {
+			e.set(e.rt.ID(), kbps, e.rt.Now())
+		}
 		e.recompute()
 	}
 }
@@ -264,17 +390,32 @@ func (e *Estimator) KnownNodes() int { return e.count }
 
 func (e *Estimator) prune(now time.Duration) {
 	self := e.rt.ID()
-	for id := range e.entries {
-		entry := &e.entries[id]
-		if !entry.present || wire.NodeID(id) == self {
-			continue
+	if e.cfg.Exclude != nil {
+		// Quarantine purging has no expiry instant to index by, so detector
+		// runs keep the full scan (they are small-n by construction).
+		for id := range e.entries {
+			entry := &e.entries[id]
+			if !entry.present || wire.NodeID(id) == self {
+				continue
+			}
+			if now-entry.asOf > e.cfg.EntryTTL {
+				e.drop(wire.NodeID(id))
+				continue
+			}
+			if e.cfg.Exclude(wire.NodeID(id)) {
+				e.drop(wire.NodeID(id)) // quarantined since merged, see Config.Exclude
+			}
 		}
-		if now-entry.asOf > e.cfg.EntryTTL {
-			e.drop(wire.NodeID(id))
-			continue
-		}
-		if e.cfg.Exclude != nil && e.cfg.Exclude(wire.NodeID(id)) {
-			e.drop(wire.NodeID(id)) // quarantined since merged, see Config.Exclude
+		return
+	}
+	// Lazy expiry: pop oldest-first until the top is inside the TTL. Dead
+	// pairs (superseded by a fresher set) are discarded on the way — this is
+	// where expHeap self-cleans.
+	for len(e.expHeap) > 0 && now-e.expHeap[0].asOf > e.cfg.EntryTTL {
+		var p freshPair
+		e.expHeap, p = popHeap(e.expHeap, olderPair)
+		if e.live(p) && p.id != self {
+			e.drop(p.id)
 		}
 	}
 }
@@ -290,9 +431,9 @@ func (e *Estimator) recompute() {
 }
 
 // freshest returns up to k entries with the most recent asOf, encoded with
-// their current age. O(n·k) selection with reusable scratch is fine for
-// k=10; only the returned slice is freshly allocated (it escapes into the
-// outgoing message).
+// their current age. O(k log m) heap selection with reusable scratch; only
+// the returned slice is freshly allocated (it escapes into the outgoing
+// message).
 func (e *Estimator) freshest(k int, now time.Duration) []wire.CapEntry {
 	if k > e.count {
 		k = e.count
@@ -300,37 +441,33 @@ func (e *Estimator) freshest(k int, now time.Duration) []wire.CapEntry {
 	if k <= 0 {
 		return nil
 	}
-	// Freshness order with an id tie-break: a strict total order, so the
-	// selected set is unique (determinism).
-	fresher := func(a, b selEntry) bool {
-		if a.ce.asOf != b.ce.asOf {
-			return a.ce.asOf > b.ce.asOf
-		}
-		return a.id < b.id
-	}
+	// Pop the freshness heap newest-first, discarding dead pairs, until k
+	// live distinct entries are in hand; then push the winners back. Pop
+	// order is exactly the scan's (asOf desc, id asc) total order, so the
+	// selected set — and the message bytes — are unchanged.
 	best := e.selScratch[:0]
-	for id := range e.entries {
-		if !e.entries[id].present {
+	for len(e.freshHeap) > 0 && len(best) < k {
+		var p freshPair
+		e.freshHeap, p = popHeap(e.freshHeap, fresherPair)
+		if !e.live(p) {
 			continue
 		}
-		cand := selEntry{wire.NodeID(id), e.entries[id]}
-		pos := -1
+		// Two live pairs for one id exist only when an entry was rewritten
+		// with an identical asOf (same-instant self refresh); keep the first.
+		dup := false
 		for i := range best {
-			if fresher(cand, best[i]) {
-				pos = i
+			if best[i].id == p.id {
+				dup = true
 				break
 			}
 		}
-		switch {
-		case pos >= 0:
-			if len(best) < k {
-				best = append(best, selEntry{})
-			}
-			copy(best[pos+1:], best[pos:])
-			best[pos] = cand
-		case len(best) < k:
-			best = append(best, cand)
+		if dup {
+			continue
 		}
+		best = append(best, selEntry{p.id, e.entries[p.id]})
+	}
+	for _, b := range best {
+		e.freshHeap = pushHeap(e.freshHeap, freshPair{b.id, b.ce.asOf}, fresherPair)
 	}
 	out := make([]wire.CapEntry, len(best))
 	for i, b := range best {

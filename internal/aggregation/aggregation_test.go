@@ -2,6 +2,7 @@ package aggregation
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 	"time"
 
@@ -175,6 +176,37 @@ func TestEstimatorKnownNodesGrows(t *testing.T) {
 		if e.KnownNodes() < 20 {
 			t.Fatalf("node %d knows only %d nodes after 15s", i, e.KnownNodes())
 		}
+	}
+}
+
+func TestEstimatorTrackLimitConvergesAndBounds(t *testing.T) {
+	// Capabilities shuffled by seeded rng so the tracked id-prefix is an
+	// unbiased sample of the distribution — the same property scenario runs
+	// have, where caps are rng-assigned rather than id-correlated.
+	caps := paperMS691Caps(120)
+	rng := rand.New(rand.NewSource(99))
+	rng.Shuffle(len(caps), func(i, j int) { caps[i], caps[j] = caps[j], caps[i] })
+	const limit = 40
+	net, estimators := buildEstimators(t, caps, Config{TrackLimit: limit}, 3)
+	net.Run(20 * time.Second)
+
+	// The limited estimate converges to the tracked prefix's mean, which for
+	// a shuffled assignment tracks the system mean closely.
+	want := trueMean(caps[:limit])
+	for i, e := range estimators {
+		if e.KnownNodes() > limit {
+			t.Fatalf("node %d tracks %d nodes, limit %d", i, e.KnownNodes(), limit)
+		}
+		got := e.EstimateKbps()
+		if math.Abs(got-want)/want > 0.10 {
+			t.Fatalf("node %d estimate %.1f, tracked-prefix mean %.1f (>10%% off)", i, got, want)
+		}
+	}
+	// A node outside the limit still knows its own capability exactly and
+	// computes a sensible relative capability from the sampled estimate.
+	out := estimators[limit+5]
+	if rel := out.RelativeCapability(); rel <= 0 {
+		t.Fatalf("untracked node relative capability %.2f", rel)
 	}
 }
 

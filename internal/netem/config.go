@@ -223,7 +223,9 @@ func (c *Config) buildPool(pool []wire.NodeID, seed int64, baseLoss float64) (*E
 		e.Add("bernoulli", Bernoulli{P: c.Bernoulli})
 	}
 	if c.GE != nil {
-		e.Add("gilbert-elliott", NewGilbertElliott(*c.GE))
+		ge := NewGilbertElliott(*c.GE)
+		ge.Presize(len(pool) + 1) // chains ready before any parallel Judge
+		e.Add("gilbert-elliott", ge)
 	}
 	if len(c.Partitions) > 0 {
 		parts := make([]Partition, 0, len(c.Partitions))

@@ -45,6 +45,7 @@ package netem
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/wire"
@@ -58,9 +59,12 @@ type Verdict struct {
 }
 
 // Model judges datagrams. Implementations must be deterministic functions of
-// their own state, the arguments, and draws from rng; they are invoked from
-// a single goroutine (the simulator event loop, or under a udpnet node's
-// mutex) and need no internal locking.
+// their own state, the arguments, and draws from rng. The sharded simulator
+// judges concurrently — one call per in-flight sender, each with that
+// sender's own rng — so any per-sender mutable state must be confined to
+// the sending node's slot (GilbertElliott's chains are the template), and
+// anything shared across senders must be read-only after Build or atomic.
+// The real-UDP runtime judges under a node's mutex.
 type Model interface {
 	// Judge decides the fate of one datagram of the given wire size sent
 	// from -> to at time now. rng is the substrate's seeded random stream.
@@ -146,6 +150,27 @@ func NewGilbertElliott(p GEParams) *GilbertElliott {
 		panic(err.Error())
 	}
 	return &GilbertElliott{p: p}
+}
+
+// Presizer is implemented by models (and compositions) whose per-sender
+// state can be grown ahead of need. The simulator presizes at every AddNode
+// — a barrier-time operation — so that chain slots never grow inside a
+// parallel window, where concurrent senders would race on the append.
+type Presizer interface {
+	// Presize guarantees slots for sender ids < n (capped internally
+	// against hostile sizes).
+	Presize(n int)
+}
+
+// Presize implements Presizer: grows the dense chain slice so senders below
+// n never append on the Judge path.
+func (g *GilbertElliott) Presize(n int) {
+	if n > maxTrackedSender {
+		n = maxTrackedSender
+	}
+	for len(g.bad) < n {
+		g.bad = append(g.bad, false)
+	}
 }
 
 // Judge implements Model: step the sender's chain, then lose with the
@@ -414,12 +439,23 @@ type CapTrace struct {
 
 // Engine is a per-run composition of named models with verdict counters,
 // plus the run's capability traces. It implements Model; build one from a
-// Config, or assemble directly with NewEngine/Add for tests.
+// Config, or assemble directly with NewEngine/Add for tests. The counters
+// are atomic — concurrent shards judging different senders bump them
+// without locks, and because counter sums are order-independent, the
+// reported stats stay byte-identical at every shard count.
 type Engine struct {
 	models    []Model
-	stats     []ModelStats
-	delays    []time.Duration // per-Judge scratch: each model's delay verdict
+	names     []string
+	counts    []modelCounters
 	capTraces []CapTrace
+}
+
+// modelCounters is one model's verdict tally, atomically updated.
+type modelCounters struct {
+	judged   atomic.Int64
+	drops    atomic.Int64
+	delayed  atomic.Int64
+	delaySum atomic.Int64
 }
 
 // NewEngine returns an empty engine (every datagram delivered untouched).
@@ -429,9 +465,31 @@ func NewEngine() *Engine { return &Engine{} }
 // the engine for chaining.
 func (e *Engine) Add(name string, m Model) *Engine {
 	e.models = append(e.models, m)
-	e.stats = append(e.stats, ModelStats{Name: name})
-	e.delays = append(e.delays, 0)
+	e.names = append(e.names, name)
+	e.counts = append(e.counts, modelCounters{})
 	return e
+}
+
+// Presize implements Presizer, forwarding to every composed model that
+// keeps per-sender state (one composition level deep, matching how Build
+// assembles engines).
+func (e *Engine) Presize(n int) {
+	for _, m := range e.models {
+		presizeModel(m, n)
+	}
+}
+
+func presizeModel(m Model, n int) {
+	switch mm := m.(type) {
+	case Presizer:
+		mm.Presize(n)
+	case Directional:
+		presizeModel(mm.Inner, n)
+	case Stack:
+		for _, inner := range mm {
+			presizeModel(inner, n)
+		}
+	}
 }
 
 // AddCapTrace appends a materialized capability trace.
@@ -448,22 +506,28 @@ func (e *Engine) CapTraces() []CapTrace { return e.capTraces }
 // substrate's delivered-with-delay accounting (simnet's MsgsNetemDelay)
 // instead of crediting delays to datagrams a later model dropped.
 func (e *Engine) Judge(from, to wire.NodeID, size int, now time.Duration, rng *rand.Rand) Verdict {
+	// Per-call delay scratch on the stack: Judge runs concurrently across
+	// shards, so nothing mutable may live on the engine itself. Eight slots
+	// cover every profile Build can assemble; larger hand-built engines
+	// spill to an allocation.
+	var delayBuf [8]time.Duration
+	delays := delayBuf[:0]
 	var out Verdict
 	for i, m := range e.models {
-		st := &e.stats[i]
-		st.Judged++
+		c := &e.counts[i]
+		c.judged.Add(1)
 		v := m.Judge(from, to, size, now, rng)
 		if v.Drop {
-			st.Drops++
+			c.drops.Add(1)
 			return Verdict{Drop: true}
 		}
-		e.delays[i] = v.Delay
+		delays = append(delays, v.Delay)
 		out.Delay += v.Delay
 	}
-	for i, d := range e.delays {
+	for i, d := range delays {
 		if d > 0 {
-			e.stats[i].Delayed++
-			e.stats[i].DelaySum += d
+			e.counts[i].delayed.Add(1)
+			e.counts[i].delaySum.Add(int64(d))
 		}
 	}
 	return out
@@ -471,8 +535,17 @@ func (e *Engine) Judge(from, to wire.NodeID, size int, now time.Duration, rng *r
 
 // Stats returns a copy of the per-model counters in consultation order.
 func (e *Engine) Stats() []ModelStats {
-	out := make([]ModelStats, len(e.stats))
-	copy(out, e.stats)
+	out := make([]ModelStats, len(e.counts))
+	for i := range e.counts {
+		c := &e.counts[i]
+		out[i] = ModelStats{
+			Name:     e.names[i],
+			Judged:   c.judged.Load(),
+			Drops:    c.drops.Load(),
+			Delayed:  c.delayed.Load(),
+			DelaySum: time.Duration(c.delaySum.Load()),
+		}
+	}
 	return out
 }
 

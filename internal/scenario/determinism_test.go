@@ -693,3 +693,75 @@ func TestDeterminismSweepWorkers(t *testing.T) {
 		t.Fatal("sweep CSV bytes differ between 1 and 8 workers")
 	}
 }
+
+// TestDeterminismShardCounts is the sharded simulator's oracle: the same
+// configuration and seed must produce byte-identical fingerprints at 1, 2,
+// and 8 shards. The single-shard run is the sequential reference; any
+// ordering leak in the windowed execution or the exchange barrier — an event
+// dispatched out of canonical order, an rng draw moved across a window, a
+// barrier merge influencing dispatch order — breaks byte equality here. The
+// matrix deliberately spans the subsystems with their own scheduled state:
+// netem dynamics, multi-source streams, closed-loop adaptation, tracing, and
+// the LargeScale join/churn/freeze machinery.
+func TestDeterminismShardCounts(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  func() Config
+	}{
+		{"base", func() Config { return deterministicBase(41) }},
+		{"netem", func() Config {
+			cfg := deterministicBase(19)
+			cfg.Netem = &netem.Config{
+				Name: "shard-determinism",
+				GE:   &netem.GEParams{PGoodBad: 0.02, PBadGood: 0.25, LossGood: 0.001, LossBad: 0.3},
+				Partitions: []netem.PartitionSpec{
+					{From: 8 * time.Second, Until: 16 * time.Second, SplitFractions: []float64{0.3}},
+				},
+				Spikes: []netem.Spike{
+					{At: 10 * time.Second, Duration: 8 * time.Second, Extra: 300 * time.Millisecond, Ramp: 2 * time.Second},
+				},
+				CapTraces: []netem.CapTraceSpec{
+					{Fraction: 0.4, Steps: []netem.CapStep{
+						{At: 9 * time.Second, Factor: 0.3},
+						{At: 20 * time.Second, Factor: 1},
+					}},
+				},
+			}
+			return cfg
+		}},
+		{"multisource", func() Config { return multiSourceBase(43) }},
+		{"adapt", func() Config { return adaptBase(47) }},
+		{"trace", func() Config { return traceBase(67) }},
+		{"dynamics", func() Config {
+			cfg := LargeScaleBase(150, 7)
+			cfg.Windows = 2
+			cfg.Drain = 15 * time.Second
+			cfg.JoinWaves = []JoinWave{{At: 6 * time.Second, Count: 30}}
+			cfg.ChurnBursts = []ChurnBurst{{At: 8 * time.Second, Fraction: 0.1}}
+			cfg.FreezesPerNode = 0.2
+			return cfg
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var ref []byte
+			for _, shards := range []int{1, 2, 8} {
+				cfg := tc.cfg()
+				cfg.Shards = shards
+				res, err := Run(cfg)
+				if err != nil {
+					t.Fatalf("shards=%d: %v", shards, err)
+				}
+				fp := fingerprint(t, res)
+				if ref == nil {
+					ref = fp
+					continue
+				}
+				if !bytes.Equal(ref, fp) {
+					t.Fatalf("shards=%d fingerprint differs from sequential reference (%d vs %d bytes)",
+						shards, len(fp), len(ref))
+				}
+			}
+		})
+	}
+}

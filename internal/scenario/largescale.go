@@ -207,6 +207,29 @@ func LargeScaleBase(n int, seed int64) Config {
 	}
 }
 
+// LargeScaleXL returns a configuration for the 100k-1M range, where two more
+// costs dominate beyond what LargeScaleBase already handles: the per-node
+// capability tables (AggTrackLimit caps them — aggregation is otherwise O(n²)
+// system-wide) and wall-clock itself (Shards splits the event loop across
+// cores; results are byte-identical at any shard count). The stream is cut to
+// a single window with a short drain: at this scale one window is hundreds of
+// millions of events, and the dynamics of interest — dissemination latency
+// and fanout adaptation under extreme n — show up within it.
+func LargeScaleXL(n int, seed int64, shards int) Config {
+	c := LargeScaleBase(n, seed)
+	c.Name = fmt.Sprintf("xl-%d", n)
+	c.Windows = 1
+	c.StreamStart = 2 * time.Second
+	c.Drain = 10 * time.Second
+	c.Shards = shards
+	// 256 tracked entries keep bbar's standard error in the mid single
+	// digits for the bimodal distribution while holding the per-node
+	// aggregation state (entry table + freshness/expiry heaps) near 10 KB —
+	// the table itself is what made 1M nodes run out of memory.
+	c.AggTrackLimit = 256
+	return c
+}
+
 // largeScaleSizeFanout re-derives the fanout as ln(n)+1.4 from the cell's
 // node count (rounded to 0.01 so cell names stay readable), shared by every
 // LargeScale variant including the adverse-network ones.

@@ -88,6 +88,13 @@ type Config struct {
 	AggPeriod    time.Duration
 	AggFanout    int
 	AggFreshestK int
+	// AggTrackLimit caps each estimator's dense capability table to node
+	// ids below the limit (see aggregation.Config.TrackLimit). Capabilities
+	// are rng-assigned, so the tracked prefix is an unbiased sample and
+	// bbar converges to the same mean; without a limit the per-node tables
+	// make aggregation O(n²) system-wide, which is what kept the LargeScale
+	// family at 10k. Zero tracks everything.
+	AggTrackLimit int
 
 	// LossRate is the per-datagram loss probability. Default 0.1%.
 	LossRate float64
@@ -212,6 +219,13 @@ type Config struct {
 	// interval (0 disables). The resulting time series is the paper's
 	// §3.6 congestion symptom: "upload queues tend to grow larger".
 	BacklogProbePeriod time.Duration
+
+	// Shards is the simulator's shard count (simnet.Config.Shards): the
+	// event loop splits across that many cores, exchanging cross-shard
+	// traffic at latency-lookahead barriers. Results are byte-identical at
+	// every shard count; this is purely a wall-clock knob for the
+	// LargeScale family. Default 1 (sequential).
+	Shards int
 
 	// FreezesPerNode injects that many random freezes per node across the
 	// run (the paper's §3.5 "sporadically, some PlanetLab nodes seem
@@ -518,6 +532,7 @@ func Run(cfg Config) (*Result, error) {
 		Seed:     cfg.Seed,
 		Latency:  simnet.NewPairwiseLatency(cfg.Seed, cfg.LatencyMin, cfg.LatencyMax, cfg.LatencyJitter),
 		LossRate: cfg.LossRate,
+		Shards:   cfg.Shards,
 	}
 	if cfg.Netem != nil {
 		var err error
@@ -714,6 +729,7 @@ func Run(cfg Config) (*Result, error) {
 				Fanout:      cfg.AggFanout,
 				FreshestK:   cfg.AggFreshestK,
 				Sampler:     sampler,
+				TrackLimit:  cfg.AggTrackLimit,
 			}
 			if det != nil {
 				// The fanout penalty: a quarantined peer's capability claim

@@ -10,34 +10,49 @@ import (
 	"repro/internal/wire"
 )
 
-// Property tests for the pooled-event indexed heap: random operation
+// Property tests for the pooled-event indexed heaps: random operation
 // sequences cross-checked against naive oracles. These guard the hand-rolled
 // sift/remove code and the free-list recycling that the whole simulator's
-// determinism rests on.
+// determinism rests on — including the canonical (at, src, srcSeq) order
+// that makes results shard-count invariant.
 
-// TestHeapMatchesSortOracle drives push/pop/remove directly against the
-// heap and checks every pop yields exactly the (at, seq)-minimum of a
+// evKey mirrors an event's canonical ordering key.
+type evKey struct {
+	at     time.Duration
+	src    wire.NodeID
+	srcSeq uint64
+}
+
+func keyLess(a, b evKey) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.src != b.src {
+		return a.src < b.src
+	}
+	return a.srcSeq < b.srcSeq
+}
+
+// TestHeapMatchesSortOracle drives push/pop/remove directly against a shard
+// heap and checks every pop yields exactly the canonical minimum of a
 // mirrored slice oracle — i.e. the heap never yields events out of order.
 func TestHeapMatchesSortOracle(t *testing.T) {
 	for seed := int64(0); seed < 20; seed++ {
 		rng := rand.New(rand.NewSource(seed))
 		n := New(Config{Seed: seed})
-		type key struct {
-			at  time.Duration
-			seq uint64
-		}
-		var oracle []key
-		oracleMin := func() key {
+		sh := n.shards[0]
+		var seq uint64
+		var oracle []evKey
+		oracleMin := func() evKey {
 			best := 0
 			for i := 1; i < len(oracle); i++ {
-				if oracle[i].at < oracle[best].at ||
-					(oracle[i].at == oracle[best].at && oracle[i].seq < oracle[best].seq) {
+				if keyLess(oracle[i], oracle[best]) {
 					best = i
 				}
 			}
 			return oracle[best]
 		}
-		oracleDrop := func(k key) {
+		oracleDrop := func(k evKey) {
 			for i := range oracle {
 				if oracle[i] == k {
 					oracle[i] = oracle[len(oracle)-1]
@@ -49,49 +64,136 @@ func TestHeapMatchesSortOracle(t *testing.T) {
 		}
 		for op := 0; op < 3000; op++ {
 			switch r := rng.Intn(10); {
-			case r < 6 || len(n.events) == 0:
-				ev := n.alloc()
+			case r < 6 || len(sh.events) == 0:
+				ev := sh.alloc()
 				ev.at = time.Duration(rng.Intn(50)) * time.Millisecond
-				ev.kind = evFunc
-				n.push(ev)
-				oracle = append(oracle, key{ev.at, ev.seq})
+				ev.src = wire.NodeID(rng.Intn(5))
+				ev.srcSeq = seq
+				seq++
+				ev.kind = evTimer
+				sh.push(ev)
+				oracle = append(oracle, evKey{ev.at, ev.src, ev.srcSeq})
 			case r < 8:
-				ev := n.pop()
+				ev := sh.pop()
 				want := oracleMin()
-				if ev.at != want.at || ev.seq != want.seq {
-					t.Fatalf("seed %d op %d: pop (%v, %d), oracle min (%v, %d)",
-						seed, op, ev.at, ev.seq, want.at, want.seq)
+				got := evKey{ev.at, ev.src, ev.srcSeq}
+				if got != want {
+					t.Fatalf("seed %d op %d: pop %+v, oracle min %+v", seed, op, got, want)
 				}
 				oracleDrop(want)
-				n.recycle(ev)
+				sh.recycle(ev)
 			default:
 				// Remove an arbitrary queued event (timer cancellation path).
-				victim := n.events[rng.Intn(len(n.events))]
-				k := key{victim.at, victim.seq}
-				n.remove(victim)
+				victim := sh.events[rng.Intn(len(sh.events))].ev
+				k := evKey{victim.at, victim.src, victim.srcSeq}
+				sh.remove(victim)
 				oracleDrop(k)
-				n.recycle(victim)
+				sh.recycle(victim)
 			}
 			// Structural invariant: every queued event knows its index.
-			for i, ev := range n.events {
-				if int(ev.heapIdx) != i {
-					t.Fatalf("seed %d op %d: events[%d].heapIdx = %d", seed, op, i, ev.heapIdx)
+			for i, ent := range sh.events {
+				if int(ent.ev.heapIdx) != i {
+					t.Fatalf("seed %d op %d: events[%d].heapIdx = %d", seed, op, i, ent.ev.heapIdx)
 				}
 			}
 		}
 		// Drain: the remaining events must come out in exact sorted order.
-		sort.Slice(oracle, func(i, j int) bool {
-			if oracle[i].at != oracle[j].at {
-				return oracle[i].at < oracle[j].at
-			}
-			return oracle[i].seq < oracle[j].seq
-		})
+		sort.Slice(oracle, func(i, j int) bool { return keyLess(oracle[i], oracle[j]) })
 		for _, want := range oracle {
-			ev := n.pop()
-			if ev.at != want.at || ev.seq != want.seq {
-				t.Fatalf("seed %d drain: got (%v, %d), want (%v, %d)", seed, ev.at, ev.seq, want.at, want.seq)
+			ev := sh.pop()
+			got := evKey{ev.at, ev.src, ev.srcSeq}
+			if got != want {
+				t.Fatalf("seed %d drain: got %+v, want %+v", seed, got, want)
 			}
-			n.recycle(ev)
+			sh.recycle(ev)
+		}
+	}
+}
+
+// TestHeapCancelRescheduleStorm hammers every shard heap of a multi-shard
+// network with a randomized cancel/reschedule storm — push, pop, remove, and
+// remove-retime-repush (the freeze-deferral move) — against a map oracle
+// keyed by slot identity. It checks the two properties dispatch relies on:
+// the queued population is exactly the oracle's at every step, and draining
+// pops in exact canonical order.
+func TestHeapCancelRescheduleStorm(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		n := New(Config{Seed: seed, Latency: ConstantLatency(time.Millisecond), Shards: 4})
+		if len(n.shards) != 4 {
+			t.Fatalf("want 4 shards, got %d", len(n.shards))
+		}
+		for si, sh := range n.shards {
+			rng := rand.New(rand.NewSource(seed<<3 | int64(si)))
+			var seq uint64
+			oracle := map[*event]evKey{}
+			for op := 0; op < 4000; op++ {
+				switch r := rng.Intn(12); {
+				case r < 5 || len(sh.events) == 0:
+					ev := sh.alloc()
+					ev.at = time.Duration(rng.Intn(64)) * time.Millisecond
+					ev.src = wire.NodeID(rng.Intn(7))
+					ev.srcSeq = seq
+					seq++
+					ev.kind = evTimer
+					sh.push(ev)
+					oracle[ev] = evKey{ev.at, ev.src, ev.srcSeq}
+				case r < 8:
+					ev := sh.pop()
+					want, ok := oracle[ev]
+					if !ok {
+						t.Fatalf("seed %d shard %d op %d: popped unknown event", seed, si, op)
+					}
+					got := evKey{ev.at, ev.src, ev.srcSeq}
+					if got != want {
+						t.Fatalf("seed %d shard %d op %d: pop key %+v, oracle %+v", seed, si, op, got, want)
+					}
+					// Must be the canonical minimum over the whole oracle.
+					for _, k := range oracle {
+						if keyLess(k, want) {
+							t.Fatalf("seed %d shard %d op %d: popped %+v before %+v", seed, si, op, want, k)
+						}
+					}
+					delete(oracle, ev)
+					sh.recycle(ev)
+				case r < 10:
+					// Cancel: remove an arbitrary queued event.
+					victim := sh.events[rng.Intn(len(sh.events))].ev
+					sh.remove(victim)
+					delete(oracle, victim)
+					sh.recycle(victim)
+				default:
+					// Reschedule: the freeze-deferral move — remove, retime
+					// (keeping the canonical identity), repush.
+					victim := sh.events[rng.Intn(len(sh.events))].ev
+					sh.remove(victim)
+					victim.at += time.Duration(rng.Intn(32)) * time.Millisecond
+					sh.push(victim)
+					oracle[victim] = evKey{victim.at, victim.src, victim.srcSeq}
+				}
+				if len(sh.events) != len(oracle) {
+					t.Fatalf("seed %d shard %d op %d: heap holds %d events, oracle %d",
+						seed, si, op, len(sh.events), len(oracle))
+				}
+				for i, ent := range sh.events {
+					if int(ent.ev.heapIdx) != i {
+						t.Fatalf("seed %d shard %d op %d: events[%d].heapIdx = %d", seed, si, op, i, ent.ev.heapIdx)
+					}
+				}
+			}
+			// Drain in canonical order.
+			keys := make([]evKey, 0, len(oracle))
+			for _, k := range oracle {
+				keys = append(keys, k)
+			}
+			sort.Slice(keys, func(i, j int) bool { return keyLess(keys[i], keys[j]) })
+			for _, want := range keys {
+				ev := sh.pop()
+				got := evKey{ev.at, ev.src, ev.srcSeq}
+				if got != want {
+					t.Fatalf("seed %d shard %d drain: got %+v, want %+v", seed, si, got, want)
+				}
+				sh.recycle(ev)
+			}
 		}
 	}
 }
@@ -110,11 +212,10 @@ func TestTimerPoolMatchesOracle(t *testing.T) {
 	for seed := int64(0); seed < 10; seed++ {
 		rng := rand.New(rand.NewSource(seed ^ 0x7e57))
 		n := New(Config{Seed: seed})
-		var rt env.Runtime
 		n.AddNode(env.HandlerFunc(func(wire.NodeID, wire.Message) {}), NodeConfig{})
-		// Capture the runtime through a start hook: drive via Schedule so we
-		// stay inside the event loop's execution context.
-		rt = &nodeRuntime{net: n, node: n.node(0)}
+		// Drive through a runtime handle from the global context: legal
+		// because every schedule mutation lands while the shards are parked.
+		rt := &nodeRuntime{net: n, id: 0}
 
 		states := make([]*timerState, 0, 400)
 		handles := make([]env.Timer, 0, 400)
@@ -163,7 +264,7 @@ func TestTimerPoolMatchesOracle(t *testing.T) {
 func TestStaleTimerHandleIsInert(t *testing.T) {
 	n := New(Config{})
 	n.AddNode(env.HandlerFunc(func(wire.NodeID, wire.Message) {}), NodeConfig{})
-	rt := &nodeRuntime{net: n, node: n.node(0)}
+	rt := &nodeRuntime{net: n, id: 0}
 
 	var firstFired, secondFired bool
 	first := rt.After(time.Millisecond, func() { firstFired = true })

@@ -1,0 +1,367 @@
+package simnet
+
+import (
+	"time"
+
+	"repro/internal/wire"
+)
+
+// shard is one slice of the simulation: the nodes with id ≡ idx (mod S),
+// their pending events in an indexed binary heap, and a private event pool.
+// Between exchange barriers a shard runs with no locks and touches only
+// state it owns — its heap, its pool, its nodes' mutable rows — plus
+// read-only cross-shard node fields (alive, crashedAt, frozen bounds) that
+// are written exclusively in the global context while shards are parked.
+type shard struct {
+	net *Network
+	idx int32
+	now time.Duration
+
+	events []heapEnt // indexed binary heap ordered by (at, src, srcSeq)
+	free   *event    // free list of recycled event slots
+
+	stats Stats
+
+	// outbox buffers cross-shard deliveries created inside a window, one
+	// slice per destination shard, merged into the destination heaps at the
+	// barrier (exchange). Outside windows — setup, Schedule callbacks —
+	// sends push straight into the destination shard instead.
+	outbox [][]*event
+}
+
+// event kinds
+type eventKind uint8
+
+const (
+	evDeliver eventKind = iota + 1
+	evTimer
+)
+
+// event is one scheduled occurrence. Events are pooled: dispatched (or
+// canceled) events return to a shard free list and are reused by later sends
+// and timers, so the steady-state hot path allocates nothing. The gen
+// counter is bumped on every recycle, which lets outstanding timer handles
+// detect that their event slot has moved on (see simTimer). Slots follow
+// their events across shards: a cross-shard delivery is allocated from the
+// sender's pool and recycled into the receiver's.
+//
+// (at, src, srcSeq) is the canonical total order: src is the node that
+// created the event (the sender for deliveries, the owner for timers) and
+// srcSeq its private sequence number. The key depends only on the creator's
+// own deterministic history, so it is identical at every shard count — the
+// invariant the whole sharded design rests on.
+type event struct {
+	sh      *shard
+	at      time.Duration
+	src     wire.NodeID // creating node: delivery sender / timer owner
+	srcSeq  uint64
+	kind    eventKind
+	heapIdx int32  // position in shard.events; -1 when not queued
+	gen     uint32 // recycle generation, validates timer handles
+
+	// evDeliver
+	to       wire.NodeID
+	msg      wire.Message
+	txFinish time.Duration // when the datagram left the sender's uplink
+	size     int           // wire size incl UDP overhead
+
+	// evTimer
+	fn func()
+
+	next *event // free-list link
+}
+
+// eventBlockSize is how many event slots one pool refill allocates: big
+// enough to amortize allocation to noise, small enough not to bloat tiny
+// simulations.
+const eventBlockSize = 128
+
+// alloc takes an event slot from the shard's free list, refilling it with a
+// fresh block when empty.
+func (s *shard) alloc() *event {
+	if s.free == nil {
+		block := make([]event, eventBlockSize)
+		for i := range block {
+			block[i].heapIdx = -1
+			if i+1 < len(block) {
+				block[i].next = &block[i+1]
+			}
+		}
+		s.free = &block[0]
+	}
+	ev := s.free
+	s.free = ev.next
+	ev.next = nil
+	return ev
+}
+
+// recycle returns a dispatched or canceled event to the free list, dropping
+// references so the pool does not pin messages or closures, and bumping the
+// generation so stale timer handles turn inert.
+func (s *shard) recycle(ev *event) {
+	ev.gen++
+	ev.kind = 0
+	ev.msg = nil
+	ev.fn = nil
+	ev.next = s.free
+	s.free = ev
+}
+
+// runUntil processes every queued event due strictly before w1, in
+// canonical order. syncGlobalNow mirrors the shard clock into the network
+// clock — only legal in sequential (single-shard) runs, where it keeps
+// Network.Now exact for code written against the pre-sharding API.
+func (s *shard) runUntil(w1 time.Duration, syncGlobalNow bool) {
+	for len(s.events) > 0 && s.events[0].at < w1 {
+		ev := s.pop()
+		s.now = ev.at
+		if syncGlobalNow {
+			s.net.now = ev.at
+		}
+		s.stats.EventsProcessed++
+		s.dispatch(ev)
+		// dispatch may have re-queued the event (freeze deferral); only
+		// events that truly left the schedule go back to the pool.
+		if ev.heapIdx < 0 {
+			s.recycle(ev)
+		}
+	}
+}
+
+func (s *shard) dispatch(ev *event) {
+	switch ev.kind {
+	case evTimer:
+		node := &s.net.nodes[ev.src]
+		if !node.alive {
+			return
+		}
+		if node.frozenUntil > s.now {
+			ev.at = node.frozenUntil
+			s.push(ev)
+			return
+		}
+		ev.fn()
+	case evDeliver:
+		s.deliver(ev)
+	}
+}
+
+func (s *shard) deliver(ev *event) {
+	sender := &s.net.nodes[ev.src]
+	// A datagram that had not finished leaving the sender's uplink when the
+	// sender crashed is lost with it.
+	if !sender.alive && sender.crashedAt < ev.txFinish {
+		s.stats.MsgsDeadDrop++
+		return
+	}
+	dst := &s.net.nodes[ev.to]
+	if !dst.alive {
+		s.stats.MsgsDeadDrop++
+		return
+	}
+	if dst.frozenUntil > s.now {
+		ev.at = dst.frozenUntil
+		s.push(ev)
+		return
+	}
+	s.stats.MsgsDelivered++
+	dst.stats.RecvBytes += int64(ev.size)
+	dst.stats.RecvMsgs++
+	dst.handler.Receive(ev.src, ev.msg)
+}
+
+// send implements Runtime.Send for a node. It runs on the sender's shard
+// (handler context) or in the global context (Schedule callbacks, setup);
+// either way the sender's row, rngs, and sequence are touched only here.
+func (n *Network) send(from *simNode, to wire.NodeID, m wire.Message) {
+	sh := n.shards[from.shard]
+	now := sh.now
+	if int(to) < 0 || int(to) >= len(n.nodes) {
+		sh.stats.MsgsDeadDrop++
+		return
+	}
+	size := m.WireSize() + wire.UDPOverheadBytes
+	sh.stats.MsgsSent++
+	sh.stats.BytesSent += int64(size)
+	from.stats.SentMsgs++
+	from.stats.SentBytes += int64(size)
+	if k := int(m.Kind()); k >= 0 && k < len(from.stats.SentByKind) {
+		from.stats.SentByKind[k] += int64(size)
+	}
+	if sm, ok := m.(wire.Streamed); ok {
+		slot := int(sm.StreamOf())
+		if slot >= streamStatSlots {
+			slot = streamStatSlots - 1
+		}
+		from.stats.SentByStream[slot] += int64(size)
+	}
+
+	// Uplink serialization: the message transmits after everything already
+	// queued. Zero capacity means unconstrained.
+	start := now
+	if from.uplinkFreeAt > start {
+		start = from.uplinkFreeAt
+	}
+	var serTime time.Duration
+	if from.cfg.UploadBps > 0 {
+		bits := int64(size) * 8
+		serTime = time.Duration(bits * int64(time.Second) / from.cfg.UploadBps)
+		if n.cfg.MaxQueueDelay > 0 && start-now > n.cfg.MaxQueueDelay {
+			sh.stats.MsgsTailDrop++
+			return
+		}
+	}
+	txFinish := start + serTime
+	from.uplinkFreeAt = txFinish
+	from.stats.QueueDelay = txFinish - now
+
+	// The netem model rules on the datagram here — after serialization (a
+	// dropped datagram still consumed the uplink: it left the sender), before
+	// propagation. Schedule-driven models are judged at txFinish, the
+	// instant the datagram actually reaches the wire: a backlogged uplink
+	// can push a datagram into (or past) a partition or spike window that
+	// was not active when it was enqueued. Draws come from the sender's own
+	// transmit rng, so the stream is a function of the sender's history
+	// alone — independent of shard interleaving.
+	verdict := n.netem.Judge(from.id, to, size, txFinish, from.txRng)
+	if verdict.Drop {
+		sh.stats.MsgsLost++
+		return
+	}
+	stamp := from.seq
+	from.seq++
+	lat := n.latency.Latency(from.id, to, stamp)
+	if verdict.Delay > 0 {
+		lat += verdict.Delay
+		sh.stats.MsgsNetemDelay++
+	}
+	ev := sh.alloc()
+	ev.at = txFinish + lat
+	ev.kind = evDeliver
+	ev.src = from.id
+	ev.srcSeq = stamp
+	ev.to = to
+	ev.msg = m
+	ev.txFinish = txFinish
+	ev.size = size
+	dst := n.shards[n.nodes[to].shard]
+	if dst == sh || !n.inWindow {
+		// Intra-shard delivery never waits for a barrier; global-context
+		// sends push directly because every shard is parked.
+		dst.push(ev)
+		return
+	}
+	// Cross-shard, mid-window: hand off at the barrier. The lookahead
+	// guarantees ev.at >= the window bound, so the receiver cannot need it
+	// before then.
+	sh.outbox[dst.idx] = append(sh.outbox[dst.idx], ev)
+}
+
+// heapEnt is one heap slot: the canonical ordering key inlined next to the
+// event pointer. Sift comparisons are the simulator's single hottest
+// operation; keeping the key in the contiguous heap slice means they never
+// chase the event pointer into cold pool memory.
+type heapEnt struct {
+	at  time.Duration
+	key uint64 // src (20 bits) packed above srcSeq (44 bits)
+	ev  *event
+}
+
+// entKey packs (src, srcSeq) into one comparable word. Node ids are dense
+// and bounded well below 2^20 (a million-node ceiling, matching the rest of
+// the codebase); per-node sequence numbers cannot plausibly reach 2^44 in a
+// simulated run. Under those bounds uint64 order equals (src, srcSeq)
+// lexicographic order.
+func entKey(ev *event) uint64 {
+	return uint64(uint32(ev.src))<<44 | (ev.srcSeq & (1<<44 - 1))
+}
+
+// entLess is the canonical event order: virtual time, then creating node,
+// then the creator's private sequence — a total order identical at every
+// shard count.
+func entLess(a, b heapEnt) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.key < b.key
+}
+
+// push queues an event; at, src, and srcSeq must already be set.
+func (s *shard) push(ev *event) {
+	ev.sh = s
+	ev.heapIdx = int32(len(s.events))
+	s.events = append(s.events, heapEnt{at: ev.at, key: entKey(ev), ev: ev})
+	s.siftUp(len(s.events) - 1)
+}
+
+// pop removes and returns the earliest event.
+func (s *shard) pop() *event {
+	ev := s.events[0].ev
+	last := len(s.events) - 1
+	moved := s.events[last]
+	s.events[last] = heapEnt{}
+	s.events = s.events[:last]
+	if last > 0 {
+		s.events[0] = moved
+		moved.ev.heapIdx = 0
+		s.siftDown(0)
+	}
+	ev.heapIdx = -1
+	return ev
+}
+
+// remove deletes an arbitrary queued event (timer cancellation), restoring
+// the heap around the slot it vacated.
+func (s *shard) remove(ev *event) {
+	i := int(ev.heapIdx)
+	last := len(s.events) - 1
+	moved := s.events[last]
+	s.events[last] = heapEnt{}
+	s.events = s.events[:last]
+	if i != last {
+		s.events[i] = moved
+		moved.ev.heapIdx = int32(i)
+		s.siftDown(i)
+		if int(moved.ev.heapIdx) == i {
+			s.siftUp(i)
+		}
+	}
+	ev.heapIdx = -1
+}
+
+func (s *shard) siftUp(i int) {
+	ent := s.events[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !entLess(ent, s.events[parent]) {
+			break
+		}
+		s.events[i] = s.events[parent]
+		s.events[i].ev.heapIdx = int32(i)
+		i = parent
+	}
+	s.events[i] = ent
+	ent.ev.heapIdx = int32(i)
+}
+
+func (s *shard) siftDown(i int) {
+	ent := s.events[i]
+	size := len(s.events)
+	for {
+		child := 2*i + 1
+		if child >= size {
+			break
+		}
+		if r := child + 1; r < size && entLess(s.events[r], s.events[child]) {
+			child = r
+		}
+		if !entLess(s.events[child], ent) {
+			break
+		}
+		s.events[i] = s.events[child]
+		s.events[i].ev.heapIdx = int32(i)
+		i = child
+	}
+	s.events[i] = ent
+	ent.ev.heapIdx = int32(i)
+}

@@ -19,17 +19,43 @@
 //     paper observes in §3.6) and freeze (deliveries and timers are deferred,
 //     modelling the overloaded PlanetLab hosts of §3.5).
 //
-// The simulator runs every node's Handler inside a single event loop with
-// virtual time, so runs are deterministic given a seed and much faster than
-// real time.
+// # Sharded execution
 //
-// The event loop is built for scale: events live in a free-list pool and an
-// indexed binary heap, so the steady-state hot path (send, deliver, timer)
-// allocates nothing, and canceled timers are removed from the heap outright
-// instead of being tombstoned. Timer handles are generation-checked, which
-// makes a stale handle's Stop inert after its slot has been recycled.
-// Tens-of-thousands-of-node runs are bounded by per-node protocol state,
-// not by the simulator core.
+// The simulator partitions nodes across Config.Shards shards (node id mod
+// S), each with its own indexed event heap, pooled free list, and dense node
+// rows. Shards run lock-free between time-bucketed exchange barriers: a
+// window [T, T+L) is safe to process in parallel because every cross-shard
+// datagram incurs at least L of propagation latency (the latency model's
+// MinLatency — the conservative lookahead of classic parallel discrete-event
+// simulation), so nothing sent inside a window can be due before the next
+// barrier. Cross-shard deliveries are buffered in per-shard outboxes and
+// merged at the barrier.
+//
+// Determinism is shard-count invariant: every event carries a canonical key
+// (at, src, srcSeq) — virtual time, the id of the node that created the
+// event, and that node's private monotonic sequence number — and each
+// shard's heap pops in exactly that total order. Because the key is derived
+// only from the creating node's own deterministic history (never from a
+// global counter or arrival interleaving), the same seed produces
+// byte-identical results at any shard count; the gob-fingerprint determinism
+// suite in internal/scenario enforces this at S ∈ {1, 2, 8}. Scheduled
+// callbacks (Schedule), node starts, and every mutating control operation
+// (Crash, Freeze, AddNode, SetUploadBps) run in the global context at
+// barriers, with all shards parked.
+//
+// All randomness is per-node: each node owns a protocol rng (env.Runtime's
+// Rand) and a transmit rng (netem loss draws), both tiny splitmix64 streams
+// derived from the run seed and the node id, so draw sequences are
+// independent of how shards interleave.
+//
+// The event loop is built for scale: events live in per-shard free-list
+// pools and indexed binary heaps, so the steady-state hot path (send,
+// deliver, timer) allocates nothing, and canceled timers are removed from
+// the heap outright instead of being tombstoned. Timer handles are
+// generation-checked, which makes a stale handle's Stop inert after its slot
+// has been recycled. Node state lives in one dense table (a flat slice
+// indexed by id), so million-node runs are bounded by per-node protocol
+// state, not by the simulator core.
 package simnet
 
 import (
@@ -44,24 +70,37 @@ import (
 )
 
 // LatencyModel produces one-way propagation delays. Implementations must be
-// deterministic functions of (from, to) plus draws from rng.
+// pure functions of (from, to, stamp): no shared state, no rng — that is
+// what keeps latency independent of event interleaving, which both the
+// sharded runtime and shard-count-invariant fingerprints rely on. stamp is a
+// per-sender monotonic counter (the sender's event sequence number), the key
+// for per-message jitter.
 type LatencyModel interface {
-	Latency(from, to wire.NodeID, rng *rand.Rand) time.Duration
+	Latency(from, to wire.NodeID, stamp uint64) time.Duration
+	// MinLatency is a lower bound on Latency over all arguments. It is the
+	// sharded runtime's conservative lookahead: shards process one
+	// MinLatency-wide window between exchange barriers. A zero bound forces
+	// sequential execution (Config.Shards is clamped to 1).
+	MinLatency() time.Duration
 }
 
 // ConstantLatency applies the same one-way delay to every message.
 type ConstantLatency time.Duration
 
 // Latency implements LatencyModel.
-func (c ConstantLatency) Latency(_, _ wire.NodeID, _ *rand.Rand) time.Duration {
+func (c ConstantLatency) Latency(_, _ wire.NodeID, _ uint64) time.Duration {
 	return time.Duration(c)
 }
 
+// MinLatency implements LatencyModel.
+func (c ConstantLatency) MinLatency() time.Duration { return time.Duration(c) }
+
 // PairwiseLatency assigns each unordered node pair a stable base delay drawn
 // uniformly from [Min, Max] (keyed deterministically by Seed) and adds
-// per-message jitter drawn uniformly from [0, Jitter]. This approximates a
-// wide-area testbed: stable paths of heterogeneous length with small
-// per-packet variation.
+// per-message jitter derived by hashing (Seed, pair, sender, stamp) —
+// no rng is consumed, so delays are independent of event ordering. This
+// approximates a wide-area testbed: stable paths of heterogeneous length
+// with small per-packet variation.
 type PairwiseLatency struct {
 	Min, Max time.Duration
 	Jitter   time.Duration
@@ -79,8 +118,10 @@ func NewPairwiseLatency(seed int64, min, max, jitter time.Duration) *PairwiseLat
 	return &PairwiseLatency{Min: min, Max: max, Jitter: jitter, Seed: uint64(seed)}
 }
 
-// Latency implements LatencyModel.
-func (p *PairwiseLatency) Latency(from, to wire.NodeID, rng *rand.Rand) time.Duration {
+// Latency implements LatencyModel. The base is symmetric (keyed by the
+// unordered pair); jitter is keyed by the directed sender and its stamp, so
+// every datagram of a flow gets its own draw.
+func (p *PairwiseLatency) Latency(from, to wire.NodeID, stamp uint64) time.Duration {
 	lo, hi := from, to
 	if lo > hi {
 		lo, hi = hi, lo
@@ -92,19 +133,42 @@ func (p *PairwiseLatency) Latency(from, to wire.NodeID, rng *rand.Rand) time.Dur
 		base += time.Duration(h % uint64(span+1))
 	}
 	if p.Jitter > 0 {
-		base += time.Duration(rng.Int63n(int64(p.Jitter) + 1))
+		j := splitmix64(h ^ (uint64(uint32(from)) << 20) ^ stamp)
+		base += time.Duration(j % uint64(int64(p.Jitter)+1))
 	}
 	return base
 }
 
+// MinLatency implements LatencyModel.
+func (p *PairwiseLatency) MinLatency() time.Duration { return p.Min }
+
 // splitmix64 is a strong 64-bit mixing function (Steele et al.), used for
-// stable per-pair latency derivation.
+// stable per-pair latency derivation and the per-node rng streams.
 func splitmix64(x uint64) uint64 {
 	x += 0x9e3779b97f4a7c15
 	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
 	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
 	return x ^ (x >> 31)
 }
+
+// splitmixSource is an 8-byte rand.Source64: the splitmix64 generator
+// proper (increment by the golden-ratio gamma, then mix). math/rand's
+// default source carries a ~5 KB lagged-Fibonacci table, which at two rngs
+// per node would cost ~10 GB for a million-node run; this source makes
+// per-node rng state free.
+type splitmixSource struct{ state uint64 }
+
+func (s *splitmixSource) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (s *splitmixSource) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+func (s *splitmixSource) Seed(seed int64) { s.state = uint64(seed) }
 
 // Config parameterizes a simulated network.
 type Config struct {
@@ -125,6 +189,12 @@ type Config struct {
 	// already holds more than this much serialization time. Zero means
 	// unbounded (the paper's application-level queue is unbounded).
 	MaxQueueDelay time.Duration
+	// Shards is how many event-loop shards the simulation runs across
+	// (goroutines between exchange barriers). 0 or 1 is sequential. Results
+	// are byte-identical at any shard count; pick runtime.GOMAXPROCS(0)
+	// for wall-clock speed. Clamped to 1 when the latency model's
+	// MinLatency is zero: with no lookahead there is no safe window.
+	Shards int
 }
 
 // NodeConfig parameterizes one simulated node.
@@ -144,6 +214,17 @@ type Stats struct {
 	MsgsNetemDelay  int64 // delivered with extra netem delay (spikes, asym paths)
 	BytesSent       int64 // includes UDP/IP overhead
 	EventsProcessed int64 // dispatched simulator events (deliveries, timers, funcs)
+}
+
+func (s *Stats) add(o Stats) {
+	s.MsgsSent += o.MsgsSent
+	s.MsgsDelivered += o.MsgsDelivered
+	s.MsgsLost += o.MsgsLost
+	s.MsgsTailDrop += o.MsgsTailDrop
+	s.MsgsDeadDrop += o.MsgsDeadDrop
+	s.MsgsNetemDelay += o.MsgsNetemDelay
+	s.BytesSent += o.BytesSent
+	s.EventsProcessed += o.EventsProcessed
 }
 
 // streamStatSlots bounds the per-stream sent-byte accounting: streams 0
@@ -170,110 +251,48 @@ type NodeStats struct {
 	CrashedAt    time.Duration
 }
 
-// Network is a simulated network of nodes. It is not safe for concurrent
-// use: build it, then call Run from a single goroutine.
+// Network is a simulated network of nodes. Build it and call Run from a
+// single goroutine; Run fans work out to shard goroutines internally.
+// Control operations (AddNode, Schedule, Crash, Freeze, SetUploadBps) and
+// every read method are global-context operations: call them during setup,
+// between Run calls, or from Schedule callbacks — never from handler code
+// while a run window is executing.
 type Network struct {
-	cfg     Config
-	rng     *rand.Rand // network-level randomness: loss, jitter
-	latency LatencyModel
-	netem   netem.Model
+	cfg       Config
+	latency   LatencyModel
+	netem     netem.Model
+	lookahead time.Duration
 
-	now    time.Duration
-	seq    uint64
-	events []*event // indexed binary heap ordered by (at, seq)
-	free   *event   // free list of recycled event slots
-
-	nodes   []*simNode
-	stats   Stats
-	running bool
+	now      time.Duration
+	shards   []*shard
+	active   []*shard // per-window scratch: shards with due work
+	nodes    []simNode
+	globals  []gevent // binary heap ordered by (at, gseq)
+	gseq     uint64
+	gstats   Stats // events dispatched in global context
+	running  bool
+	inWindow bool
 }
 
+// simNode is one dense node-table row. Rows are addressed by id and
+// referenced only transiently (the table may be reallocated by mid-run
+// joins, which happen at barriers).
 type simNode struct {
 	id      wire.NodeID
+	shard   int32
+	alive   bool
+	started bool
 	handler env.Handler
-	rng     *rand.Rand
+	rng     *rand.Rand // handler-visible protocol rng (env.Runtime's Rand)
+	txRng   *rand.Rand // transmit-side rng: netem draws, one stream per sender
+	seq     uint64     // per-node event sequence: canonical tie-break + jitter stamp
 	cfg     NodeConfig
 
-	alive        bool
-	started      bool
 	frozenUntil  time.Duration
 	uplinkFreeAt time.Duration
 	crashedAt    time.Duration
 
 	stats NodeStats
-}
-
-// event kinds
-type eventKind uint8
-
-const (
-	evDeliver eventKind = iota + 1
-	evTimer
-	evFunc
-	evStart
-)
-
-// event is one scheduled occurrence. Events are pooled: dispatched (or
-// canceled) events return to the network's free list and are reused by later
-// sends and timers, so the steady-state hot path allocates nothing. The gen
-// counter is bumped on every recycle, which lets outstanding timer handles
-// detect that their event slot has moved on (see simTimer).
-type event struct {
-	net     *Network
-	at      time.Duration
-	seq     uint64
-	kind    eventKind
-	heapIdx int32  // position in Network.events; -1 when not queued
-	gen     uint32 // recycle generation, validates timer handles
-
-	// evDeliver
-	from, to wire.NodeID
-	msg      wire.Message
-	txFinish time.Duration // when the datagram left the sender's uplink
-	size     int           // wire size incl UDP overhead
-
-	// evTimer / evFunc / evStart
-	node wire.NodeID // evTimer, evStart: owning node
-	fn   func()
-
-	next *event // free-list link
-}
-
-// eventBlockSize is how many event slots one pool refill allocates: big
-// enough to amortize allocation to noise, small enough not to bloat tiny
-// simulations.
-const eventBlockSize = 128
-
-// alloc takes an event slot from the free list, refilling it with a fresh
-// block when empty. Slots keep their identity (net, gen) across reuse.
-func (n *Network) alloc() *event {
-	if n.free == nil {
-		block := make([]event, eventBlockSize)
-		for i := range block {
-			block[i].net = n
-			block[i].heapIdx = -1
-			if i+1 < len(block) {
-				block[i].next = &block[i+1]
-			}
-		}
-		n.free = &block[0]
-	}
-	ev := n.free
-	n.free = ev.next
-	ev.next = nil
-	return ev
-}
-
-// recycle returns a dispatched or canceled event to the free list, dropping
-// references so the pool does not pin messages or closures, and bumping the
-// generation so stale timer handles turn inert.
-func (n *Network) recycle(ev *event) {
-	ev.gen++
-	ev.kind = 0
-	ev.msg = nil
-	ev.fn = nil
-	ev.next = n.free
-	n.free = ev
 }
 
 // New creates an empty network.
@@ -287,47 +306,80 @@ func New(cfg Config) *Network {
 	if cfg.Netem == nil {
 		cfg.Netem = netem.Bernoulli{P: cfg.LossRate}
 	}
-	return &Network{
-		cfg:     cfg,
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
-		latency: cfg.Latency,
-		netem:   cfg.Netem,
+	shards := cfg.Shards
+	if shards <= 0 {
+		shards = 1
 	}
+	lookahead := cfg.Latency.MinLatency()
+	if lookahead <= 0 {
+		shards = 1 // no lookahead, no safe parallel window
+	}
+	n := &Network{
+		cfg:       cfg,
+		latency:   cfg.Latency,
+		netem:     cfg.Netem,
+		lookahead: lookahead,
+	}
+	n.shards = make([]*shard, shards)
+	for i := range n.shards {
+		n.shards[i] = &shard{
+			net:    n,
+			idx:    int32(i),
+			outbox: make([][]*event, shards),
+		}
+	}
+	return n
 }
+
+// NumShards returns the effective shard count (after clamping).
+func (n *Network) NumShards() int { return len(n.shards) }
 
 // AddNode registers a node with the given handler and configuration and
 // returns its id. The handler's Start runs at the current simulation time
 // (time zero if the network has not run yet). AddNode may be called from
 // scheduled callbacks to model joins.
 func (n *Network) AddNode(h env.Handler, cfg NodeConfig) wire.NodeID {
+	n.assertGlobal("AddNode")
 	if cfg.UploadBps < 0 {
 		panic("simnet: negative upload capacity")
 	}
 	id := wire.NodeID(len(n.nodes))
-	node := &simNode{
+	seed := uint64(n.cfg.Seed)
+	n.nodes = append(n.nodes, simNode{
 		id:      id,
-		handler: h,
-		rng:     rand.New(rand.NewSource(int64(uint64(n.cfg.Seed) ^ (0x9e3779b97f4a7c15 * uint64(id+1))))),
-		cfg:     cfg,
+		shard:   int32(int(id) % len(n.shards)),
 		alive:   true,
+		handler: h,
+		rng:     rand.New(&splitmixSource{state: seed ^ (0x9e3779b97f4a7c15 * uint64(id+1))}),
+		txRng:   rand.New(&splitmixSource{state: splitmix64(seed ^ (0xd1342543de82ef95 * uint64(id+1)))}),
+		cfg:     cfg,
+	})
+	if p, ok := n.netem.(netem.Presizer); ok {
+		// Presizing at the barrier keeps per-sender model state (GE chains)
+		// growth out of the parallel windows.
+		p.Presize(len(n.nodes))
 	}
-	n.nodes = append(n.nodes, node)
-	ev := n.alloc()
-	ev.at = n.now
-	ev.kind = evStart
-	ev.node = id
-	n.push(ev)
+	n.pushGlobal(gevent{at: n.now, kind: gkindStart, node: id})
 	return id
 }
 
 // NumNodes returns the number of nodes ever added.
 func (n *Network) NumNodes() int { return len(n.nodes) }
 
-// Now returns the current virtual time.
+// Now returns the current virtual time of the global context. Sequential
+// runs (one shard) keep it exact per event; sharded runs advance it at
+// barriers, which is everywhere global code can observe it. Handler code
+// must use its Runtime's Now, which is always exact.
 func (n *Network) Now() time.Duration { return n.now }
 
-// Stats returns a copy of the network-wide counters.
-func (n *Network) Stats() Stats { return n.stats }
+// Stats returns a copy of the network-wide counters, summed across shards.
+func (n *Network) Stats() Stats {
+	out := n.gstats
+	for _, sh := range n.shards {
+		out.add(sh.stats)
+	}
+	return out
+}
 
 // NodeStats returns a copy of the counters for one node.
 func (n *Network) NodeStats(id wire.NodeID) NodeStats {
@@ -338,17 +390,16 @@ func (n *Network) NodeStats(id wire.NodeID) NodeStats {
 func (n *Network) Alive(id wire.NodeID) bool { return n.node(id).alive }
 
 // Schedule runs fn at the given absolute virtual time (or immediately if at
-// is in the past). fn runs in the simulation loop and may call Crash,
-// Freeze, AddNode, or node-level operations.
+// is in the past). fn runs in the global context — all shards parked at a
+// barrier — and may call Crash, Freeze, AddNode, or node-level operations.
+// Same-time callbacks run in call order, before any node event at that
+// instant.
 func (n *Network) Schedule(at time.Duration, fn func()) {
+	n.assertGlobal("Schedule")
 	if at < n.now {
 		at = n.now
 	}
-	ev := n.alloc()
-	ev.at = at
-	ev.kind = evFunc
-	ev.fn = fn
-	n.push(ev)
+	n.pushGlobal(gevent{at: at, kind: gkindFunc, fn: fn})
 }
 
 // Crash kills a node at the current time: its handler is stopped, pending
@@ -356,6 +407,7 @@ func (n *Network) Schedule(at time.Duration, fn func()) {
 // finish after now) are lost — matching the paper's observation that a
 // crash loses everything delivered to the node but not yet forwarded.
 func (n *Network) Crash(id wire.NodeID) {
+	n.assertGlobal("Crash")
 	node := n.node(id)
 	if !node.alive {
 		return
@@ -371,6 +423,7 @@ func (n *Network) Crash(id wire.NodeID) {
 // frozen are deferred to the unfreeze instant. Models transiently overloaded
 // PlanetLab hosts (§3.5).
 func (n *Network) Freeze(id wire.NodeID, d time.Duration) {
+	n.assertGlobal("Freeze")
 	node := n.node(id)
 	until := n.now + d
 	if until > node.frozenUntil {
@@ -378,163 +431,11 @@ func (n *Network) Freeze(id wire.NodeID, d time.Duration) {
 	}
 }
 
-// Run processes events until virtual time exceeds until or no events remain.
-func (n *Network) Run(until time.Duration) {
-	if n.running {
-		panic("simnet: re-entrant Run")
-	}
-	n.running = true
-	defer func() { n.running = false }()
-	for len(n.events) > 0 {
-		ev := n.events[0]
-		if ev.at > until {
-			n.now = until
-			return
-		}
-		n.pop()
-		n.now = ev.at
-		n.stats.EventsProcessed++
-		n.dispatch(ev)
-		// dispatch may have re-queued the event (freeze deferral); only
-		// events that truly left the schedule go back to the pool.
-		if ev.heapIdx < 0 {
-			n.recycle(ev)
-		}
-	}
-	if n.now < until {
-		n.now = until
-	}
-}
-
-// RunUntilIdle processes all remaining events.
-func (n *Network) RunUntilIdle() {
-	n.Run(1<<62 - 1)
-}
-
-func (n *Network) dispatch(ev *event) {
-	switch ev.kind {
-	case evStart:
-		node := n.node(ev.node)
-		if node.alive && !node.started {
-			node.started = true
-			node.handler.Start(&nodeRuntime{net: n, node: node})
-		}
-	case evFunc:
-		ev.fn()
-	case evTimer:
-		node := n.node(ev.node)
-		if !node.alive {
-			return
-		}
-		if node.frozenUntil > n.now {
-			ev.at = node.frozenUntil
-			n.push(ev)
-			return
-		}
-		ev.fn()
-	case evDeliver:
-		n.deliver(ev)
-	}
-}
-
-func (n *Network) deliver(ev *event) {
-	sender := n.node(ev.from)
-	// A datagram that had not finished leaving the sender's uplink when the
-	// sender crashed is lost with it.
-	if !sender.alive && sender.crashedAt < ev.txFinish {
-		n.stats.MsgsDeadDrop++
-		return
-	}
-	dst := n.node(ev.to)
-	if !dst.alive {
-		n.stats.MsgsDeadDrop++
-		return
-	}
-	if dst.frozenUntil > n.now {
-		ev.at = dst.frozenUntil
-		n.push(ev)
-		return
-	}
-	n.stats.MsgsDelivered++
-	dst.stats.RecvBytes += int64(ev.size)
-	dst.stats.RecvMsgs++
-	dst.handler.Receive(ev.from, ev.msg)
-}
-
-// send implements Runtime.Send for a node.
-func (n *Network) send(from *simNode, to wire.NodeID, m wire.Message) {
-	if int(to) < 0 || int(to) >= len(n.nodes) {
-		n.stats.MsgsDeadDrop++
-		return
-	}
-	size := m.WireSize() + wire.UDPOverheadBytes
-	n.stats.MsgsSent++
-	n.stats.BytesSent += int64(size)
-	from.stats.SentMsgs++
-	from.stats.SentBytes += int64(size)
-	if k := int(m.Kind()); k >= 0 && k < len(from.stats.SentByKind) {
-		from.stats.SentByKind[k] += int64(size)
-	}
-	if sm, ok := m.(wire.Streamed); ok {
-		slot := int(sm.StreamOf())
-		if slot >= streamStatSlots {
-			slot = streamStatSlots - 1
-		}
-		from.stats.SentByStream[slot] += int64(size)
-	}
-
-	// Uplink serialization: the message transmits after everything already
-	// queued. Zero capacity means unconstrained.
-	start := n.now
-	if from.uplinkFreeAt > start {
-		start = from.uplinkFreeAt
-	}
-	var serTime time.Duration
-	if from.cfg.UploadBps > 0 {
-		bits := int64(size) * 8
-		serTime = time.Duration(bits * int64(time.Second) / from.cfg.UploadBps)
-		if n.cfg.MaxQueueDelay > 0 && start-n.now > n.cfg.MaxQueueDelay {
-			n.stats.MsgsTailDrop++
-			return
-		}
-	}
-	txFinish := start + serTime
-	from.uplinkFreeAt = txFinish
-	from.stats.QueueDelay = txFinish - n.now
-
-	// The netem model rules on the datagram here — after serialization (a
-	// dropped datagram still consumed the uplink: it left the sender), before
-	// propagation. Schedule-driven models are judged at txFinish, the
-	// instant the datagram actually reaches the wire: a backlogged uplink
-	// can push a datagram into (or past) a partition or spike window that
-	// was not active when it was enqueued. The default model is plain
-	// independent loss (time-ignoring, so this choice cannot perturb the
-	// zero-config rng stream).
-	verdict := n.netem.Judge(from.id, to, size, txFinish, n.rng)
-	if verdict.Drop {
-		n.stats.MsgsLost++
-		return
-	}
-	lat := n.latency.Latency(from.id, to, n.rng)
-	if verdict.Delay > 0 {
-		lat += verdict.Delay
-		n.stats.MsgsNetemDelay++
-	}
-	ev := n.alloc()
-	ev.at = txFinish + lat
-	ev.kind = evDeliver
-	ev.from = from.id
-	ev.to = to
-	ev.msg = m
-	ev.txFinish = txFinish
-	ev.size = size
-	n.push(ev)
-}
-
 // SetUploadBps rewrites a node's uplink capacity mid-run (netem capability
 // traces, measured-capacity drift). The new rate applies to datagrams sent
 // after the call; anything already serializing keeps its old schedule.
 func (n *Network) SetUploadBps(id wire.NodeID, bps int64) {
+	n.assertGlobal("SetUploadBps")
 	if bps < 0 {
 		panic("simnet: negative upload capacity")
 	}
@@ -542,13 +443,16 @@ func (n *Network) SetUploadBps(id wire.NodeID, bps int64) {
 }
 
 // QueueBacklog returns the current uplink backlog (time until the node's
-// uplink drains) — the congestion signal the paper discusses in §3.6.
+// uplink drains) — the congestion signal the paper discusses in §3.6. Safe
+// from the global context and from the node's own handler context (the
+// adaptation layer samples its own backlog).
 func (n *Network) QueueBacklog(id wire.NodeID) time.Duration {
 	node := n.node(id)
-	if node.uplinkFreeAt <= n.now {
+	now := n.shards[node.shard].now
+	if node.uplinkFreeAt <= now {
 		return 0
 	}
-	return node.uplinkFreeAt - n.now
+	return node.uplinkFreeAt - now
 }
 
 // QueueBacklogBytes returns the bytes currently waiting in the node's uplink
@@ -566,80 +470,92 @@ func (n *Network) QueueBacklog(id wire.NodeID) time.Duration {
 // internal/adapt), which is cheaper than per-datagram byte accounting here.
 func (n *Network) QueueBacklogBytes(id wire.NodeID) int64 {
 	node := n.node(id)
-	if node.uplinkFreeAt <= n.now || node.cfg.UploadBps <= 0 {
+	now := n.shards[node.shard].now
+	if node.uplinkFreeAt <= now || node.cfg.UploadBps <= 0 {
 		return 0
 	}
-	backlog := node.uplinkFreeAt - n.now
+	backlog := node.uplinkFreeAt - now
 	return int64(backlog) * node.cfg.UploadBps / (8 * int64(time.Second))
-}
-
-func (n *Network) push(ev *event) {
-	ev.seq = n.seq
-	n.seq++
-	ev.heapIdx = int32(len(n.events))
-	n.events = append(n.events, ev)
-	n.siftUp(len(n.events) - 1)
 }
 
 func (n *Network) node(id wire.NodeID) *simNode {
 	if int(id) < 0 || int(id) >= len(n.nodes) {
 		panic(fmt.Sprintf("simnet: unknown node %d", id))
 	}
-	return n.nodes[id]
+	return &n.nodes[id]
 }
 
-// nodeRuntime adapts a simNode to env.Runtime.
+// assertGlobal guards the global-context-only control operations against
+// being called from handler code inside a run window, where they would race
+// with other shards and break shard-count invariance.
+func (n *Network) assertGlobal(op string) {
+	if n.inWindow {
+		panic("simnet: " + op + " called from node context during a run window; use a Schedule callback")
+	}
+}
+
+// nodeRuntime adapts a simNode to env.Runtime. It holds the node id, not a
+// row pointer: the dense node table may be reallocated by mid-run joins.
 type nodeRuntime struct {
-	net  *Network
-	node *simNode
+	net *Network
+	id  wire.NodeID
 }
 
 var _ env.Runtime = (*nodeRuntime)(nil)
 
-func (rt *nodeRuntime) ID() wire.NodeID    { return rt.node.id }
-func (rt *nodeRuntime) Now() time.Duration { return rt.net.now }
-func (rt *nodeRuntime) Rand() *rand.Rand   { return rt.node.rng }
+func (rt *nodeRuntime) ID() wire.NodeID { return rt.id }
+
+// Now returns the node's shard-local virtual time: exact during windows,
+// equal to the global clock at barriers.
+func (rt *nodeRuntime) Now() time.Duration {
+	return rt.net.shards[rt.net.nodes[rt.id].shard].now
+}
+
+func (rt *nodeRuntime) Rand() *rand.Rand { return rt.net.nodes[rt.id].rng }
 
 func (rt *nodeRuntime) Send(to wire.NodeID, m wire.Message) {
-	if !rt.node.alive {
+	nd := &rt.net.nodes[rt.id]
+	if !nd.alive {
 		return
 	}
-	rt.net.send(rt.node, to, m)
+	rt.net.send(nd, to, m)
 }
 
 func (rt *nodeRuntime) After(d time.Duration, fn func()) env.Timer {
-	if d < 0 {
-		d = 0
-	}
-	n := rt.net
-	ev := n.alloc()
-	ev.at = n.now + d
-	ev.kind = evTimer
-	ev.node = rt.node.id
-	ev.fn = fn
-	n.push(ev)
+	ev := rt.net.newTimer(rt.id, d, fn)
 	return simTimer{ev: ev, gen: ev.gen}
 }
 
 // AfterFunc implements env.Runtime. With no handle to mint, the timer is
 // just a pooled event: the call allocates nothing in steady state.
 func (rt *nodeRuntime) AfterFunc(d time.Duration, fn func()) {
+	rt.net.newTimer(rt.id, d, fn)
+}
+
+// newTimer schedules a timer event on the owning node's shard.
+func (n *Network) newTimer(id wire.NodeID, d time.Duration, fn func()) *event {
 	if d < 0 {
 		d = 0
 	}
-	n := rt.net
-	ev := n.alloc()
-	ev.at = n.now + d
+	nd := &n.nodes[id]
+	sh := n.shards[nd.shard]
+	ev := sh.alloc()
+	ev.at = sh.now + d
 	ev.kind = evTimer
-	ev.node = rt.node.id
+	ev.src = id
+	ev.srcSeq = nd.seq
+	nd.seq++
 	ev.fn = fn
-	n.push(ev)
+	sh.push(ev)
+	return ev
 }
 
 // simTimer is a generation-checked handle to a pooled timer event. Stop
 // removes the event from the schedule outright (no tombstones) and recycles
 // its slot; a handle whose generation no longer matches — the timer fired,
-// was stopped, and the slot was reused — is inert.
+// was stopped, and the slot was reused — is inert. Timer events live on
+// their owning node's shard, so Stop from that node's context touches only
+// shard-local state.
 type simTimer struct {
 	ev  *event
 	gen uint32
@@ -650,88 +566,7 @@ func (t simTimer) Stop() bool {
 	if ev == nil || ev.gen != t.gen || ev.heapIdx < 0 {
 		return false
 	}
-	ev.net.remove(ev)
-	ev.net.recycle(ev)
+	ev.sh.remove(ev)
+	ev.sh.recycle(ev)
 	return true
-}
-
-// evLess orders events by (time, sequence): virtual-time order with FIFO
-// tie-breaking, so same-instant events fire in scheduling order.
-func evLess(a, b *event) bool {
-	if a.at != b.at {
-		return a.at < b.at
-	}
-	return a.seq < b.seq
-}
-
-// pop removes and returns the earliest event.
-func (n *Network) pop() *event {
-	ev := n.events[0]
-	last := len(n.events) - 1
-	moved := n.events[last]
-	n.events[last] = nil
-	n.events = n.events[:last]
-	if last > 0 {
-		n.events[0] = moved
-		moved.heapIdx = 0
-		n.siftDown(0)
-	}
-	ev.heapIdx = -1
-	return ev
-}
-
-// remove deletes an arbitrary queued event (timer cancellation), restoring
-// the heap around the slot it vacated.
-func (n *Network) remove(ev *event) {
-	i := int(ev.heapIdx)
-	last := len(n.events) - 1
-	moved := n.events[last]
-	n.events[last] = nil
-	n.events = n.events[:last]
-	if i != last {
-		n.events[i] = moved
-		moved.heapIdx = int32(i)
-		n.siftDown(i)
-		if int(moved.heapIdx) == i {
-			n.siftUp(i)
-		}
-	}
-	ev.heapIdx = -1
-}
-
-func (n *Network) siftUp(i int) {
-	ev := n.events[i]
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !evLess(ev, n.events[parent]) {
-			break
-		}
-		n.events[i] = n.events[parent]
-		n.events[i].heapIdx = int32(i)
-		i = parent
-	}
-	n.events[i] = ev
-	ev.heapIdx = int32(i)
-}
-
-func (n *Network) siftDown(i int) {
-	ev := n.events[i]
-	size := len(n.events)
-	for {
-		child := 2*i + 1
-		if child >= size {
-			break
-		}
-		if r := child + 1; r < size && evLess(n.events[r], n.events[child]) {
-			child = r
-		}
-		if !evLess(n.events[child], ev) {
-			break
-		}
-		n.events[i] = n.events[child]
-		n.events[i].heapIdx = int32(i)
-		i = child
-	}
-	n.events[i] = ev
-	ev.heapIdx = int32(i)
 }

@@ -1,7 +1,6 @@
 package simnet
 
 import (
-	"math/rand"
 	"testing"
 	"time"
 
@@ -348,10 +347,9 @@ func TestTailDropWhenQueueBounded(t *testing.T) {
 
 func TestPairwiseLatencyStableAndSymmetric(t *testing.T) {
 	lm := NewPairwiseLatency(42, 10*time.Millisecond, 100*time.Millisecond, 0)
-	rng := rand.New(rand.NewSource(1))
-	ab1 := lm.Latency(1, 2, rng)
-	ab2 := lm.Latency(1, 2, rng)
-	ba := lm.Latency(2, 1, rng)
+	ab1 := lm.Latency(1, 2, 0)
+	ab2 := lm.Latency(1, 2, 1)
+	ba := lm.Latency(2, 1, 7)
 	if ab1 != ab2 {
 		t.Fatalf("latency not stable: %v vs %v", ab1, ab2)
 	}
@@ -361,13 +359,35 @@ func TestPairwiseLatencyStableAndSymmetric(t *testing.T) {
 	if ab1 < 10*time.Millisecond || ab1 > 100*time.Millisecond {
 		t.Fatalf("latency %v outside [10ms, 100ms]", ab1)
 	}
+	if got := lm.MinLatency(); got != 10*time.Millisecond {
+		t.Fatalf("MinLatency = %v, want 10ms", got)
+	}
 	// Different pairs should (almost surely) differ.
 	distinct := map[time.Duration]bool{}
 	for i := wire.NodeID(0); i < 20; i++ {
-		distinct[lm.Latency(i, i+1, rng)] = true
+		distinct[lm.Latency(i, i+1, 0)] = true
 	}
 	if len(distinct) < 5 {
 		t.Fatalf("suspiciously uniform pairwise latencies: %d distinct of 20", len(distinct))
+	}
+
+	// With jitter the latency must vary per stamp but stay within
+	// [base, base+jitter], so MinLatency remains a sound lookahead bound.
+	jm := NewPairwiseLatency(42, 10*time.Millisecond, 100*time.Millisecond, 2*time.Millisecond)
+	base := lm.Latency(1, 2, 0)
+	seen := map[time.Duration]bool{}
+	for stamp := uint64(0); stamp < 50; stamp++ {
+		d := jm.Latency(1, 2, stamp)
+		if d < base || d > base+2*time.Millisecond {
+			t.Fatalf("jittered latency %v outside [%v, %v]", d, base, base+2*time.Millisecond)
+		}
+		if d != jm.Latency(1, 2, stamp) {
+			t.Fatal("jittered latency not a pure function of (from, to, stamp)")
+		}
+		seen[d] = true
+	}
+	if len(seen) < 2 {
+		t.Fatal("jitter produced no variation across stamps")
 	}
 }
 
