@@ -33,13 +33,15 @@ race:
 # the paced sender they poll: the misbehavior oracle/property suite, the
 # adapt controller, and the ratelimit concurrency regressions run with their
 # complete iteration counts under the race detector. The simnet cross-shard
-# exchange storm and the shard-count determinism oracle run here too — the
+# exchange storm and the shard-count determinism oracles run here too — the
 # sharded event loop is the one place simulation results depend on goroutine
-# discipline.
+# discipline — plus the cluster-sampler storm (concurrent split draws against
+# the brute-force oracle).
 race-detect:
 	$(GO) test -race ./internal/misbehave ./internal/adapt ./internal/ratelimit
 	$(GO) test -race -run 'TestCrossShardExchangeRace|TestHeapCancelRescheduleStorm' ./internal/simnet
-	$(GO) test -race -run 'TestDeterminismShardCounts' ./internal/scenario
+	$(GO) test -race -run 'TestClusterSamplerStorm' ./internal/membership
+	$(GO) test -race -run 'TestDeterminismShardCounts|TestDeterminismTopologyShardCounts' ./internal/scenario
 
 test-short: testshort
 testshort:
@@ -79,12 +81,15 @@ sweep:
 largescale:
 	$(GO) run ./cmd/heapsweep -largescale -csv out/largescale/
 
-# Brief fuzzing of the wire codec (one target per invocation is a Go
-# toolchain constraint). The seed corpora cover both the legacy
-# single-stream encodings and the stream-id-tagged multi-stream forms.
+# Brief fuzzing of the wire codec and the topology-config decoder (one
+# target per invocation is a Go toolchain constraint). The wire corpora cover
+# both the legacy single-stream encodings and the stream-id-tagged
+# multi-stream forms; the topo target drives Validate/Build agreement and
+# rebuild stability over arbitrary config bytes.
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzUnmarshal$$' -fuzztime 10s ./internal/wire
 	$(GO) test -run '^$$' -fuzz '^FuzzRoundTrip$$' -fuzztime 10s ./internal/wire
+	$(GO) test -run '^$$' -fuzz '^FuzzTopologyConfig$$' -fuzztime 10s ./internal/topo
 
 full: check test fuzz
 

@@ -46,6 +46,15 @@
 //
 //	heapsweep -adapt -netem captrace-silent -protocols heap -dists ms-691
 //
+// With -topology P every cell runs twice on the clustered topology profile P
+// (internal/topo: wan3, wan5, hubspoke): once topology-blind (the flat
+// protocol on the clustered network) and once topology-aware (the fanout
+// budget split into -fintra intra-cluster and -finter inter-cluster draws),
+// so the summary table reads as a WAN-traffic A/B. Ignored by -largescale.
+//
+//	heapsweep -topology wan3 -dists ms-691 -protocols heap
+//	heapsweep -topology hubspoke -fintra 6 -finter 1 -replicas 3
+//
 // With -adversary F every cell runs three times — honest baseline, F
 // freeriders with detectors observe-only, and the same mix with the
 // misbehavior detector armed (internal/misbehave) — so the summary table
@@ -75,6 +84,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/netem"
 	"repro/internal/scenario"
+	"repro/internal/topo"
 )
 
 func main() {
@@ -112,6 +122,11 @@ func run() int {
 			"enable congestion-driven capability re-estimation on every constrained node (internal/adapt)")
 		advFlag = flag.Float64("adversary", 0,
 			"fraction of non-source nodes freeriding; adds a honest/detector-off/detector-on variant axis (internal/misbehave)")
+		topoFlag = flag.String("topology", "",
+			"clustered topology profile ("+strings.Join(topo.ProfileNames(), ", ")+
+				"); adds a topo-blind/topo-aware variant axis (internal/topo)")
+		fintra = flag.Float64("fintra", 5, "intra-cluster fanout budget for the topo-aware variant (with -topology)")
+		finter = flag.Float64("finter", 2, "inter-cluster fanout budget for the topo-aware variant (with -topology)")
 		shards = flag.Int("shards", runtime.GOMAXPROCS(0),
 			"simulator shards per run (results are identical at any count); prefer -shards 1 with many -workers when the grid has more cells than cores")
 	)
@@ -248,6 +263,14 @@ func run() int {
 			vars = vars[1:] // the netem axis already carries a clean baseline cell
 		}
 		sw.Variants = append(sw.Variants, vars...)
+	}
+	if *topoFlag != "" {
+		tc, err := topo.Profile(*topoFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "heapsweep: -topology: %v\n", err)
+			return 1
+		}
+		sw.Variants = append(sw.Variants, scenario.TopologyVariants(tc, *fintra, *finter)...)
 	}
 
 	res, err := scenario.RunSweep(sw)

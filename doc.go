@@ -181,6 +181,27 @@
 // `heapbench -artifact robustness` renders the HEAP-vs-standard comparison
 // under each stock profile.
 //
+// # Clustered topologies and hierarchical dissemination
+//
+// internal/topo embeds a run in a clustered WAN/LAN geometry instead of the
+// paper's uniform pairwise-latency band. A Topology value declares the
+// cluster count (optionally size-weighted), intra/inter-cluster latency
+// bands, and jitter; set Scenario.Topology and the run's cluster assignment
+// and every pair latency become pure hashes of the seed (no rng consumed, so
+// sharded runs stay byte-identical). Netem partitions and spikes can target
+// topology regions (PartitionSpec.Regions, RegionSpikes), cutting along real
+// cluster boundaries, and ScenarioResult.TopoStats accounts the run's
+// inter-cluster (WAN) bytes. Scenario.FanoutIntra/FanoutInter then split the
+// gossip fanout budget by locality — cluster-biased peer selection with
+// separate intra and inter draws, still scaled by HEAP's relative
+// capability — to cut WAN traffic without hurting delivery.
+// TopologyVariants (`heapsweep -topology wan3`) gives sweeps the
+// topo-blind/topo-aware A/B on the same clustered network, and `heapbench
+// -artifact topology` renders the WAN-bytes/stream-quality comparison; see
+// the "Topology-aware dissemination" section of EXPERIMENTS.md. With
+// Topology unset every path is untouched and results are byte-identical to
+// pre-topology builds.
+//
 // # Observability
 //
 // internal/telemetry gives every subsystem one reporting surface. A

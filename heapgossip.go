@@ -13,6 +13,7 @@ import (
 	"repro/internal/scenario"
 	"repro/internal/stream"
 	"repro/internal/telemetry"
+	"repro/internal/topo"
 	"repro/internal/wire"
 )
 
@@ -168,6 +169,30 @@ func NetemProfileNames() []string { return netem.ProfileNames() }
 // across network adversity.
 func AdverseVariants(names ...string) ([]Variant, error) {
 	return scenario.AdverseVariants(names...)
+}
+
+// Topology describes a clustered WAN/LAN geometry (internal/topo): a cluster
+// count with optional size weights, split intra-/inter-cluster latency bands,
+// and jitter. Set Scenario.Topology to embed a run in it; the cluster
+// assignment and every pair latency are pure hashes of the run seed.
+type Topology = topo.Config
+
+// TopoStats carries a topology-embedded run's cluster layout and WAN traffic
+// accounting (ScenarioResult.TopoStats).
+type TopoStats = scenario.TopoStats
+
+// TopologyProfile returns a named stock topology ("wan3", "wan5",
+// "hubspoke").
+func TopologyProfile(name string) (Topology, error) { return topo.Profile(name) }
+
+// TopologyProfileNames lists the stock topologies.
+func TopologyProfileNames() []string { return topo.ProfileNames() }
+
+// TopologyVariants returns the topology A/B sweep axis: the clustered
+// network under the flat protocol ("topo-blind") and under the split
+// intra/inter fanout ("topo-aware").
+func TopologyVariants(tc Topology, intra, inter float64) []Variant {
+	return scenario.TopologyVariants(tc, intra, inter)
 }
 
 // AdaptConfig parameterizes congestion-driven capability re-estimation

@@ -199,6 +199,19 @@ type Config struct {
 	BudgetHeadroom float64
 	// Sampler provides uniform random peers (Algorithm 1, selectNodes).
 	Sampler membership.Sampler
+	// FanoutIntra/FanoutInter split the gossip fanout budget by topology
+	// locality: each round proposes to FanoutIntra peers of the node's own
+	// cluster and FanoutInter peers across cluster boundaries, both scaled
+	// by the same multipliers as the flat fanout (relative capability under
+	// HEAP, the multi-stream budget allocator). Requires Split. Both zero
+	// with Split nil (the default) keeps the paper's flat fanout
+	// byte-identical — the hierarchical path is never consulted.
+	FanoutIntra float64
+	FanoutInter float64
+	// Split supplies the locality-aware draws for the hierarchical budgets
+	// (membership.NewClusterView). Uniform paths (request fanout, sampler
+	// aggregation) keep using Sampler.
+	Split membership.SplitSampler
 	// OnDeliver, if non-nil, receives every newly delivered event.
 	OnDeliver DeliverFunc
 
@@ -240,6 +253,15 @@ func (c *Config) applyDefaults() error {
 	}
 	if c.Sampler == nil {
 		return fmt.Errorf("core: sampler is required")
+	}
+	if c.FanoutIntra < 0 || c.FanoutInter < 0 {
+		return fmt.Errorf("core: negative hierarchical fanout (%v intra, %v inter)", c.FanoutIntra, c.FanoutInter)
+	}
+	if (c.FanoutIntra > 0 || c.FanoutInter > 0) && c.Split == nil {
+		return fmt.Errorf("core: hierarchical fanout requires a Split sampler")
+	}
+	if c.Split != nil && c.FanoutIntra+c.FanoutInter <= 0 {
+		return fmt.Errorf("core: Split sampler requires a positive FanoutIntra+FanoutInter budget")
 	}
 	if c.Adaptive && c.Capabilities == nil {
 		return fmt.Errorf("core: adaptive mode requires a capability estimator")
@@ -508,14 +530,20 @@ func (e *Engine) gossipRound() {
 	}
 }
 
-// gossip sends a [Propose] for ids to fanout() random peers.
+// gossip sends a [Propose] for ids to fanout() random peers — or, when a
+// Split sampler is configured, to splitFanout() peers drawn per locality.
 func (e *Engine) gossip(st *streamState, ids []wire.PacketID) {
-	f := e.fanout()
-	if f <= 0 {
-		return
-	}
 	var peers []wire.NodeID
-	if e.appendSampler != nil {
+	if e.cfg.Split != nil {
+		fIntra, fInter := e.splitFanout()
+		if fIntra+fInter <= 0 {
+			return
+		}
+		e.peerScratch = e.cfg.Split.AppendSplit(e.peerScratch[:0], e.rt.Rand(), fIntra, fInter)
+		peers = e.peerScratch
+	} else if f := e.fanout(); f <= 0 {
+		return
+	} else if e.appendSampler != nil {
 		e.peerScratch = e.appendSampler.AppendPeers(e.peerScratch[:0], e.rt.Rand(), f)
 		peers = e.peerScratch
 	} else {
@@ -605,6 +633,48 @@ func (e *Engine) fanout() int {
 	// stochastic rounding already yields >=1 most rounds for any f >= 0.5).
 	if n < 1 && f > 0 {
 		n = 1
+	}
+	return n
+}
+
+// splitFanout is fanout() for hierarchical dissemination: each locality
+// budget is scaled by the same multipliers as the flat fanout (relative
+// capability in adaptive mode, the multi-stream budget allocator) and
+// stochastically rounded on its own, so the expected intra/inter mix is
+// preserved at every capability level. The pair is clamped so the total
+// never exceeds MaxFanout, and a node whose combined budget rounds to zero
+// keeps one draw on its larger configured side — the same stay-in-the-graph
+// floor fanout() applies.
+func (e *Engine) splitFanout() (intra, inter int) {
+	m := 1.0
+	if e.cfg.Adaptive && !e.cfg.AdaptPeriod {
+		m *= e.cfg.Capabilities.RelativeCapability()
+	}
+	m *= e.budgetScale()
+	intra = e.stochRound(e.cfg.FanoutIntra * m)
+	inter = e.stochRound(e.cfg.FanoutInter * m)
+	if intra > e.cfg.MaxFanout {
+		intra = e.cfg.MaxFanout
+	}
+	if intra+inter > e.cfg.MaxFanout {
+		inter = e.cfg.MaxFanout - intra
+	}
+	if intra+inter < 1 && (e.cfg.FanoutIntra+e.cfg.FanoutInter)*m > 0 {
+		if e.cfg.FanoutIntra >= e.cfg.FanoutInter {
+			intra = 1
+		} else {
+			inter = 1
+		}
+	}
+	return intra, inter
+}
+
+// stochRound rounds f to an integer whose expected value is f.
+func (e *Engine) stochRound(f float64) int {
+	floor := math.Floor(f)
+	n := int(floor)
+	if e.rt.Rand().Float64() < f-floor {
+		n++
 	}
 	return n
 }

@@ -39,17 +39,43 @@ type PeerAppender interface {
 	AppendPeers(dst []wire.NodeID, rng *rand.Rand, k int) []wire.NodeID
 }
 
+// SplitSampler is the locality-aware draw used by hierarchical
+// dissemination: up to kIntra distinct peers from the node's own cluster
+// and kInter from other clusters, with unfilled budget spilling across the
+// boundary so the total matches a uniform draw of kIntra+kInter whenever
+// enough peers exist. Views built with NewClusterView implement it.
+type SplitSampler interface {
+	AppendSplit(dst []wire.NodeID, rng *rand.Rand, kIntra, kInter int) []wire.NodeID
+}
+
 // View is a mutable full-membership view for one node. It is not safe for
 // concurrent use; in the simulator all accesses happen on the event loop.
+//
+// A view built with NewClusterView additionally partitions its peers by
+// topology cluster and offers AppendSplit; the uniform Sampler/PeerAppender
+// paths are unaffected by the partition.
 type View struct {
 	self  wire.NodeID
 	peers []wire.NodeID
 	index map[wire.NodeID]int // peer -> position in peers
+
+	// Cluster partition (NewClusterView only; nil clusterOf disables it).
+	// intra/inter mirror peers, split by whether a peer shares the owner's
+	// cluster; each sub-list keeps its own position index for O(k) partial
+	// Fisher-Yates draws.
+	clusterOf   func(wire.NodeID) int
+	selfCluster int
+	intra       []wire.NodeID
+	inter       []wire.NodeID
+	intraIdx    map[wire.NodeID]int
+	interIdx    map[wire.NodeID]int
+	exclude     func(wire.NodeID) bool // split-path filter (quarantine hook)
 }
 
 var (
 	_ Sampler      = (*View)(nil)
 	_ PeerAppender = (*View)(nil)
+	_ SplitSampler = (*View)(nil)
 	_ PeerAppender = (*Cyclon)(nil)
 )
 
@@ -66,6 +92,32 @@ func NewView(self wire.NodeID, peers []wire.NodeID) *View {
 	}
 	return v
 }
+
+// NewClusterView builds a full view whose peers are additionally
+// partitioned by clusterOf (a pure node -> cluster-index function, e.g.
+// topo.Topology.ClusterOf), enabling AppendSplit. Add and Remove keep the
+// partition in sync, so churn and join waves work unchanged.
+func NewClusterView(self wire.NodeID, peers []wire.NodeID, clusterOf func(wire.NodeID) int) *View {
+	v := &View{
+		self:        self,
+		peers:       make([]wire.NodeID, 0, len(peers)),
+		index:       make(map[wire.NodeID]int, len(peers)),
+		clusterOf:   clusterOf,
+		selfCluster: clusterOf(self),
+		intraIdx:    make(map[wire.NodeID]int),
+		interIdx:    make(map[wire.NodeID]int),
+	}
+	for _, p := range peers {
+		v.Add(p)
+	}
+	return v
+}
+
+// SetExclude installs a filter on the split path: AppendSplit never returns
+// a peer for which fn is true (the quarantine hook). Nil clears the filter.
+// The uniform SelectPeers/AppendPeers paths are unaffected; wrap those with
+// a filtering sampler instead.
+func (v *View) SetExclude(fn func(wire.NodeID) bool) { v.exclude = fn }
 
 // Self returns the owning node's id.
 func (v *View) Self() wire.NodeID { return v.self }
@@ -89,6 +141,15 @@ func (v *View) Add(id wire.NodeID) {
 	}
 	v.index[id] = len(v.peers)
 	v.peers = append(v.peers, id)
+	if v.clusterOf != nil {
+		if v.clusterOf(id) == v.selfCluster {
+			v.intraIdx[id] = len(v.intra)
+			v.intra = append(v.intra, id)
+		} else {
+			v.interIdx[id] = len(v.inter)
+			v.inter = append(v.inter, id)
+		}
+	}
 }
 
 // Remove deletes a peer (e.g., on failure notification). Removing an absent
@@ -104,6 +165,26 @@ func (v *View) Remove(id wire.NodeID) {
 	v.index[moved] = pos
 	v.peers = v.peers[:last]
 	delete(v.index, id)
+	if v.clusterOf != nil {
+		if p, ok := v.intraIdx[id]; ok {
+			dropAt(&v.intra, v.intraIdx, p)
+			delete(v.intraIdx, id)
+		} else if p, ok := v.interIdx[id]; ok {
+			dropAt(&v.inter, v.interIdx, p)
+			delete(v.interIdx, id)
+		}
+	}
+}
+
+// dropAt removes position p from a sub-list by swapping in the last
+// element, mirroring the master-list removal.
+func dropAt(list *[]wire.NodeID, idx map[wire.NodeID]int, p int) {
+	l := *list
+	last := len(l) - 1
+	moved := l[last]
+	l[p] = moved
+	idx[moved] = p
+	*list = l[:last]
 }
 
 // SelectPeers implements Sampler with a partial Fisher–Yates shuffle: O(k)
@@ -131,6 +212,61 @@ func (v *View) AppendPeers(dst []wire.NodeID, rng *rand.Rand, k int) []wire.Node
 		}
 	}
 	return append(dst, v.peers[:k]...)
+}
+
+// AppendSplit implements SplitSampler for cluster views: up to kIntra
+// distinct peers from the owner's cluster plus kInter from other clusters,
+// uniformly without replacement within each side. Budget a side cannot fill
+// spills to the other, so degenerate shapes fall back to a uniform draw: a
+// single cluster serves everything from intra, a size-1 cluster (no intra
+// peers) serves everything from inter. Peers matching the SetExclude filter
+// are never returned. On a view built without NewClusterView the call is a
+// plain uniform AppendPeers of kIntra+kInter.
+func (v *View) AppendSplit(dst []wire.NodeID, rng *rand.Rand, kIntra, kInter int) []wire.NodeID {
+	if kIntra < 0 {
+		kIntra = 0
+	}
+	if kInter < 0 {
+		kInter = 0
+	}
+	if v.clusterOf == nil {
+		return v.AppendPeers(dst, rng, kIntra+kInter)
+	}
+	base := len(dst)
+	dst, usedIntra := v.drawFrom(v.intra, v.intraIdx, dst, rng, kIntra, 0)
+	gotIntra := len(dst) - base
+	mark := len(dst)
+	// Inter budget plus whatever intra could not fill crosses the boundary.
+	dst, _ = v.drawFrom(v.inter, v.interIdx, dst, rng, kInter+(kIntra-gotIntra), 0)
+	gotInter := len(dst) - mark
+	// Unfilled inter budget spills back into the cluster, continuing the
+	// partial shuffle past the peers already drawn or skipped.
+	if want := kIntra + kInter - gotIntra - gotInter; want > 0 {
+		dst, _ = v.drawFrom(v.intra, v.intraIdx, dst, rng, want, usedIntra)
+	}
+	return dst
+}
+
+// drawFrom draws up to k non-excluded peers from one cluster sub-list with
+// a partial Fisher-Yates, continuing from window offset used (positions
+// below it were already drawn or skipped this round). Returns the extended
+// dst and the new offset.
+func (v *View) drawFrom(list []wire.NodeID, idx map[wire.NodeID]int, dst []wire.NodeID, rng *rand.Rand, k, used int) ([]wire.NodeID, int) {
+	n := len(list)
+	for ; used < n && k > 0; used++ {
+		j := used + rng.Intn(n-used)
+		if j != used {
+			list[used], list[j] = list[j], list[used]
+			idx[list[used]] = used
+			idx[list[j]] = j
+		}
+		if v.exclude != nil && v.exclude(list[used]) {
+			continue
+		}
+		dst = append(dst, list[used])
+		k--
+	}
+	return dst, used
 }
 
 // Peers returns a copy of the current peer set (order unspecified).

@@ -35,6 +35,12 @@ type Config struct {
 	// Spikes schedules extra-latency windows (spike and drift events).
 	Spikes []Spike
 
+	// RegionSpikes schedules extra-latency windows that hit only datagrams
+	// crossing a topology-region boundary — a degrading WAN link, while
+	// intra-cluster traffic stays clean. Requires a region-resolving build
+	// (BuildWithRegions; scenario supplies it when Config.Topology is set).
+	RegionSpikes []RegionSpike
+
 	// Asym degrades a set of nodes asymmetrically, per traffic direction.
 	Asym *AsymSpec
 
@@ -43,13 +49,25 @@ type Config struct {
 }
 
 // PartitionSpec describes one scheduled partition. Exactly one of Groups
-// (explicit node sets) or SplitFractions (random sets materialized at Build)
+// (explicit node sets), SplitFractions (random sets materialized at Build),
+// or Regions (topology-cluster sets, resolved by a region-resolving build)
 // must be set: SplitFractions lists the size of each rng-chosen group as a
-// fraction of the system; the remainder forms the implicit last group.
+// fraction of the system; the remainder forms the implicit last group. Each
+// Regions entry lists the cluster indices forming one group, so the
+// partition falls along a real topology cut instead of a random node set.
 type PartitionSpec struct {
 	From, Until    time.Duration
 	Groups         [][]wire.NodeID
 	SplitFractions []float64
+	Regions        [][]int
+}
+
+// RegionSpike scopes one latency spike to the boundary of a region set: the
+// extra delay applies exactly when one endpoint's cluster is in Regions and
+// the other's is not.
+type RegionSpike struct {
+	Spike   Spike
+	Regions []int
 }
 
 // AsymSpec degrades the listed nodes (or an rng-chosen Fraction of the
@@ -104,8 +122,24 @@ func (c *Config) Validate() error {
 		if p.Until <= p.From || p.From < 0 {
 			return fmt.Errorf("netem: partition %d window [%v,%v) is empty or negative", i, p.From, p.Until)
 		}
-		if (len(p.Groups) == 0) == (len(p.SplitFractions) == 0) {
-			return fmt.Errorf("netem: partition %d needs exactly one of Groups or SplitFractions", i)
+		set := 0
+		for _, present := range []bool{len(p.Groups) > 0, len(p.SplitFractions) > 0, len(p.Regions) > 0} {
+			if present {
+				set++
+			}
+		}
+		if set != 1 {
+			return fmt.Errorf("netem: partition %d needs exactly one of Groups, SplitFractions, or Regions", i)
+		}
+		for j, g := range p.Regions {
+			if len(g) == 0 {
+				return fmt.Errorf("netem: partition %d region group %d is empty", i, j)
+			}
+			for _, r := range g {
+				if r < 0 {
+					return fmt.Errorf("netem: partition %d lists negative region %d", i, r)
+				}
+			}
 		}
 		for _, g := range p.Groups {
 			if err := checkIDs(fmt.Sprintf("partition %d", i), g); err != nil {
@@ -126,6 +160,20 @@ func (c *Config) Validate() error {
 	for i, s := range c.Spikes {
 		if s.At < 0 || s.Duration <= 0 || s.Extra < 0 || s.Ramp < 0 {
 			return fmt.Errorf("netem: spike %d has a non-positive window or negative parameters", i)
+		}
+	}
+	for i, rs := range c.RegionSpikes {
+		s := rs.Spike
+		if s.At < 0 || s.Duration <= 0 || s.Extra < 0 || s.Ramp < 0 {
+			return fmt.Errorf("netem: region spike %d has a non-positive window or negative parameters", i)
+		}
+		if len(rs.Regions) == 0 {
+			return fmt.Errorf("netem: region spike %d lists no regions", i)
+		}
+		for _, r := range rs.Regions {
+			if r < 0 {
+				return fmt.Errorf("netem: region spike %d lists negative region %d", i, r)
+			}
 		}
 	}
 	if a := c.Asym; a != nil {
@@ -187,7 +235,57 @@ func (c *Config) Build(n int, seed int64, baseLoss float64) (*Engine, error) {
 	for id := 1; id < n; id++ {
 		pool = append(pool, wire.NodeID(id))
 	}
-	return c.buildPool(pool, seed, baseLoss)
+	return c.buildPool(pool, seed, baseLoss, nil)
+}
+
+// BuildWithRegions is Build for runs embedded in a clustered topology:
+// regionOf maps each node to its cluster index (topo.Topology.ClusterOf),
+// letting region-targeted specs (PartitionSpec.Regions, RegionSpikes)
+// resolve to concrete node sets along the topology's real cuts. Unlike
+// fraction-based picks, region resolution includes node 0 — a cut isolates
+// whatever region the source lives in too.
+func (c *Config) BuildWithRegions(n int, seed int64, baseLoss float64, regionOf func(wire.NodeID) int) (*Engine, error) {
+	if regionOf == nil {
+		return nil, fmt.Errorf("netem: BuildWithRegions needs a region resolver")
+	}
+	pool := make([]wire.NodeID, 0, n)
+	for id := 1; id < n; id++ {
+		pool = append(pool, wire.NodeID(id))
+	}
+	return c.buildPool(pool, seed, baseLoss, regionOf)
+}
+
+// usesRegions reports whether any spec needs a region resolver.
+func (c *Config) usesRegions() bool {
+	if len(c.RegionSpikes) > 0 {
+		return true
+	}
+	for _, p := range c.Partitions {
+		if len(p.Regions) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// regionMembers resolves a cluster-index set to the node ids in it, scanning
+// the pool plus node 0 (the source convention excludes 0 only from random
+// picks, not from topology cuts).
+func regionMembers(pool []wire.NodeID, regionOf func(wire.NodeID) int, regions []int) []wire.NodeID {
+	want := make(map[int]bool, len(regions))
+	for _, r := range regions {
+		want[r] = true
+	}
+	var out []wire.NodeID
+	if want[regionOf(0)] {
+		out = append(out, 0)
+	}
+	for _, id := range pool {
+		if id != 0 && want[regionOf(id)] {
+			out = append(out, id)
+		}
+	}
+	return out
 }
 
 // BuildForNodes is Build for deployments whose node ids are not dense
@@ -204,14 +302,18 @@ func (c *Config) BuildForNodes(ids []wire.NodeID, seed int64, baseLoss float64) 
 		}
 	}
 	sort.Slice(pool, func(i, j int) bool { return pool[i] < pool[j] })
-	return c.buildPool(pool, seed, baseLoss)
+	return c.buildPool(pool, seed, baseLoss, nil)
 }
 
 // buildPool does the materialization over the candidate pool for
-// fraction-based node selections.
-func (c *Config) buildPool(pool []wire.NodeID, seed int64, baseLoss float64) (*Engine, error) {
+// fraction-based node selections; regionOf (nil outside BuildWithRegions)
+// resolves region-targeted specs.
+func (c *Config) buildPool(pool []wire.NodeID, seed int64, baseLoss float64, regionOf func(wire.NodeID) int) (*Engine, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
+	}
+	if c.usesRegions() && regionOf == nil {
+		return nil, fmt.Errorf("netem: config %q targets topology regions; build it with a topology (scenario: set Config.Topology)", c.Name)
 	}
 	if baseLoss < 0 || baseLoss >= 1 {
 		return nil, fmt.Errorf("netem: base loss %v outside [0,1)", baseLoss)
@@ -231,6 +333,12 @@ func (c *Config) buildPool(pool []wire.NodeID, seed int64, baseLoss float64) (*E
 		parts := make([]Partition, 0, len(c.Partitions))
 		for _, spec := range c.Partitions {
 			groups := spec.Groups
+			if len(groups) == 0 && len(spec.Regions) > 0 {
+				groups = make([][]wire.NodeID, 0, len(spec.Regions))
+				for _, rg := range spec.Regions {
+					groups = append(groups, regionMembers(pool, regionOf, rg))
+				}
+			}
 			if len(groups) == 0 {
 				groups = splitGroups(rng, pool, spec.SplitFractions)
 			}
@@ -240,6 +348,10 @@ func (c *Config) buildPool(pool []wire.NodeID, seed int64, baseLoss float64) (*E
 	}
 	if len(c.Spikes) > 0 {
 		e.Add("spike", NewLatencySpikes(c.Spikes...))
+	}
+	for i, rs := range c.RegionSpikes {
+		set := NewNodeSet(regionMembers(pool, regionOf, rs.Regions)...)
+		e.Add(fmt.Sprintf("region-spike-%d", i), Boundary{Inner: NewLatencySpikes(rs.Spike), Set: set})
 	}
 	if a := c.Asym; a != nil {
 		set := NewNodeSet(pickNodes(rng, pool, a.Nodes, a.Fraction)...)

@@ -387,6 +387,24 @@ func (d Directional) Judge(from, to wire.NodeID, size int, now time.Duration, rn
 	return d.Inner.Judge(from, to, size, now, rng)
 }
 
+// Boundary applies Inner only to datagrams that cross the boundary of Set:
+// exactly one endpoint inside it. Region-targeted degradations (a flaky WAN
+// link between one cluster and the rest of the world) compose from it at
+// Build time. Datagrams that do not cross pass untouched and consume none
+// of Inner's rng draws.
+type Boundary struct {
+	Inner Model
+	Set   NodeSet
+}
+
+// Judge implements Model.
+func (b Boundary) Judge(from, to wire.NodeID, size int, now time.Duration, rng *rand.Rand) Verdict {
+	if b.Set.Contains(from) == b.Set.Contains(to) {
+		return Verdict{}
+	}
+	return b.Inner.Judge(from, to, size, now, rng)
+}
+
 // Stack composes models: consulted in order, extra delays add, and the first
 // drop wins (later models are then not consulted, so their rng draws are
 // skipped — fine for same-seed reproducibility, which is all we promise).

@@ -973,7 +973,7 @@ func Artifacts() []string {
 	return []string{"intro-tree", "fig1", "fig2", "fig3", "fig4", "fig5",
 		"fig6", "fig7", "fig8", "fig9", "fig10", "table2", "table3",
 		"sens-degraded", "diag-backlog", "robustness", "multisource",
-		"adapt", "adversary", "trace"}
+		"adapt", "adversary", "trace", "topology"}
 }
 
 // Generate renders one artifact by name ("fig1".."fig10", "table2",
@@ -1020,6 +1020,8 @@ func (s *Suite) Generate(name string) error {
 		return s.Adversary()
 	case "trace":
 		return s.Trace()
+	case "topology":
+		return s.Topology()
 	default:
 		return fmt.Errorf("report: unknown artifact %q (known: %s)",
 			name, strings.Join(Artifacts(), ", "))

@@ -105,6 +105,21 @@ func TestRobustnessContent(t *testing.T) {
 	}
 }
 
+func TestTopologyArtifactContent(t *testing.T) {
+	var out strings.Builder
+	s := smallSuite(&out)
+	if err := s.Topology(); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"Clustered topology", "wan3", "topo-blind",
+		"topo-aware", "WAN share", "jitter-free", "cuts inter-cluster (WAN) bytes"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("topology output missing %q:\n%s", want, text)
+		}
+	}
+}
+
 func TestProgressCallback(t *testing.T) {
 	var out strings.Builder
 	s := smallSuite(&out)

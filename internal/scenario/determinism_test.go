@@ -12,6 +12,7 @@ import (
 	"repro/internal/misbehave"
 	"repro/internal/netem"
 	"repro/internal/telemetry"
+	"repro/internal/topo"
 )
 
 // These tests are the safety net for the simulator's pooled-event hot path:
@@ -57,6 +58,14 @@ func fingerprint(t *testing.T, res *Result) []byte {
 		// join's outputs: a tracer observing anything schedule-dependent (a
 		// timestamp, a record order, a hop resolution) would show here.
 		if err := enc.Encode(res.TraceStats); err != nil {
+			t.Fatalf("fingerprint: %v", err)
+		}
+	}
+	if res.TopoStats != nil {
+		// Topology-embedded runs fingerprint the cluster layout and the WAN
+		// traffic totals: a cluster assignment or inter-region counter
+		// depending on schedule order would show here.
+		if err := enc.Encode(res.TopoStats); err != nil {
 			t.Fatalf("fingerprint: %v", err)
 		}
 	}
@@ -694,6 +703,161 @@ func TestDeterminismSweepWorkers(t *testing.T) {
 	}
 }
 
+// topologyBase is the determinism suite's clustered configuration: three
+// clusters with WAN-scale inter bands and a split fanout, so the clustered
+// latency model, the cluster-partitioned views, the split budget's stochastic
+// rounding, and the WAN accounting are all exercised.
+func topologyBase(seed int64) Config {
+	cfg := deterministicBase(seed)
+	cfg.Topology = &topo.Config{
+		Name:     "det3",
+		Clusters: 3,
+		IntraMin: 2 * time.Millisecond, IntraMax: 12 * time.Millisecond,
+		InterMin: 60 * time.Millisecond, InterMax: 140 * time.Millisecond,
+		Jitter: 4 * time.Millisecond,
+	}
+	cfg.FanoutIntra, cfg.FanoutInter = 5, 2
+	return cfg
+}
+
+// TestDeterminismTopologyRepeatedRun extends the byte-equality check to
+// topology-embedded hierarchical runs: the clustered latency model, the
+// split sampler's partial shuffles, and the per-node WAN counters must all be
+// pure functions of the seed. TopoStats itself is part of the fingerprint.
+func TestDeterminismTopologyRepeatedRun(t *testing.T) {
+	a, err := Run(topologyBase(73))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(topologyBase(73))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fingerprint(t, a), fingerprint(t, b)) {
+		t.Fatal("topology-embedded run is not deterministic for a fixed seed")
+	}
+	ts := a.TopoStats
+	if ts == nil || ts.InterBytes == 0 || ts.InterBytes >= ts.TotalBytes {
+		t.Fatalf("TopoStats implausible: %+v", ts)
+	}
+	total := 0
+	for _, s := range ts.Sizes {
+		if s == 0 {
+			t.Fatalf("empty cluster in %v at n=80", ts.Sizes)
+		}
+		total += s
+	}
+	if total != 80 {
+		t.Fatalf("cluster sizes sum to %d, want 80", total)
+	}
+	// A different seed must not collide (it reshapes the clusters too).
+	c, err := Run(topologyBase(74))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(fingerprint(t, a), fingerprint(t, c)) {
+		t.Fatal("different seeds produced identical topology fingerprints")
+	}
+	// And the split fanout must be load-bearing: the same clustered network
+	// under the topology-blind protocol must differ.
+	blind := topologyBase(73)
+	blind.FanoutIntra, blind.FanoutInter = 0, 0
+	d, err := Run(blind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(fingerprint(t, a), fingerprint(t, d)) {
+		t.Fatal("topology-blind and topology-aware runs produced identical fingerprints")
+	}
+	if d.TopoStats == nil || d.TopoStats.InterBytes == 0 {
+		t.Fatal("topology-blind run collected no WAN accounting")
+	}
+}
+
+// TestDeterminismTopologyShardCounts runs the clustered hierarchical
+// configuration — plus a region-targeted partition and region spike riding
+// on the topology's own cluster cuts — at 1, 2, and 8 shards and requires
+// byte-identical fingerprints. The clustered model's MinLatency feeds the
+// sharded simulator's conservative lookahead; an optimistic bound (a pair
+// latency below the declared minimum) would dispatch cross-shard events out
+// of canonical order and break byte equality here.
+func TestDeterminismTopologyShardCounts(t *testing.T) {
+	build := func() Config {
+		cfg := topologyBase(73)
+		cfg.Netem = &netem.Config{
+			Name: "topo-shard-determinism",
+			Partitions: []netem.PartitionSpec{
+				{From: 8 * time.Second, Until: 14 * time.Second, Regions: [][]int{{0}}},
+			},
+			RegionSpikes: []netem.RegionSpike{
+				{Spike: netem.Spike{At: 16 * time.Second, Duration: 6 * time.Second, Extra: 150 * time.Millisecond}, Regions: []int{1}},
+			},
+		}
+		return cfg
+	}
+	var ref []byte
+	for _, shards := range []int{1, 2, 8} {
+		cfg := build()
+		cfg.Shards = shards
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		fp := fingerprint(t, res)
+		if ref == nil {
+			ref = fp
+			continue
+		}
+		if !bytes.Equal(ref, fp) {
+			t.Fatalf("shards=%d fingerprint differs from sequential reference (%d vs %d bytes)",
+				shards, len(fp), len(ref))
+		}
+	}
+}
+
+// TestDeterminismTopologySweepWorkers re-checks worker-count independence
+// with the topology axis active: 1 and 8 workers must export byte-identical
+// CSV for a blind/aware grid over the clustered network.
+func TestDeterminismTopologySweepWorkers(t *testing.T) {
+	base := topologyBase(0)
+	grid := func(workers int) Sweep {
+		return Sweep{
+			Base:     deterministicBase(0),
+			Variants: TopologyVariants(*base.Topology, base.FanoutIntra, base.FanoutInter),
+			Replicas: 2,
+			BaseSeed: 79,
+			Workers:  workers,
+			DropRuns: true,
+		}
+	}
+	serial, err := RunSweep(grid(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunSweep(grid(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sc, pc bytes.Buffer
+	if err := serial.WriteCSV(&sc); err != nil {
+		t.Fatal(err)
+	}
+	if err := parallel.WriteCSV(&pc); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sc.Bytes(), pc.Bytes()) {
+		t.Fatal("topology sweep CSV bytes differ between 1 and 8 workers")
+	}
+	for i := range serial.Cells {
+		s, p := serial.Cells[i], parallel.Cells[i]
+		ss, ps := s.Summary, p.Summary
+		ss.Elapsed, ps.Elapsed = 0, 0
+		if !reflect.DeepEqual(ss, ps) {
+			t.Fatalf("cell %s: summaries differ between 1 and 8 workers", s.Key)
+		}
+	}
+}
+
 // TestDeterminismShardCounts is the sharded simulator's oracle: the same
 // configuration and seed must produce byte-identical fingerprints at 1, 2,
 // and 8 shards. The single-shard run is the sequential reference; any
@@ -732,6 +896,7 @@ func TestDeterminismShardCounts(t *testing.T) {
 		{"multisource", func() Config { return multiSourceBase(43) }},
 		{"adapt", func() Config { return adaptBase(47) }},
 		{"trace", func() Config { return traceBase(67) }},
+		{"topology", func() Config { return topologyBase(73) }},
 		{"dynamics", func() Config {
 			cfg := LargeScaleBase(150, 7)
 			cfg.Windows = 2

@@ -18,6 +18,7 @@ import (
 	"repro/internal/simnet"
 	"repro/internal/stream"
 	"repro/internal/telemetry"
+	"repro/internal/topo"
 	"repro/internal/tree"
 	"repro/internal/wire"
 )
@@ -107,8 +108,28 @@ type Config struct {
 	// the Adverse* sweep variants.
 	Netem *netem.Config
 	// LatencyMin/LatencyMax/LatencyJitter parameterize per-pair one-way
-	// delays. Defaults 10 ms / 100 ms / 5 ms.
+	// delays. Defaults 10 ms / 100 ms / 5 ms. Ignored when Topology is set.
 	LatencyMin, LatencyMax, LatencyJitter time.Duration
+
+	// Topology embeds the run in a clustered WAN/LAN geometry
+	// (internal/topo): a hash-pure cluster assignment drawn from Seed, with
+	// split intra-/inter-cluster latency bands replacing the uniform
+	// LatencyMin/Max draw. Inter-cluster traffic is accounted per node
+	// (Result.TopoStats), and a configured Netem may target regions
+	// (PartitionSpec.Regions, RegionSpikes) so failures fall along the
+	// topology's real cuts. Nil (the default) keeps the paper's uniform
+	// pairwise latency model — runs are then byte-identical to a build
+	// without the topo package.
+	Topology *topo.Config
+	// FanoutIntra/FanoutInter split each node's gossip fanout budget by
+	// locality: every round proposes to FanoutIntra peers of the node's own
+	// cluster and FanoutInter peers across cluster boundaries (HEAP still
+	// scales both by relative capability). Both zero (the default) keeps
+	// the topology-blind protocol even when Topology is set — the knob that
+	// separates "clustered network" from "cluster-aware protocol". Requires
+	// Topology, full-view membership (not UsePSS), and a gossip protocol.
+	FanoutIntra float64
+	FanoutInter float64
 
 	// SourceCapKbps is the source's upload capacity; the source must
 	// sustain roughly Fanout times the stream rate (every first-hop
@@ -344,6 +365,29 @@ func (c *Config) applyDefaults() error {
 			return err
 		}
 	}
+	if c.Topology != nil {
+		if err := c.Topology.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.FanoutIntra < 0 || c.FanoutInter < 0 {
+		return fmt.Errorf("scenario: negative split fanout (%v intra, %v inter)",
+			c.FanoutIntra, c.FanoutInter)
+	}
+	if c.FanoutIntra > 0 || c.FanoutInter > 0 {
+		if c.Topology == nil {
+			return fmt.Errorf("scenario: FanoutIntra/FanoutInter require a Topology")
+		}
+		if c.UsePSS {
+			return fmt.Errorf("scenario: hierarchical fanout requires full-view membership (disable UsePSS)")
+		}
+		if c.Protocol == StaticTree {
+			return fmt.Errorf("scenario: hierarchical fanout requires a gossip protocol")
+		}
+		if c.SourceBias {
+			return fmt.Errorf("scenario: hierarchical fanout is incompatible with SourceBias")
+		}
+	}
 	if c.Trace != nil && c.Protocol == StaticTree {
 		return fmt.Errorf("scenario: Trace requires a gossip protocol (the static tree has no propose/request/serve path)")
 	}
@@ -419,6 +463,33 @@ type Result struct {
 	// TraceStats holds the merged dissemination-path records and their
 	// offline hop analysis (nil when Trace is unset).
 	TraceStats *TraceStats
+	// TopoStats holds the materialized cluster layout and the run's
+	// inter-cluster (WAN) traffic accounting (nil when Topology is unset).
+	TopoStats *TopoStats
+}
+
+// TopoStats summarizes a topology-embedded run: how the seed materialized
+// the clusters and how much of the run's traffic crossed them. WAN bytes are
+// the cost a clustered deployment actually pays for — the quantity
+// hierarchical fanout (FanoutIntra/FanoutInter) exists to reduce.
+type TopoStats struct {
+	// Clusters is the configured cluster count; Sizes[c] is how many of the
+	// run's nodes (including join-wave nodes) the seed assigned to c.
+	Clusters int
+	Sizes    []int
+	// TotalBytes sums every node's sent bytes; InterBytes/InterMsgs count
+	// the subset whose destination lay in another cluster.
+	TotalBytes int64
+	InterBytes int64
+	InterMsgs  int64
+}
+
+// InterShare is the fraction of sent bytes that crossed a cluster boundary.
+func (t *TopoStats) InterShare() float64 {
+	if t.TotalBytes == 0 {
+		return 0
+	}
+	return float64(t.InterBytes) / float64(t.TotalBytes)
 }
 
 // BacklogSample is one probe of the system's uplink queues.
@@ -534,9 +605,26 @@ func Run(cfg Config) (*Result, error) {
 		LossRate: cfg.LossRate,
 		Shards:   cfg.Shards,
 	}
+	// A configured topology replaces the uniform latency draw with the
+	// clustered model (hash-pure, so sharded runs stay exact) and labels
+	// every node with its cluster for WAN-byte accounting.
+	var topol *topo.Topology
+	if cfg.Topology != nil {
+		var err error
+		if topol, err = cfg.Topology.Build(cfg.Seed); err != nil {
+			return nil, err
+		}
+		netCfg.Latency = topol
+		netCfg.RegionOf = topol.ClusterOf
+	}
 	if cfg.Netem != nil {
 		var err error
-		if netemEngine, err = cfg.Netem.Build(total, cfg.Seed, cfg.LossRate); err != nil {
+		if topol != nil {
+			netemEngine, err = cfg.Netem.BuildWithRegions(total, cfg.Seed, cfg.LossRate, topol.ClusterOf)
+		} else {
+			netemEngine, err = cfg.Netem.Build(total, cfg.Seed, cfg.LossRate)
+		}
+		if err != nil {
 			return nil, err
 		}
 		netCfg.Netem = netemEngine
@@ -563,20 +651,25 @@ func Run(cfg Config) (*Result, error) {
 	singleStream := len(specs) == 1 && specs[0].ID == 0
 
 	// The static-tree baseline has a fixed topology instead of sampling.
-	var topo *tree.Topology
+	var treeTopo *tree.Topology
 	if cfg.Protocol == StaticTree {
 		order := tree.ByID
 		if cfg.TreeCapacityOrder {
 			order = tree.ByCapacityDesc
 		}
 		var err error
-		topo, err = tree.BuildKAry(dir.IDs(), 0, cfg.TreeDegree, order, caps)
+		treeTopo, err = tree.BuildKAry(dir.IDs(), 0, cfg.TreeDegree, order, caps)
 		if err != nil {
 			return nil, err
 		}
 	}
 
 	pssRng := rand.New(rand.NewSource(cfg.Seed ^ 0x9551))
+
+	// Hierarchical dissemination: cluster-partitioned views feed the split
+	// fanout. Topology alone (both split fanouts zero) keeps plain views —
+	// the topology-blind baseline samples exactly as before.
+	hierarchical := topol != nil && (cfg.FanoutIntra > 0 || cfg.FanoutInter > 0)
 
 	// buildNode constructs and registers node i. present is the system size
 	// the node boots into: initial nodes see the whole time-zero membership,
@@ -604,7 +697,7 @@ func Run(cfg Config) (*Result, error) {
 		}
 
 		if cfg.Protocol == StaticTree {
-			eng := tree.NewEngine(topo, tree.DeliverFunc(onDeliver))
+			eng := tree.NewEngine(treeTopo, tree.DeliverFunc(onDeliver))
 			mux := env.NewMux()
 			mux.Register(eng, wire.KindServe)
 			if i == 0 {
@@ -659,7 +752,11 @@ func Run(cfg Config) (*Result, error) {
 					peers = append(peers, p)
 				}
 			}
-			views[i] = membership.NewView(id, peers)
+			if hierarchical {
+				views[i] = membership.NewClusterView(id, peers, topol.ClusterOf)
+			} else {
+				views[i] = membership.NewView(id, peers)
+			}
 			sampler = views[i]
 		}
 
@@ -672,6 +769,11 @@ func Run(cfg Config) (*Result, error) {
 			det = misbehave.MustNew(adv.detectorConfig(net))
 			adv.detectors[i] = det
 			sampler = &misbehave.QuarantineSampler{Inner: sampler, Detector: det}
+			if hierarchical {
+				// The split path draws from the view directly, bypassing the
+				// wrapper; the view's own exclusion filter closes the gap.
+				views[i].SetExclude(det.Quarantined)
+			}
 		}
 
 		engCfg := core.Config{
@@ -685,6 +787,11 @@ func Run(cfg Config) (*Result, error) {
 			Sampler:         sampler,
 			OnDeliver:       onDeliver,
 			Monitor:         monitorOrNil(det),
+		}
+		if hierarchical {
+			engCfg.FanoutIntra = cfg.FanoutIntra
+			engCfg.FanoutInter = cfg.FanoutInter
+			engCfg.Split = views[i]
 		}
 		if cfg.Trace != nil {
 			tr := telemetry.NewTracer(id, *cfg.Trace)
@@ -996,6 +1103,17 @@ func Run(cfg Config) (*Result, error) {
 	}
 	if cfg.Trace != nil {
 		res.TraceStats = collectTraceStats(tracers)
+	}
+	if topol != nil {
+		ts := &TopoStats{Clusters: topol.Clusters(), Sizes: make([]int, topol.Clusters())}
+		for i := 0; i < total; i++ {
+			ts.Sizes[topol.ClusterOf(wire.NodeID(i))]++
+			ns := &res.NodeNetStats[i]
+			ts.TotalBytes += ns.SentBytes
+			ts.InterBytes += ns.InterRegionBytes
+			ts.InterMsgs += ns.InterRegionMsgs
+		}
+		res.TopoStats = ts
 	}
 	return res, nil
 }

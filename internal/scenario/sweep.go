@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/churn"
 	"repro/internal/metrics"
+	"repro/internal/topo"
 	"repro/internal/wire"
 )
 
@@ -69,6 +70,26 @@ type Sweep struct {
 type Variant struct {
 	Name   string
 	Mutate func(*Config)
+}
+
+// TopologyVariants builds the canonical A/B axis for a clustered topology:
+// "topo-blind" embeds the run in the clustered network but keeps the flat
+// (locality-oblivious) fanout, "topo-aware" additionally splits the fanout
+// budget into intra and inter draws. Both cells see the identical topology,
+// so the comparison isolates the protocol's cluster awareness.
+func TopologyVariants(tc topo.Config, intra, inter float64) []Variant {
+	blind := tc
+	aware := tc
+	return []Variant{
+		{Name: "topo-blind", Mutate: func(c *Config) {
+			c.Topology = &blind
+			c.FanoutIntra, c.FanoutInter = 0, 0
+		}},
+		{Name: "topo-aware", Mutate: func(c *Config) {
+			c.Topology = &aware
+			c.FanoutIntra, c.FanoutInter = intra, inter
+		}},
+	}
 }
 
 // CellKey identifies one cell of the sweep grid.

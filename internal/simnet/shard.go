@@ -195,6 +195,12 @@ func (n *Network) send(from *simNode, to wire.NodeID, m wire.Message) {
 		}
 		from.stats.SentByStream[slot] += int64(size)
 	}
+	// Region labels are written only in the global context (AddNode), so the
+	// destination row's label is a safe cross-shard read.
+	if n.cfg.RegionOf != nil && from.region != n.nodes[to].region {
+		from.stats.InterRegionBytes += int64(size)
+		from.stats.InterRegionMsgs++
+	}
 
 	// Uplink serialization: the message transmits after everything already
 	// queued. Zero capacity means unconstrained.

@@ -195,6 +195,13 @@ type Config struct {
 	// for wall-clock speed. Clamped to 1 when the latency model's
 	// MinLatency is zero: with no lookahead there is no safe window.
 	Shards int
+	// RegionOf labels each node with a topology region (cluster) index for
+	// traffic accounting: sends whose endpoints carry different labels count
+	// into NodeStats.InterRegionBytes/Msgs — the WAN-byte measurement of
+	// topology-aware runs. Nil disables the labeling and keeps those
+	// counters at zero. Purely observational: delivery, latency, and netem
+	// verdicts are unaffected.
+	RegionOf func(wire.NodeID) int
 }
 
 // NodeConfig parameterizes one simulated node.
@@ -246,9 +253,14 @@ type NodeStats struct {
 	SentByStream [streamStatSlots]int64
 	SentMsgs     int64
 	RecvMsgs     int64
-	QueueDelay   time.Duration // instantaneous uplink backlog at last send
-	Crashed      bool
-	CrashedAt    time.Duration
+	// InterRegionBytes/InterRegionMsgs count sent traffic whose destination
+	// carries a different Config.RegionOf label — bytes that crossed a
+	// topology cluster boundary. Zero when the run is unlabeled.
+	InterRegionBytes int64
+	InterRegionMsgs  int64
+	QueueDelay       time.Duration // instantaneous uplink backlog at last send
+	Crashed          bool
+	CrashedAt        time.Duration
 }
 
 // Network is a simulated network of nodes. Build it and call Run from a
@@ -280,6 +292,7 @@ type Network struct {
 type simNode struct {
 	id      wire.NodeID
 	shard   int32
+	region  int32 // Config.RegionOf label; written at AddNode (global context), read-only after
 	alive   bool
 	started bool
 	handler env.Handler
@@ -345,9 +358,14 @@ func (n *Network) AddNode(h env.Handler, cfg NodeConfig) wire.NodeID {
 	}
 	id := wire.NodeID(len(n.nodes))
 	seed := uint64(n.cfg.Seed)
+	var region int32
+	if n.cfg.RegionOf != nil {
+		region = int32(n.cfg.RegionOf(id))
+	}
 	n.nodes = append(n.nodes, simNode{
 		id:      id,
 		shard:   int32(int(id) % len(n.shards)),
+		region:  region,
 		alive:   true,
 		handler: h,
 		rng:     rand.New(&splitmixSource{state: seed ^ (0x9e3779b97f4a7c15 * uint64(id+1))}),

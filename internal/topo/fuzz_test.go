@@ -1,0 +1,92 @@
+package topo
+
+import (
+	"encoding/binary"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// configFromBytes decodes an arbitrary byte string into a Config, exercising
+// the full field space including hostile values (negative durations,
+// inverted bands, absurd cluster counts, weight vectors of any length).
+func configFromBytes(data []byte) Config {
+	get := func(i int) uint64 {
+		var buf [8]byte
+		for k := 0; k < 8; k++ {
+			if i+k < len(data) {
+				buf[k] = data[i+k]
+			}
+		}
+		return binary.LittleEndian.Uint64(buf[:])
+	}
+	cfg := Config{
+		Clusters: int(int32(get(0))),
+		IntraMin: time.Duration(int64(get(4)) % int64(time.Second)),
+		IntraMax: time.Duration(int64(get(12)) % int64(time.Second)),
+		InterMin: time.Duration(int64(get(20)) % int64(time.Second)),
+		InterMax: time.Duration(int64(get(28)) % int64(time.Second)),
+		Jitter:   time.Duration(int64(get(36)) % int64(time.Second)),
+	}
+	nw := int(get(44) % 9)
+	for i := 0; i < nw; i++ {
+		w := float64(int64(get(45+8*i))%1000) / 10
+		cfg.Weights = append(cfg.Weights, w)
+	}
+	return cfg
+}
+
+// FuzzTopologyConfig drives Validate/Build over arbitrary config bytes:
+// invalid cluster counts, weights, and bands must be rejected with errors
+// (never a panic), and valid configs must materialize the same cluster
+// assignment and latencies on repeated builds.
+func FuzzTopologyConfig(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{3, 0, 0, 0})
+	f.Add(make([]byte, 128))
+	seed := []byte{4, 0, 0, 0}
+	for i := 0; i < 120; i++ {
+		seed = append(seed, byte(i*37+1))
+	}
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfg := configFromBytes(data)
+		if err := cfg.Validate(); err != nil {
+			if _, berr := cfg.Build(1); berr == nil {
+				t.Fatalf("Validate rejected (%v) but Build accepted: %+v", err, cfg)
+			}
+			return
+		}
+		runSeed := int64(1)
+		if len(data) > 0 {
+			runSeed = int64(data[0])<<8 | int64(len(data))
+		}
+		a, err := cfg.Build(runSeed)
+		if err != nil {
+			t.Fatalf("valid config failed to build: %v (%+v)", err, cfg)
+		}
+		b, err := cfg.Build(runSeed)
+		if err != nil {
+			t.Fatalf("rebuild failed: %v", err)
+		}
+		for id := wire.NodeID(0); id < 64; id++ {
+			ca, cb := a.ClusterOf(id), b.ClusterOf(id)
+			if ca != cb {
+				t.Fatalf("assignment differs across builds: node %d %d vs %d", id, ca, cb)
+			}
+			if ca < 0 || ca >= cfg.Clusters {
+				t.Fatalf("cluster %d out of range for node %d", ca, id)
+			}
+		}
+		for _, pair := range [][2]wire.NodeID{{0, 1}, {5, 9}, {63, 2}} {
+			la := a.Latency(pair[0], pair[1], 7)
+			if lb := b.Latency(pair[0], pair[1], 7); la != lb {
+				t.Fatalf("latency differs across builds: %v vs %v", la, lb)
+			}
+			if la < a.MinLatency() {
+				t.Fatalf("latency %v below MinLatency %v", la, a.MinLatency())
+			}
+		}
+	})
+}

@@ -1,0 +1,247 @@
+// Package topo embeds the simulated node population in a clustered WAN/LAN
+// geometry. The paper's evaluation (and the rest of this repo, through PR 9)
+// draws every pairwise latency from one uniform band, which cannot express
+// the structure real deployments have: tight groups of nearby nodes (a
+// campus, a datacenter, an ISP region) joined by much slower wide-area
+// links. Config describes that structure declaratively — a cluster count,
+// optional relative size weights, and separate intra-/inter-cluster latency
+// bands — and Build materializes it deterministically from the run seed.
+//
+// Everything here is hash-pure, in the same splitmix style as
+// simnet.PairwiseLatency: the cluster assignment and every pairwise base
+// latency are pure functions of (seed, node id), and per-datagram jitter is
+// a pure function of (seed, pair, sender, stamp). No shared mutable state
+// and no rng stream is consumed, so results are byte-identical at any shard
+// count and the sharded simulator's conservative lookahead stays exact:
+// MinLatency reports the true minimum the model can produce.
+package topo
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Config is a data-only description of a clustered topology. The zero value
+// is invalid; use a Profile or fill the fields and Validate.
+type Config struct {
+	// Name labels the topology in reports and sweep variants (optional).
+	Name string
+
+	// Clusters is the number of clusters (>= 1). Nodes are assigned to
+	// clusters by a hash of (seed, id), so the assignment is stable for a
+	// given seed, independent of join order, and needs no materialized
+	// table.
+	Clusters int
+
+	// Weights are optional relative cluster sizes (len == Clusters, all
+	// > 0). Empty means equal-sized clusters in expectation.
+	Weights []float64
+
+	// IntraMin/IntraMax bound the base one-way latency between two nodes of
+	// the same cluster; InterMin/InterMax bound it across clusters. Each
+	// pair draws its base uniformly (by hash) from its band.
+	IntraMin, IntraMax time.Duration
+	InterMin, InterMax time.Duration
+
+	// Jitter is the maximum extra per-datagram delay added on top of the
+	// pair base, drawn per (sender, stamp). Zero disables jitter.
+	Jitter time.Duration
+}
+
+// Validate checks the configuration and returns a descriptive error for the
+// first problem found.
+func (c *Config) Validate() error {
+	if c.Clusters < 1 {
+		return fmt.Errorf("topo: Clusters %d, need >= 1", c.Clusters)
+	}
+	if c.Clusters > 1<<20 {
+		return fmt.Errorf("topo: Clusters %d exceeds the node-id ceiling", c.Clusters)
+	}
+	if len(c.Weights) != 0 {
+		if len(c.Weights) != c.Clusters {
+			return fmt.Errorf("topo: %d Weights for %d Clusters", len(c.Weights), c.Clusters)
+		}
+		for i, w := range c.Weights {
+			if !(w > 0) || math.IsInf(w, 0) {
+				return fmt.Errorf("topo: Weights[%d] = %v, need finite > 0", i, w)
+			}
+		}
+	}
+	if c.IntraMin < 0 || c.IntraMax < c.IntraMin {
+		return fmt.Errorf("topo: intra band [%v, %v] invalid", c.IntraMin, c.IntraMax)
+	}
+	if c.InterMin < 0 || c.InterMax < c.InterMin {
+		return fmt.Errorf("topo: inter band [%v, %v] invalid", c.InterMin, c.InterMax)
+	}
+	if c.Clusters > 1 && c.InterMax == 0 && c.IntraMax == 0 {
+		return errors.New("topo: all latency bands are zero")
+	}
+	return nil
+}
+
+// Build validates the config and materializes it for one run seed. The
+// returned Topology implements the simulator's LatencyModel contract
+// (Latency + MinLatency) and exposes the cluster assignment.
+func (c Config) Build(seed int64) (*Topology, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Topology{cfg: c, seed: uint64(seed)}
+	// Cumulative weight boundaries in [0, 1), used by ClusterOf's hash pick.
+	t.cum = make([]float64, c.Clusters)
+	total := 0.0
+	if len(c.Weights) == 0 {
+		total = float64(c.Clusters)
+		for i := range t.cum {
+			t.cum[i] = float64(i+1) / total
+		}
+	} else {
+		for _, w := range c.Weights {
+			total += w
+		}
+		acc := 0.0
+		for i, w := range c.Weights {
+			acc += w
+			t.cum[i] = acc / total
+		}
+	}
+	t.cum[c.Clusters-1] = 1.0 // guard against float rounding at the top end
+	return t, nil
+}
+
+// Topology is a materialized clustered geometry for one run seed. All
+// methods are pure functions of the build inputs: safe for concurrent use
+// and identical at any shard count.
+type Topology struct {
+	cfg  Config
+	seed uint64
+	cum  []float64 // cumulative normalized cluster weights
+}
+
+// Config returns the validated configuration the topology was built from.
+func (t *Topology) Config() Config { return t.cfg }
+
+// Clusters returns the cluster count.
+func (t *Topology) Clusters() int { return t.cfg.Clusters }
+
+// Salts decorrelating the topology's hash streams from each other and from
+// simnet.PairwiseLatency, which hashes the bare seed.
+const (
+	assignSalt = 0x746f706f2d617367 // "topo-asg"
+	pairSalt   = 0x746f706f2d706c74 // "topo-plt"
+)
+
+// ClusterOf returns the cluster index of a node: a pure hash of (seed, id),
+// weighted by Config.Weights. Any id (including ones that join later) gets
+// a stable assignment.
+func (t *Topology) ClusterOf(id wire.NodeID) int {
+	if t.cfg.Clusters == 1 {
+		return 0
+	}
+	h := splitmix64(t.seed ^ assignSalt ^ (0x9e3779b97f4a7c15 * (uint64(uint32(id)) + 1)))
+	u := float64(h>>11) / (1 << 53) // uniform in [0, 1)
+	return sort.SearchFloat64s(t.cum, u)
+}
+
+// Latency implements the simulator's latency model: the pair's base is
+// hashed from its unordered (lo, hi) ids into the intra or inter band
+// depending on whether the endpoints share a cluster, plus per-datagram
+// jitter keyed by the sender and its send stamp. Symmetric up to jitter:
+// Latency(a, b, s) and Latency(b, a, s) share the same base.
+func (t *Topology) Latency(from, to wire.NodeID, stamp uint64) time.Duration {
+	lo, hi := from, to
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	h := splitmix64(t.seed ^ pairSalt ^ (uint64(uint32(lo))<<32 | uint64(uint32(hi))))
+	min, max := t.cfg.IntraMin, t.cfg.IntraMax
+	if t.ClusterOf(from) != t.ClusterOf(to) {
+		min, max = t.cfg.InterMin, t.cfg.InterMax
+	}
+	d := min
+	if span := int64(max - min); span > 0 {
+		d += time.Duration(h % uint64(span+1))
+	}
+	if t.cfg.Jitter > 0 {
+		j := splitmix64(h ^ (uint64(uint32(from)) << 20) ^ stamp)
+		d += time.Duration(j % uint64(int64(t.cfg.Jitter)+1))
+	}
+	return d
+}
+
+// MinLatency returns the exact minimum Latency can produce — the sharded
+// simulator's conservative-lookahead safety invariant. With one cluster no
+// inter-cluster pair exists, so the bound is the intra band's floor alone.
+func (t *Topology) MinLatency() time.Duration {
+	if t.cfg.Clusters == 1 {
+		return t.cfg.IntraMin
+	}
+	if t.cfg.InterMin < t.cfg.IntraMin {
+		return t.cfg.InterMin
+	}
+	return t.cfg.IntraMin
+}
+
+// splitmix64 is the same finalizer simnet uses for its hash-pure latency
+// draws: one round of SplitMix64.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Stock profiles, usable from heapsweep -topology and the report suite.
+var profiles = map[string]Config{
+	// wan3: three equal regions — tight metro clusters over a continental
+	// WAN. The intra band sits below the repo's uniform default (10-100ms),
+	// the inter band above it.
+	"wan3": {
+		Name:     "wan3",
+		Clusters: 3,
+		IntraMin: 2 * time.Millisecond, IntraMax: 12 * time.Millisecond,
+		InterMin: 60 * time.Millisecond, InterMax: 140 * time.Millisecond,
+		Jitter: 5 * time.Millisecond,
+	},
+	// wan5: five equal regions with a wider, slower WAN.
+	"wan5": {
+		Name:     "wan5",
+		Clusters: 5,
+		IntraMin: 2 * time.Millisecond, IntraMax: 15 * time.Millisecond,
+		InterMin: 80 * time.Millisecond, InterMax: 200 * time.Millisecond,
+		Jitter: 8 * time.Millisecond,
+	},
+	// hubspoke: one dominant region (3/4 of the nodes) plus a far satellite.
+	"hubspoke": {
+		Name:     "hubspoke",
+		Clusters: 2,
+		Weights:  []float64{3, 1},
+		IntraMin: 1 * time.Millisecond, IntraMax: 10 * time.Millisecond,
+		InterMin: 90 * time.Millisecond, InterMax: 180 * time.Millisecond,
+		Jitter: 5 * time.Millisecond,
+	},
+}
+
+// Profile returns a named stock topology ("wan3", "wan5", "hubspoke").
+func Profile(name string) (Config, error) {
+	cfg, ok := profiles[name]
+	if !ok {
+		return Config{}, fmt.Errorf("topo: unknown profile %q (have %v)", name, ProfileNames())
+	}
+	return cfg, nil
+}
+
+// ProfileNames lists the stock topology profiles in stable order.
+func ProfileNames() []string {
+	names := make([]string, 0, len(profiles))
+	for name := range profiles {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

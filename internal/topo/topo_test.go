@@ -1,0 +1,212 @@
+package topo
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+func mustBuild(t *testing.T, cfg Config, seed int64) *Topology {
+	t.Helper()
+	top, err := cfg.Build(seed)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return top
+}
+
+// TestLatencyOracle is the clustered-latency property test: every pair's
+// latency lands inside its declared intra/inter band (plus jitter), the base
+// is symmetric, the whole model is a pure function of (seed, from, to,
+// stamp), and MinLatency is a true lower bound.
+func TestLatencyOracle(t *testing.T) {
+	cfg := Config{
+		Clusters: 4,
+		Weights:  []float64{1, 2, 3, 4},
+		IntraMin: 2 * time.Millisecond, IntraMax: 12 * time.Millisecond,
+		InterMin: 60 * time.Millisecond, InterMax: 140 * time.Millisecond,
+		Jitter: 5 * time.Millisecond,
+	}
+	const n = 60
+	for _, seed := range []int64{1, 42, 0x5eed} {
+		top := mustBuild(t, cfg, seed)
+		rebuilt := mustBuild(t, cfg, seed)
+		for a := 0; a < n; a++ {
+			ca := top.ClusterOf(wire.NodeID(a))
+			if ca < 0 || ca >= cfg.Clusters {
+				t.Fatalf("seed %d: ClusterOf(%d) = %d out of range", seed, a, ca)
+			}
+			if cb := rebuilt.ClusterOf(wire.NodeID(a)); cb != ca {
+				t.Fatalf("seed %d: cluster assignment differs across builds: node %d %d vs %d",
+					seed, a, ca, cb)
+			}
+			for b := 0; b < n; b++ {
+				if a == b {
+					continue
+				}
+				from, to := wire.NodeID(a), wire.NodeID(b)
+				min, max := cfg.IntraMin, cfg.IntraMax
+				if top.ClusterOf(from) != top.ClusterOf(to) {
+					min, max = cfg.InterMin, cfg.InterMax
+				}
+				for _, stamp := range []uint64{0, 1, 7, 1 << 40} {
+					lat := top.Latency(from, to, stamp)
+					if lat < min || lat > max+cfg.Jitter {
+						t.Fatalf("seed %d: latency(%d->%d, stamp %d) = %v outside [%v, %v]",
+							seed, a, b, stamp, lat, min, max+cfg.Jitter)
+					}
+					if lat < top.MinLatency() {
+						t.Fatalf("seed %d: latency %v below MinLatency %v — lookahead unsafe",
+							seed, lat, top.MinLatency())
+					}
+					// Pure function: repeated call and rebuilt topology agree.
+					if l2 := top.Latency(from, to, stamp); l2 != lat {
+						t.Fatalf("latency not pure: %v then %v", lat, l2)
+					}
+					if l2 := rebuilt.Latency(from, to, stamp); l2 != lat {
+						t.Fatalf("latency differs across builds: %v vs %v", lat, l2)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestLatencyBaseSymmetric checks the symmetric-base policy: with jitter
+// off, the draw depends only on the unordered pair.
+func TestLatencyBaseSymmetric(t *testing.T) {
+	cfg := Config{
+		Clusters: 3,
+		IntraMin: 1 * time.Millisecond, IntraMax: 20 * time.Millisecond,
+		InterMin: 50 * time.Millisecond, InterMax: 120 * time.Millisecond,
+	}
+	top := mustBuild(t, cfg, 99)
+	for a := 0; a < 40; a++ {
+		for b := a + 1; b < 40; b++ {
+			ab := top.Latency(wire.NodeID(a), wire.NodeID(b), 3)
+			ba := top.Latency(wire.NodeID(b), wire.NodeID(a), 12345)
+			if ab != ba {
+				t.Fatalf("base asymmetric: %d<->%d %v vs %v", a, b, ab, ba)
+			}
+		}
+	}
+}
+
+// TestMinLatencyExact pins MinLatency to the true minimum: with degenerate
+// (zero-width) bands and no jitter, some observed pair must hit it exactly.
+func TestMinLatencyExact(t *testing.T) {
+	cfg := Config{
+		Clusters: 3,
+		IntraMin: 4 * time.Millisecond, IntraMax: 4 * time.Millisecond,
+		InterMin: 70 * time.Millisecond, InterMax: 70 * time.Millisecond,
+	}
+	top := mustBuild(t, cfg, 7)
+	if got, want := top.MinLatency(), 4*time.Millisecond; got != want {
+		t.Fatalf("MinLatency = %v, want %v", got, want)
+	}
+	seen := time.Duration(1 << 62)
+	for a := 0; a < 50; a++ {
+		for b := a + 1; b < 50; b++ {
+			if lat := top.Latency(wire.NodeID(a), wire.NodeID(b), 0); lat < seen {
+				seen = lat
+			}
+		}
+	}
+	if seen != top.MinLatency() {
+		t.Fatalf("observed minimum %v != MinLatency %v", seen, top.MinLatency())
+	}
+
+	// Single cluster: the inter band is unreachable, so a lower InterMin
+	// must not drag the bound below the true minimum.
+	one := Config{
+		Clusters: 1,
+		IntraMin: 9 * time.Millisecond, IntraMax: 9 * time.Millisecond,
+		InterMin: 1 * time.Millisecond, InterMax: 1 * time.Millisecond,
+	}
+	top1 := mustBuild(t, one, 7)
+	if got, want := top1.MinLatency(), 9*time.Millisecond; got != want {
+		t.Fatalf("single-cluster MinLatency = %v, want %v", got, want)
+	}
+	if lat := top1.Latency(1, 2, 0); lat != 9*time.Millisecond {
+		t.Fatalf("single-cluster latency = %v, want 9ms", lat)
+	}
+}
+
+// TestClusterWeights checks that the hash assignment respects the size
+// weights in aggregate.
+func TestClusterWeights(t *testing.T) {
+	cfg, err := Profile("hubspoke") // weights 3:1
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := mustBuild(t, cfg, 1234)
+	const n = 8000
+	counts := make([]int, cfg.Clusters)
+	for i := 0; i < n; i++ {
+		counts[top.ClusterOf(wire.NodeID(i))]++
+	}
+	hubShare := float64(counts[0]) / n
+	if hubShare < 0.70 || hubShare > 0.80 {
+		t.Fatalf("hub share %.3f, want ~0.75 (counts %v)", hubShare, counts)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	ok := Config{Clusters: 2, IntraMin: time.Millisecond, IntraMax: 2 * time.Millisecond,
+		InterMin: 3 * time.Millisecond, InterMax: 4 * time.Millisecond}
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"zero clusters", func(c *Config) { c.Clusters = 0 }},
+		{"negative clusters", func(c *Config) { c.Clusters = -3 }},
+		{"huge clusters", func(c *Config) { c.Clusters = 1<<20 + 1 }},
+		{"weight count", func(c *Config) { c.Weights = []float64{1} }},
+		{"zero weight", func(c *Config) { c.Weights = []float64{1, 0} }},
+		{"negative weight", func(c *Config) { c.Weights = []float64{1, -2} }},
+		{"nan weight", func(c *Config) { c.Weights = []float64{1, nan()} }},
+		{"intra band inverted", func(c *Config) { c.IntraMin = 5 * time.Millisecond }},
+		{"inter band inverted", func(c *Config) { c.InterMin = 9 * time.Millisecond }},
+		{"negative intra", func(c *Config) { c.IntraMin = -time.Millisecond }},
+		{"negative inter", func(c *Config) { c.InterMin = -time.Millisecond; c.InterMax = -time.Millisecond }},
+	}
+	for _, tc := range cases {
+		cfg := ok
+		cfg.Weights = append([]float64(nil), ok.Weights...)
+		tc.mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Fatalf("%s: Validate accepted %+v", tc.name, cfg)
+		}
+	}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func nan() float64 {
+	z := 0.0
+	return z / z
+}
+
+func TestProfiles(t *testing.T) {
+	names := ProfileNames()
+	if len(names) == 0 {
+		t.Fatal("no stock profiles")
+	}
+	for _, name := range names {
+		cfg, err := Profile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cfg.Name != name {
+			t.Fatalf("profile %q has Name %q", name, cfg.Name)
+		}
+		if _, err := cfg.Build(1); err != nil {
+			t.Fatalf("profile %q does not build: %v", name, err)
+		}
+	}
+	if _, err := Profile("nope"); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+}
